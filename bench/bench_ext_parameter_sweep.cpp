@@ -1,0 +1,95 @@
+// EXP-X1 — beyond the paper: parameter sweeps of the synthesis methodology.
+//
+// The paper works five fixed examples; here the same machinery sweeps whole
+// families: c-coloring for c = 2..5 (all fail — consistent with the
+// impossibility of deterministic symmetric unidirectional ring coloring
+// [Shukla et al., the paper's ref 25]), sum-not-q over a (|D|, q) grid
+// (all succeed, with a candidate-acceptance fraction that varies), and the
+// monotone-ring family.
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "global/checker.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/misc.hpp"
+#include "protocols/sum_not_two.hpp"
+#include "synthesis/local_synthesizer.hpp"
+#include "transform/transform.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+void report() {
+  bench::header("EXP-X1", "parameter sweeps (extension)",
+                "the local methodology, applied beyond the paper's five "
+                "worked examples");
+
+  std::cout << "  c-coloring (expected: failure for every c — ref [25]):\n";
+  for (std::size_t c = 2; c <= 5; ++c) {
+    const auto res = synthesize_convergence(protocols::coloring_empty(c));
+    std::cout << "    c=" << c << ": " << (res.success ? "SUCCESS (!)"
+                                                       : "failure")
+              << ", " << res.candidates_examined << " candidates examined\n";
+  }
+
+  std::cout << "  sum-not-q over (|D|, q) (expected: success everywhere; "
+               "solutions counted up to value symmetry):\n";
+  for (std::size_t d = 3; d <= 4; ++d) {
+    for (int q = 1; q <= static_cast<int>(2 * d - 3); ++q) {
+      const auto res =
+          synthesize_convergence(protocols::sum_not_q_empty(d, q));
+      std::vector<Protocol> sols;
+      for (const auto& s : res.solutions) sols.push_back(s.protocol);
+      std::cout << "    |D|=" << d << " q=" << q << ": "
+                << (res.success ? "success" : "FAILURE (!)") << ", "
+                << res.solutions.size() << "/" << res.candidates_examined
+                << " candidates accepted ("
+                << value_symmetry_orbits(sols).size()
+                << " up to value symmetry)\n";
+    }
+  }
+
+  std::cout << "  monotone rings (LC: x[-1] ≤ x[0]):\n";
+  for (std::size_t d = 2; d <= 4; ++d) {
+    const auto res = synthesize_convergence(protocols::monotone_empty(d));
+    bool verified = res.success;
+    if (res.success)
+      for (std::size_t k = 2; k <= 7 && verified; ++k)
+        verified = strongly_stabilizing(
+            RingInstance(res.solutions[0].protocol, k));
+    std::cout << "    |D|=" << d << ": "
+              << (res.success ? "success" : "failure") << ", "
+              << res.solutions.size() << "/" << res.candidates_examined
+              << " accepted"
+              << (res.success
+                      ? cat(", first solution verified K=2..7: ",
+                            verified ? "ok" : "FAIL")
+                      : std::string())
+              << "\n";
+  }
+  bench::footer();
+}
+
+void BM_SynthesizeColoring(benchmark::State& state) {
+  const Protocol input =
+      protocols::coloring_empty(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto res = synthesize_convergence(input);
+    benchmark::DoNotOptimize(res.success);
+  }
+}
+BENCHMARK(BM_SynthesizeColoring)->DenseRange(2, 5);
+
+void BM_SynthesizeSumNotQ(benchmark::State& state) {
+  const Protocol input = protocols::sum_not_q_empty(
+      static_cast<std::size_t>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const auto res = synthesize_convergence(input);
+    benchmark::DoNotOptimize(res.success);
+  }
+}
+BENCHMARK(BM_SynthesizeSumNotQ)->Args({3, 2})->Args({4, 3})->Args({5, 4});
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

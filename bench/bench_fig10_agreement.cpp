@@ -1,0 +1,74 @@
+// EXP-F10 — Figure 10 / Section 6.2: agreement synthesis. Resolve = {01} or
+// {10}; the two one-sided solutions are accepted (NPL); including both
+// transitions is rejected via the (s,t,s)² trail.
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "core/printer.hpp"
+#include "global/checker.hpp"
+#include "local/livelock.hpp"
+#include "protocols/agreement.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+void report() {
+  const Protocol input = protocols::agreement_empty();
+  const auto res = synthesize_convergence(input);
+
+  bench::header("EXP-F10", "Figure 10 + Section 6.2 (binary agreement)",
+                "resolving either 01 or 10 (but not both!) yields a "
+                "deadlock-free, livelock-free protocol for every K; "
+                "including both t01 and t10 fails the Theorem 5.14 check");
+  bench::row("resolve sets", "{01} or {10}",
+             cat(res.resolve_sets.size(), " singleton sets"));
+  bench::row("solutions", "2 (each a single copy action)",
+             std::to_string(res.solutions.size()));
+  for (const auto& sol : res.solutions)
+    bench::row(cat("solution via ", sol.via_npl ? "NPL" : "PL"),
+               "x[-1]≠x[0] → copy predecessor (one direction)",
+               join(sol.added, "; ", [&](const LocalTransition& t) {
+                 return describe_transition(sol.protocol, t);
+               }));
+
+  const auto both = check_livelock_freedom(protocols::agreement_both());
+  bench::row("both transitions included",
+             "trail ≪01,t10,00,s,01,s,10,t01,11,s,10,s,01≫ found",
+             both.trail() ? both.trail()->to_string(protocols::agreement_both())
+                          : "NO TRAIL (mismatch)");
+
+  std::string global;
+  for (std::size_t k = 2; k <= 9; ++k)
+    global += cat("K=", k, ":",
+                  strongly_stabilizing(
+                      RingInstance(res.solutions[0].protocol, k))
+                      ? "ok"
+                      : "FAIL",
+                  " ");
+  bench::row("first solution verified globally", "stabilizes at every K",
+             global);
+  bench::footer();
+}
+
+void BM_SynthesizeAgreement(benchmark::State& state) {
+  const Protocol input = protocols::agreement_empty();
+  for (auto _ : state) {
+    const auto res = synthesize_convergence(input);
+    benchmark::DoNotOptimize(res.success);
+  }
+}
+BENCHMARK(BM_SynthesizeAgreement);
+
+void BM_VerifyAgreementGlobally(benchmark::State& state) {
+  const Protocol p = protocols::agreement_one_sided(true);
+  const RingInstance ring(p, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(strongly_stabilizing(ring));
+  state.SetComplexityN(static_cast<std::int64_t>(ring.num_states()));
+}
+BENCHMARK(BM_VerifyAgreementGlobally)->DenseRange(4, 12)->Complexity();
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

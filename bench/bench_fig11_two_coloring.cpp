@@ -1,0 +1,71 @@
+// EXP-F11 — Figure 11 / Section 6.2: 2-coloring. Both monochromatic
+// deadlocks must be resolved (s-arc self-loops), the single candidate forms
+// the alternating trail, synthesis fails — consistent with the known
+// impossibility of self-stabilizing 2-coloring on unidirectional rings [25].
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "global/checker.hpp"
+#include "local/rcg.hpp"
+#include "protocols/coloring.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+void report() {
+  const Protocol input = protocols::coloring_empty(2);
+  const auto res = synthesize_convergence(input);
+
+  bench::header("EXP-F11", "Figure 11 + Section 6.2 (2-coloring)",
+                "both 00 and 11 must be resolved (each has an s-arc "
+                "self-loop); the resulting trail "
+                "≪00,t01,01,s,11,t10,10,s,00≫ blocks certification ⇒ FAILURE");
+
+  // The self-loop justification: in the full RCG, 00 and 11 self-loop.
+  const Digraph rcg = build_rcg(input.space());
+  const auto& sp = input.space();
+  const LocalStateId s00 = sp.encode(std::vector<Value>{0, 0});
+  const LocalStateId s11 = sp.encode(std::vector<Value>{1, 1});
+  bench::row("s-arc self-loops at 00 and 11", "both present",
+             cat(rcg.has_arc(s00, s00) ? "00 yes" : "00 NO", ", ",
+                 rcg.has_arc(s11, s11) ? "11 yes" : "11 NO"));
+  bench::row("resolve set", "{00, 11} (no proper subset works)",
+             res.resolve_sets.empty()
+                 ? "none"
+                 : cat("size ", res.resolve_sets[0].size()));
+  bench::row("candidates examined", "1 (one choice per deadlock)",
+             std::to_string(res.candidates_examined));
+  bench::row("outcome", "FAILURE", res.success ? "SUCCESS (mismatch!)"
+                                               : "FAILURE");
+  if (!res.reports.empty() && res.reports[0].trail)
+    bench::row("rejecting trail", "≪00,t01,01,s,11,t10,10,s,00≫",
+               res.reports[0].trail->to_string(input));
+
+  // Globally: the candidate livelocks on odd rings and stabilizes on even
+  // ones — exactly the classic parity obstruction.
+  const Protocol cand = protocols::coloring_with_choices(2, {1, 0});
+  std::string global;
+  for (std::size_t k = 3; k <= 8; ++k)
+    global += cat("K=", k, ":",
+                  GlobalChecker(RingInstance(cand, k)).find_livelock()
+                      ? "livelock"
+                      : "clean",
+                  " ");
+  bench::row("candidate globally", "fails on odd rings (impossibility [25])",
+             global);
+  bench::footer();
+}
+
+void BM_SynthesizeTwoColoring(benchmark::State& state) {
+  const Protocol input = protocols::coloring_empty(2);
+  for (auto _ : state) {
+    const auto res = synthesize_convergence(input);
+    benchmark::DoNotOptimize(res.success);
+  }
+}
+BENCHMARK(BM_SynthesizeTwoColoring);
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

@@ -1,0 +1,68 @@
+// EXP-F1 — Figure 1: the right-continuation relation over all local states
+// of maximal matching.
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "graph/dot.hpp"
+#include "local/rcg.hpp"
+#include "protocols/matching.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+void report() {
+  const Protocol p = protocols::matching_skeleton();
+  const Digraph rcg = build_rcg(p.space());
+
+  bench::header("EXP-F1", "Figure 1 (RCG of maximal matching)",
+                "the continuation relation over the 27 local states of the "
+                "matching representative process; each local state admits "
+                "|D| = 3 right continuations");
+  bench::row("local states", "27", std::to_string(rcg.num_vertices()));
+  bench::row("s-arcs", "27 × 3 = 81", std::to_string(rcg.num_arcs()));
+
+  std::size_t legit = p.num_legit();
+  bench::row("legitimate local states (LC_r)", "7 (three-way disjunction)",
+             std::to_string(legit));
+
+  // Sample row: the continuations of ⟨left,left,self⟩, the state at the
+  // heart of Example 4.3's bad cycles.
+  const LocalStateId lls = p.space().encode(std::vector<Value>{0, 0, 2});
+  std::string conts = join(rcg.out(lls), ", ", [&](VertexId v) {
+    return p.space().brief(v);
+  });
+  bench::row("continuations of ⟨l,l,s⟩", "lsl, lsr, lss (shift left by one)",
+             conts);
+
+  DotOptions opts;
+  opts.graph_name = "fig1";
+  opts.label = [&](VertexId v) { return p.space().brief(v); };
+  const std::string dot = to_dot(rcg, opts);
+  bench::note(cat("full DOT rendering: ", dot.size(),
+                  " bytes (pipe through graphviz to redraw Figure 1)"));
+  bench::footer();
+}
+
+void BM_BuildMatchingRcg(benchmark::State& state) {
+  const Protocol p = protocols::matching_skeleton();
+  for (auto _ : state) {
+    const Digraph rcg = build_rcg(p.space());
+    benchmark::DoNotOptimize(rcg.num_arcs());
+  }
+}
+BENCHMARK(BM_BuildMatchingRcg);
+
+void BM_BuildRcgByDomain(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const LocalStateSpace space(Domain::range(d), {1, 1});
+  for (auto _ : state) {
+    const Digraph rcg = build_rcg(space);
+    benchmark::DoNotOptimize(rcg.num_arcs());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_BuildRcgByDomain)->DenseRange(2, 6)->Complexity();
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

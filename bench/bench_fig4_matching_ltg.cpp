@@ -1,0 +1,56 @@
+// EXP-F4 — Figure 4: the Local Transition Graph of the generalizable
+// matching protocol (RCG + t-arcs).
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "local/ltg.hpp"
+#include "protocols/matching.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+void report() {
+  const Protocol p = protocols::matching_generalizable();
+  const Ltg ltg(p);
+
+  bench::header("EXP-F4", "Figure 4 (LTG of Example 4.2)",
+                "the RCG augmented with the protocol's local transitions "
+                "(t-arcs); the LTG does not depend on K");
+  bench::row("vertices (local states)", "27",
+             std::to_string(ltg.num_states()));
+  bench::row("s-arcs", "81", std::to_string(ltg.s_arcs().num_arcs()));
+  bench::row("t-arcs (local transitions of A1–A5)", "(Fig. 4 solid arcs)",
+             std::to_string(ltg.t_arcs().size()));
+
+  std::size_t enabled = 0;
+  for (LocalStateId s = 0; s < p.num_states(); ++s)
+    if (p.is_enabled(s)) ++enabled;
+  bench::row("enabled local states", "27 − 11 deadlocks = 16",
+             std::to_string(enabled));
+
+  const std::string dot = ltg.to_dot();
+  bench::note(cat("DOT rendering of the full LTG: ", dot.size(), " bytes"));
+  bench::footer();
+}
+
+void BM_BuildLtg(benchmark::State& state) {
+  const Protocol p = protocols::matching_generalizable();
+  for (auto _ : state) {
+    const Ltg ltg(p);
+    benchmark::DoNotOptimize(ltg.t_arcs().size());
+  }
+}
+BENCHMARK(BM_BuildLtg);
+
+void BM_LtgToDot(benchmark::State& state) {
+  const Ltg ltg(protocols::matching_generalizable());
+  for (auto _ : state) {
+    const std::string dot = ltg.to_dot();
+    benchmark::DoNotOptimize(dot.size());
+  }
+}
+BENCHMARK(BM_LtgToDot);
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

@@ -1,0 +1,71 @@
+// EXP-F5 — Figure 5 / Example 5.2: the precedence relation over the K=4
+// agreement livelock's local transitions.
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "global/checker.hpp"
+#include "local/precedence.hpp"
+#include "protocols/agreement.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+// The paper's livelock L = ≪1000,1100,0100,0110,0111,0011,1011,1001≫.
+std::pair<std::vector<Value>, Schedule> paper_livelock() {
+  const Protocol p = protocols::agreement_both();
+  const RingInstance ring(p, 4);
+  const std::vector<std::vector<Value>> states = {
+      {1, 0, 0, 0}, {1, 1, 0, 0}, {0, 1, 0, 0}, {0, 1, 1, 0},
+      {0, 1, 1, 1}, {0, 0, 1, 1}, {1, 0, 1, 1}, {1, 0, 0, 1}};
+  std::vector<GlobalStateId> path;
+  for (const auto& s : states) path.push_back(ring.encode(s));
+  return {states[0], schedule_from_path(ring, path, /*cyclic=*/true)};
+}
+
+void report() {
+  const Protocol p = protocols::agreement_both();
+  const auto [start, sched] = paper_livelock();
+
+  bench::header("EXP-F5", "Figure 5 + Example 5.2 (precedence relation)",
+                "the K=4 agreement livelock has 8 local transitions with "
+                "exactly 3 independent pairs, so 2^3 = 8 precedence-"
+                "preserving permutations exist");
+  bench::row("schedule is one livelock period", "yes",
+             is_livelock_schedule(p, start, sched) ? "yes" : "NO");
+
+  const auto rel = livelock_precedence(p, 4, sched);
+  const auto pairs = rel.independent_pairs();
+  bench::row("independent pairs", "3", std::to_string(pairs.size()));
+  std::string pair_text;
+  for (auto [a, b] : pairs)
+    pair_text += cat("(step", a, " P", sched[a].process, ", step", b, " P",
+                     sched[b].process, ") ");
+  bench::row("which pairs", "transitions of processes at ring distance 2",
+             pair_text);
+  bench::row("precedence-preserving permutations (Lemma 5.11)", "2^3 = 8",
+             std::to_string(count_linear_extensions(rel)));
+  bench::footer();
+}
+
+void BM_BuildPrecedence(benchmark::State& state) {
+  const Protocol p = protocols::agreement_both();
+  const auto [start, sched] = paper_livelock();
+  for (auto _ : state) {
+    const auto rel = livelock_precedence(p, 4, sched);
+    benchmark::DoNotOptimize(rel.size);
+  }
+}
+BENCHMARK(BM_BuildPrecedence);
+
+void BM_CountLinearExtensions(benchmark::State& state) {
+  const Protocol p = protocols::agreement_both();
+  const auto [start, sched] = paper_livelock();
+  const auto rel = livelock_precedence(p, 4, sched);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(count_linear_extensions(rel));
+}
+BENCHMARK(BM_CountLinearExtensions);
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

@@ -1,0 +1,89 @@
+// EXP-F7 — Figure 7: the contiguity reduction. A protocol livelocks iff it
+// has a *contiguous* livelock (Lemma 5.11); we demonstrate the equivalence
+// empirically: whenever the model checker finds any livelock at size K, some
+// livelock state has all its enablements adjacent.
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "global/checker.hpp"
+#include "protocols/agreement.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+// Are the enabled processes of state s one contiguous segment of the ring?
+bool enablements_contiguous(const RingInstance& ring, GlobalStateId s) {
+  const std::size_t k = ring.ring_size();
+  std::vector<bool> enabled(k);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    enabled[i] = ring.process_enabled(s, i);
+    if (enabled[i]) ++count;
+  }
+  if (count == 0 || count == k) return count != 0;
+  // Count enabled→disabled boundaries; contiguous ⇔ exactly one.
+  std::size_t boundaries = 0;
+  for (std::size_t i = 0; i < k; ++i)
+    if (enabled[i] && !enabled[(i + 1) % k]) ++boundaries;
+  return boundaries == 1;
+}
+
+void report() {
+  const Protocol p = protocols::agreement_both();
+  bench::header("EXP-F7", "Figure 7 (contiguous livelocks)",
+                "p(K) has a livelock iff it has a contiguous livelock — a "
+                "computation rotating a segment of |E| adjacent enablements "
+                "(the figure draws K=6, |E|=3)");
+
+  for (std::size_t k = 4; k <= 8; ++k) {
+    const RingInstance ring(p, k);
+    const GlobalChecker checker(ring);
+    const auto ll_states = checker.livelock_states();
+    if (ll_states.empty()) {
+      bench::row(cat("K=", k), "livelock exists", "no livelock");
+      continue;
+    }
+    std::size_t contiguous = 0;
+    for (GlobalStateId s : ll_states)
+      if (enablements_contiguous(ring, s)) ++contiguous;
+    bench::row(cat("K=", k),
+               "some livelock state has adjacent enablements",
+               cat(ll_states.size(), " livelock states, ", contiguous,
+                   " with a contiguous enablement segment"));
+  }
+
+  // Figure 7 is schematic (K=6, |E|=3); for the agreement protocol the
+  // census below shows which (|E|, contiguity) combinations its livelocks
+  // actually realize.
+  const RingInstance ring6(p, 6);
+  const auto states6 = GlobalChecker(ring6).livelock_states();
+  std::map<std::size_t, std::pair<std::size_t, std::size_t>> census;
+  for (GlobalStateId s : states6) {
+    auto& [total, contig] = census[ring6.num_enabled(s)];
+    ++total;
+    if (enablements_contiguous(ring6, s)) ++contig;
+  }
+  for (const auto& [e, counts] : census)
+    bench::row(cat("K=6 livelock states with |E|=", e),
+               "a segment of |E| adjacent enablements exists for some |E| "
+               "(Figure 7 draws the schematic |E|=3 case)",
+               cat(counts.first, " states, ", counts.second,
+                   " with a contiguous segment"));
+  bench::footer();
+}
+
+void BM_LivelockStates(benchmark::State& state) {
+  const Protocol p = protocols::agreement_both();
+  const RingInstance ring(p, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto ll = GlobalChecker(ring).livelock_states();
+    benchmark::DoNotOptimize(ll.size());
+  }
+}
+BENCHMARK(BM_LivelockStates)->DenseRange(4, 10);
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

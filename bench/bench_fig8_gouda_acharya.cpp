@@ -1,0 +1,62 @@
+// EXP-F8 — Figure 8: the Gouda–Acharya matching fragment {t_ls, t_sl}; its
+// K=5 livelock and the contiguous trail that betrays it in the LTG.
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "global/checker.hpp"
+#include "local/livelock.hpp"
+#include "protocols/matching.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+void report() {
+  const Protocol p = protocols::matching_gouda_acharya_fragment();
+
+  bench::header("EXP-F8",
+                "Figure 8 (Gouda–Acharya matching fragment LTG)",
+                "the {t_ls, t_sl} fragment livelocks at K=5 "
+                "(≪lslsl, sslsl, …≫ with one enablement circulating); its "
+                "t-arcs form a pseudo-livelock participating in a trail");
+
+  const auto live = check_livelock_freedom(p);
+  bench::row("Theorem 5.14 trail search", "a qualifying trail exists",
+             live.trail() ? live.trail()->to_string(p) : "NO TRAIL (mismatch)");
+  bench::row("coverage", "bidirectional: contiguous livelocks only",
+             live.covers_all_livelocks ? "full" : "contiguous only");
+
+  const RingInstance ring(p, 5);
+  const auto cycle = GlobalChecker(ring).find_livelock();
+  if (cycle) {
+    std::string seq;
+    for (GlobalStateId s : *cycle) seq += ring.brief(s) + " ";
+    bench::row("global K=5 livelock", "≪lslsl, sslsl, slsl_s, …≫ (period 10)",
+               cat("period ", cycle->size(), ": ", seq));
+  } else {
+    bench::row("global K=5 livelock", "exists", "NOT FOUND (mismatch)");
+  }
+  bench::footer();
+}
+
+void BM_TrailSearchGa(benchmark::State& state) {
+  const Protocol p = protocols::matching_gouda_acharya_fragment();
+  for (auto _ : state) {
+    const auto res = check_livelock_freedom(p);
+    benchmark::DoNotOptimize(res.verdict);
+  }
+}
+BENCHMARK(BM_TrailSearchGa);
+
+void BM_GlobalLivelockSearchGa(benchmark::State& state) {
+  const Protocol p = protocols::matching_gouda_acharya_fragment();
+  const RingInstance ring(p, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto cycle = GlobalChecker(ring).find_livelock();
+    benchmark::DoNotOptimize(cycle.has_value());
+  }
+}
+BENCHMARK(BM_GlobalLivelockSearchGa)->DenseRange(4, 8);
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

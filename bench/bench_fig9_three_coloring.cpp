@@ -1,0 +1,58 @@
+// EXP-F9 — Figure 9 / Section 6.1: the 3-coloring synthesis walkthrough.
+// Resolve = {00, 11, 22}; 2^3 candidate sets; every one rejected.
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "global/checker.hpp"
+#include "protocols/coloring.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+void report() {
+  const Protocol input = protocols::coloring_empty(3);
+  const auto res = synthesize_convergence(input);
+
+  bench::header("EXP-F9", "Figure 9 + Section 6.1 (3-coloring)",
+                "Resolve = {00,11,22} (monochromatic deadlocks with s-arc "
+                "self-loops); 2^3 = 8 candidate transition sets; every set "
+                "forms a pseudo-livelock with a contiguous trail ⇒ FAILURE");
+  bench::row("resolve sets", "one: {00, 11, 22}",
+             cat(res.resolve_sets.size(), " set(s), size ",
+                 res.resolve_sets.empty() ? 0 : res.resolve_sets[0].size()));
+  bench::row("candidate sets examined", "8",
+             std::to_string(res.candidates_examined));
+  std::size_t rejected = 0;
+  for (const auto& r : res.reports)
+    if (r.status == CandidateReport::Status::kRejectedTrail) ++rejected;
+  bench::row("rejected with a trail witness", "8", std::to_string(rejected));
+  bench::row("outcome", "FAILURE (methodology step 5)",
+             res.success ? "SUCCESS (mismatch!)" : "FAILURE");
+
+  // The rotation candidate really livelocks (global confirmation).
+  const Protocol rot = protocols::three_coloring_rotation();
+  std::string global;
+  for (std::size_t k = 3; k <= 6; ++k)
+    global += cat("K=", k, ":",
+                  GlobalChecker(RingInstance(rot, k)).find_livelock()
+                      ? "livelock"
+                      : "clean",
+                  " ");
+  bench::row("rotation {t01,t12,t20} globally",
+             "forms the value rotation ≪0,1,2≫ and livelocks", global);
+  bench::footer();
+}
+
+void BM_SynthesizeThreeColoring(benchmark::State& state) {
+  const Protocol input = protocols::coloring_empty(3);
+  for (auto _ : state) {
+    const auto res = synthesize_convergence(input);
+    benchmark::DoNotOptimize(res.success);
+  }
+}
+BENCHMARK(BM_SynthesizeThreeColoring);
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

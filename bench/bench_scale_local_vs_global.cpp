@@ -1,0 +1,121 @@
+// EXP-S1 — the paper's core efficiency claim: local reasoning is
+// K-independent while global model checking explodes exponentially with K.
+#include <chrono>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "global/checker.hpp"
+#include "global/symmetry.hpp"
+#include "local/convergence.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/sum_not_two.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+double ms_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void report() {
+  bench::header("EXP-S1", "local reasoning vs global model checking",
+                "the local analysis touches only the |D|^w local states of "
+                "one process — independent of K — while the global check "
+                "visits |D|^K states (Sections 6, 7)");
+
+  struct Row {
+    const char* name;
+    Protocol p;
+  };
+  const std::vector<Row> rows = {
+      {"agreement (one-sided)", protocols::agreement_one_sided(true)},
+      {"sum-not-two solution", protocols::sum_not_two_solution()},
+      {"matching (generalizable)", protocols::matching_generalizable()},
+  };
+
+  for (const auto& rowdef : rows) {
+    const Protocol& p = rowdef.p;
+    const double local_ms = ms_of([&] {
+      const auto res = check_convergence(p, {}, 2);
+      benchmark::DoNotOptimize(&res);
+    });
+    std::cout << "  " << rowdef.name << ": local analysis (covers ALL K): "
+              << local_ms << " ms over " << p.num_states()
+              << " local states\n";
+    for (std::size_t k = 6; k <= 14; k += 2) {
+      GlobalStateId states = 0;
+      bool feasible = true;
+      double global_ms = 0;
+      try {
+        const RingInstance ring(p, k, GlobalStateId{1} << 25);
+        states = ring.num_states();
+        global_ms = ms_of([&] {
+          benchmark::DoNotOptimize(strongly_stabilizing(ring));
+        });
+      } catch (const CapacityError&) {
+        feasible = false;
+      }
+      std::cout << "    global K=" << k << ": "
+                << (feasible ? cat(states, " states, ", global_ms, " ms")
+                             : std::string("over state budget"))
+                << "\n";
+    }
+  }
+  bench::note(
+      "the local column is a one-time cost certifying every K at once; the "
+      "global column certifies exactly one K per run and grows as |D|^K");
+
+  // Strengthened baseline: rotation-symmetry reduction cuts the *visited
+  // state count* by ~K× (necklace counting). Note the honest outcome below:
+  // with scan-and-filter representative enumeration the O(K²)
+  // canonicalization per state eats the savings in wall time — the orbit
+  // count shows the potential, a dedicated necklace enumerator would be
+  // needed to realize it, and either way the growth stays exponential in K
+  // while the local method stays constant.
+  {
+    const Protocol p = protocols::sum_not_two_solution();
+    for (std::size_t k = 8; k <= 12; k += 2) {
+      const RingInstance ring(p, k);
+      const double plain_ms = ms_of([&] {
+        benchmark::DoNotOptimize(strongly_stabilizing(ring));
+      });
+      SymmetricCheckResult sym;
+      const double sym_ms =
+          ms_of([&] { sym = check_symmetric(ring); });
+      std::cout << "    symmetry-reduced baseline K=" << k << ": "
+                << sym.canonical_states_visited << " orbits vs "
+                << ring.num_states() << " states; " << sym_ms << " ms vs "
+                << plain_ms << " ms plain\n";
+    }
+  }
+  bench::footer();
+}
+
+void BM_LocalAnalysis(benchmark::State& state) {
+  const Protocol p = protocols::sum_not_two_solution();
+  for (auto _ : state) {
+    const auto res = check_convergence(p, {}, 2);
+    benchmark::DoNotOptimize(res.verdict);
+  }
+}
+BENCHMARK(BM_LocalAnalysis);
+
+void BM_GlobalCheckByK(benchmark::State& state) {
+  const Protocol p = protocols::sum_not_two_solution();
+  const RingInstance ring(p, static_cast<std::size_t>(state.range(0)),
+                          GlobalStateId{1} << 25);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(strongly_stabilizing(ring));
+  state.SetComplexityN(static_cast<std::int64_t>(ring.num_states()));
+}
+BENCHMARK(BM_GlobalCheckByK)->DenseRange(4, 13)->Complexity();
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

@@ -1,0 +1,47 @@
+// Shared reporting helpers for the per-figure benchmark binaries.
+//
+// Each bench binary prints a "paper vs measured" report for the figure it
+// regenerates, then runs google-benchmark timings of the underlying
+// computations. EXPERIMENTS.md archives the reports.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace ringstab::bench {
+
+inline void header(const std::string& experiment, const std::string& artifact,
+                   const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << experiment << " — " << artifact << "\n"
+            << "PAPER CLAIM: " << claim << "\n"
+            << "----------------------------------------------------------------\n";
+}
+
+inline void row(const std::string& what, const std::string& paper,
+                const std::string& measured) {
+  std::cout << "  " << what << "\n    paper:    " << paper
+            << "\n    measured: " << measured << "\n";
+}
+
+inline void note(const std::string& text) {
+  std::cout << "  NOTE: " << text << "\n";
+}
+
+inline void footer() {
+  std::cout << "================================================================\n\n";
+}
+
+/// Custom main: print the report once, then run the timings.
+#define RINGSTAB_BENCH_MAIN(report_fn)               \
+  int main(int argc, char** argv) {                  \
+    report_fn();                                     \
+    ::benchmark::Initialize(&argc, argv);            \
+    ::benchmark::RunSpecifiedBenchmarks();           \
+    ::benchmark::Shutdown();                         \
+    return 0;                                        \
+  }
+
+}  // namespace ringstab::bench

@@ -1,0 +1,81 @@
+// Deep dive on the paper's maximal-matching case study: why Example 4.2
+// generalizes and Example 4.3 does not, with constructive witnesses.
+//
+// This is the workflow a protocol designer would follow: run the local
+// analysis, read the bad cycles, extract witness rings, fix the protocol,
+// re-check.
+#include <iostream>
+
+#include "core/fmt.hpp"
+#include "core/printer.hpp"
+#include "global/checker.hpp"
+#include "local/deadlock.hpp"
+#include "protocols/matching.hpp"
+
+int main() {
+  using namespace ringstab;
+
+  std::cout << "--- Example 4.3: the non-generalizable matching protocol ---\n";
+  const Protocol bad = protocols::matching_nongeneralizable();
+  std::cout << describe(bad) << "\n";
+
+  const auto analysis = analyze_deadlocks(bad, 32);
+  std::cout << "Theorem 4.2: "
+            << (analysis.deadlock_free_all_k ? "deadlock-free for every K"
+                                             : "NOT generalizable")
+            << "\n";
+  std::cout << "bad cycles in the deadlock RCG (each one is a recipe for a "
+               "deadlocked ring):\n";
+  for (const auto& c : analysis.bad_cycles) {
+    std::cout << "  length " << c.size() << ": ";
+    for (auto v : c) std::cout << bad.space().brief(v) << " ";
+    std::cout << "\n";
+  }
+  std::cout << "⇒ deadlocked ring sizes up to 32:";
+  for (auto k : analysis.deadlocked_sizes()) std::cout << " " << k;
+  std::cout << "\n\n";
+
+  std::cout << "constructive witnesses (assign the cycle around the ring):\n";
+  for (std::size_t k : {4u, 6u, 7u, 10u}) {
+    const auto ring = deadlock_witness_ring(bad, k);
+    if (!ring) {
+      std::cout << "  K=" << k << ": no witness (clean size)\n";
+      continue;
+    }
+    std::cout << "  K=" << k << ": ⟨"
+              << join(*ring, ",",
+                      [&](Value v) { return bad.domain().name(v); })
+              << "⟩";
+    const RingInstance inst(bad, k);
+    const GlobalStateId s = inst.encode(*ring);
+    std::cout << "  → every process deadlocked: " << std::boolalpha
+              << inst.is_deadlock(s) << ", outside I: " << !inst.in_invariant(s)
+              << "\n";
+  }
+
+  std::cout << "\nnote: K=5 is clean — this protocol was synthesized for 5 "
+               "processes and verifies there:\n";
+  std::cout << "  K=5 strongly stabilizes: " << std::boolalpha
+            << strongly_stabilizing(RingInstance(bad, 5)) << "\n\n";
+
+  std::cout << "--- Example 4.2: the generalizable repair ---\n";
+  const Protocol good = protocols::matching_generalizable();
+  const auto fixed = analyze_deadlocks(good);
+  std::cout << "Theorem 4.2: "
+            << (fixed.deadlock_free_all_k
+                    ? "deadlock-free for every ring size"
+                    : "still broken")
+            << " (" << fixed.local_deadlocks.size() << " local deadlocks, "
+            << fixed.illegitimate_deadlocks.size()
+            << " illegitimate, none on a cycle)\n";
+  std::cout << "sampled global confirmation:";
+  for (std::size_t k = 4; k <= 9; ++k) {
+    const RingInstance inst(good, k);
+    std::cout << " K=" << k << ":"
+              << (GlobalChecker(inst).count_deadlocks_outside_invariant() == 0
+                      ? "ok"
+                      : "dead");
+  }
+  std::cout << "\n";
+  return 0;
+}

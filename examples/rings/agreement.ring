@@ -1,0 +1,8 @@
+# expect: fails
+# Binary agreement on a unidirectional ring (paper Example 5.2 input).
+# Legitimate: every process agrees with its predecessor — i.e. all equal.
+# No actions: the protocol is a synthesis input (Problem 3.1).
+protocol agreement;
+domain 2;
+reads -1 .. 0;
+legit: x[-1] == x[0];

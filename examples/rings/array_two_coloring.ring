@@ -1,0 +1,11 @@
+# topology: array
+# expect: converges
+# 2-coloring on an ARRAY (open chain). Impossible on unidirectional rings
+# (paper Fig. 11), but the parity obstruction disappears on arrays.
+# Convention: the domain's last value B is the virtual boundary marker.
+# Analyze with: ringstab analyze array_two_coloring.ring --array
+protocol array_2coloring;
+domain a, b, B;
+reads -1 .. 0;
+legit: x[-1] == B || (x[0] != B && x[-1] != x[0]);
+action flip: x[-1] != B && x[0] != B && x[-1] == x[0] -> x[0] := 1 - x[0];

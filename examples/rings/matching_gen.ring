@@ -1,0 +1,19 @@
+# Example 4.2: the generalizable maximal matching protocol on a
+# bidirectional ring (actions A1–A5, originally synthesized by STSyn for
+# K=6). Theorem 4.2 certifies deadlock-freedom for every K.
+protocol matching_gen;
+domain left, right, self;
+reads -1 .. 1;
+legit: (x[0] == right && x[1] == left)
+    || (x[-1] == right && x[0] == left)
+    || (x[-1] == left && x[0] == self && x[1] == right);
+
+action A1:  x[-1] == left && x[0] != self && x[1] == right -> x[0] := self;
+action A2:  x[-1] == self && x[0] == self && x[1] == self
+            -> x[0] := right | x[0] := left;
+action A3a: x[-1] == right && x[0] == self                 -> x[0] := left;
+action A3b: x[0] == self && x[1] == left                   -> x[0] := right;
+action A4a: x[-1] == right && x[0] == right && x[1] != left -> x[0] := left;
+action A4b: x[-1] != right && x[0] == left && x[1] == left  -> x[0] := right;
+action A5a: x[-1] == self && x[0] != left && x[1] == right  -> x[0] := left;
+action A5b: x[-1] == left && x[0] != right && x[1] == self  -> x[0] := right;

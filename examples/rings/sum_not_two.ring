@@ -1,0 +1,6 @@
+# expect: fails
+# The Sum-Not-Two protocol of Section 6.2 — synthesis input.
+protocol sum_not_two;
+domain 3;
+reads -1 .. 0;
+legit: x[-1] + x[0] != 2;

@@ -1,0 +1,9 @@
+# expect: converges
+# Sum-Not-Two with the convergence actions synthesized in Section 6.2
+# ({t21, t12, t01}). Strongly self-stabilizing for every ring size.
+protocol sum_not_two_ss;
+domain 3;
+reads -1 .. 0;
+legit: x[-1] + x[0] != 2;
+action bump_up:   x[-1] + x[0] == 2 && x[0] != 2 -> x[0] := (x[0] + 1) % 3;
+action bump_down: x[-1] + x[0] == 2 && x[0] == 2 -> x[0] := (x[0] - 1) % 3;

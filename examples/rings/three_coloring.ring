@@ -1,0 +1,8 @@
+# expect: fails
+# 3-coloring on a unidirectional ring (Section 6.1) — synthesis input.
+# The methodology provably FAILS on this one: every candidate forms a
+# pseudo-livelock participating in a contiguous trail.
+protocol three_coloring;
+domain 3;
+reads -1 .. 0;
+legit: x[-1] != x[0];

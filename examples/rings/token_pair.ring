@@ -1,0 +1,8 @@
+# expect: fails
+# "No adjacent tokens": at most every other process may hold a token.
+# A user-defined protocol, not from the paper — synthesis succeeds via the
+# NPL fast path with the single action 11 → 10.
+protocol no_adjacent_tokens;
+domain 2;
+reads -1 .. 0;
+legit: !(x[-1] == 1 && x[0] == 1);

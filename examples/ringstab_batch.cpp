@@ -1,0 +1,127 @@
+// ringstab-batch — verify every .ring protocol in a directory and print a
+// summary table. CI usage: `ringstab-batch <dir> --strict` exits nonzero
+// unless every protocol's verdict matches its annotation.
+//
+// Files may annotate expectations in comments:
+//   # topology: array            → analyze under the array convention
+//   # expect: converges          → must be certified convergent
+//   # expect: fails              → synthesis-input / must NOT be certified
+// Unannotated files are analyzed and reported, never failed on.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "core/parser.hpp"
+#include "local/array.hpp"
+#include "local/convergence.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+struct FileOutcome {
+  std::string file;
+  std::string name;
+  std::string verdict;
+  std::string expectation;  // "", "converges", "fails"
+  bool ok = true;           // expectation met (or none given)
+};
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool has_marker(const std::string& text, const std::string& marker) {
+  return text.find(marker) != std::string::npos;
+}
+
+FileOutcome process(const std::filesystem::path& path) {
+  FileOutcome out;
+  out.file = path.filename().string();
+  const std::string text = slurp(path);
+  const bool array = has_marker(text, "topology: array");
+  if (has_marker(text, "expect: converges")) out.expectation = "converges";
+  if (has_marker(text, "expect: fails")) out.expectation = "fails";
+
+  try {
+    const Protocol p = parse_protocol(text);
+    out.name = p.name();
+    bool certified = false;
+    if (array) {
+      const auto res = analyze_array_deadlocks(p);
+      certified = res.deadlock_free_all_n && array_terminates_always(p);
+      out.verdict = certified ? "converges (array, every length)"
+                              : "deadlocks (array)";
+    } else {
+      const auto res = check_convergence(p);
+      certified = res.verdict == ConvergenceAnalysis::Verdict::kConverges;
+      switch (res.verdict) {
+        case ConvergenceAnalysis::Verdict::kConverges:
+          out.verdict = "converges (every ring size)";
+          break;
+        case ConvergenceAnalysis::Verdict::kDeadlock:
+          out.verdict = "deadlocks";
+          break;
+        case ConvergenceAnalysis::Verdict::kTrailFound:
+          out.verdict = "trail found (uncertifiable)";
+          break;
+        case ConvergenceAnalysis::Verdict::kInconclusive:
+          out.verdict = "inconclusive";
+          break;
+      }
+    }
+    if (out.expectation == "converges") out.ok = certified;
+    if (out.expectation == "fails") out.ok = !certified;
+  } catch (const Error& e) {
+    out.verdict = std::string("ERROR: ") + e.what();
+    out.ok = out.expectation.empty();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: ringstab-batch <directory> [--strict]\n";
+    return 2;
+  }
+  const bool strict =
+      argc > 2 && std::strcmp(argv[2], "--strict") == 0;
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(argv[1]))
+    if (entry.path().extension() == ".ring") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "no .ring files under " << argv[1] << "\n";
+    return 2;
+  }
+
+  std::size_t failures = 0;
+  std::cout << std::left << std::setw(28) << "file" << std::setw(22)
+            << "protocol" << std::setw(36) << "verdict"
+            << "expectation\n"
+            << std::string(96, '-') << "\n";
+  for (const auto& path : files) {
+    const FileOutcome out = process(path);
+    std::cout << std::left << std::setw(28) << out.file << std::setw(22)
+              << out.name << std::setw(36) << out.verdict
+              << (out.expectation.empty()
+                      ? "-"
+                      : out.expectation + (out.ok ? " ✓" : " ✗ MISMATCH"))
+              << "\n";
+    if (!out.ok) ++failures;
+  }
+  std::cout << std::string(96, '-') << "\n"
+            << files.size() << " protocols, " << failures
+            << " expectation mismatches\n";
+  return strict && failures > 0 ? 1 : 0;
+}

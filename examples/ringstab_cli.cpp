@@ -1,0 +1,291 @@
+// ringstab — command-line front-end over .ring protocol files.
+//
+//   ringstab analyze    <file.ring>             local verdicts (Thm 4.2/5.14)
+//   ringstab synthesize <file.ring> [--all]     solve Problem 3.1
+//   ringstab check      <file.ring> -k <K>      exhaustive global check
+//   ringstab sweep      <file.ring> [--min K] [--max K]   cutoff verification
+//   ringstab dot        <file.ring> [--rcg|--ltg|--deadlock-rcg]
+//   ringstab simulate   <file.ring> -k <K> [--trials N] [--seed S]
+//   ringstab emit       <file.ring>             round-trip to .ring source
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/fmt.hpp"
+#include "core/parser.hpp"
+#include "core/printer.hpp"
+#include "core/ring_writer.hpp"
+#include "global/checker.hpp"
+#include "global/cutoff.hpp"
+#include "local/array.hpp"
+#include "report/report.hpp"
+#include "graph/dot.hpp"
+#include "local/convergence.hpp"
+#include "local/rcg.hpp"
+#include "sim/simulator.hpp"
+#include "synthesis/array_synthesizer.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+int usage() {
+  std::cerr <<
+      "usage: ringstab <command> <file.ring> [options]\n"
+      "  analyze    local convergence analysis (valid for every ring size)\n"
+      "  synthesize add convergence (Problem 3.1); --all prints every solution\n"
+      "  check      exhaustive model check at one size: -k <K>\n"
+      "  sweep      cutoff verification: [--min K] [--max K]\n"
+      "  dot        emit graphviz: --rcg (default), --ltg, --deadlock-rcg\n"
+      "  simulate   random-scheduler runs: -k <K> [--trials N] [--seed S]\n"
+      "  emit       print the protocol back as .ring source\n"
+      "  report     full markdown analysis report [--array] [--max K]\n"
+      "  trace      step-by-step run: -k <K> [--from v,v,...] [--seed S]\n";
+  return 2;
+}
+
+long long arg_value(int argc, char** argv, const char* name, long long fallback) {
+  for (int i = 3; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 3; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+int cmd_analyze_array(const Protocol& p) {
+  std::cout << describe(p) << "\n";
+  const auto res = analyze_array_deadlocks(p);
+  std::cout << "array deadlock analysis (walk condition, exact for every "
+               "length):\n  "
+            << (res.deadlock_free_all_n
+                    ? "deadlock-free for every array length"
+                    : "deadlocked lengths up to " +
+                          std::to_string(res.spectrum_max_n) + ": " +
+                          join(res.deadlocked_sizes(), " ",
+                               [](std::size_t n) { return std::to_string(n); }))
+            << "\n  terminates under every schedule: "
+            << (array_terminates_always(p)
+                    ? "yes (unidirectional + self-disabling)"
+                    : "not guaranteed by the local argument")
+            << "\n";
+  return res.deadlock_free_all_n ? 0 : 1;
+}
+
+int cmd_analyze(const Protocol& p) {
+  std::cout << describe(p) << "\n";
+  const auto res = check_convergence(p);
+  std::cout << res.summary(p) << "\n";
+  if (!res.deadlocks.deadlock_free_all_k) {
+    std::cout << "deadlocked ring sizes up to "
+              << res.deadlocks.spectrum_max_k << ":";
+    for (std::size_t k : res.deadlocks.deadlocked_sizes())
+      std::cout << " " << k;
+    std::cout << "\nbad cycles in the deadlock RCG:\n";
+    for (const auto& c : res.deadlocks.bad_cycles) {
+      std::cout << "  [";
+      for (auto v : c) std::cout << p.space().brief(v) << " ";
+      std::cout << "]\n";
+    }
+  }
+  if (res.livelocks.trail())
+    std::cout << "witness trail: " << res.livelocks.trail()->to_string(p)
+              << "\n";
+  return res.verdict == ConvergenceAnalysis::Verdict::kConverges ? 0 : 1;
+}
+
+int cmd_synthesize(const Protocol& p, bool all) {
+  const auto res = synthesize_convergence(p);
+  std::cout << res.summary(p) << "\n";
+  const std::size_t show = all ? res.solutions.size()
+                               : std::min<std::size_t>(1, res.solutions.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    std::cout << "--- solution " << i + 1 << " ---\n"
+              << describe(res.solutions[i].protocol) << "\n";
+  }
+  return res.success ? 0 : 1;
+}
+
+int cmd_check(const Protocol& p, std::size_t k) {
+  const RingInstance ring(p, k);
+  const auto res = GlobalChecker(ring).check_all();
+  std::cout << p.name() << " at K=" << k << " (" << res.num_states
+            << " states):\n"
+            << "  closure of I:            " << (res.closure_ok ? "ok" : "VIOLATED")
+            << "\n  deadlocks outside I:     " << res.num_deadlocks_outside_i;
+  if (!res.deadlock_samples.empty())
+    std::cout << "  (e.g. " << ring.brief(res.deadlock_samples[0]) << ")";
+  std::cout << "\n  livelock:                "
+            << (res.has_livelock ? "YES" : "none");
+  if (res.has_livelock) {
+    std::cout << "  cycle:";
+    for (std::size_t i = 0; i < std::min<std::size_t>(6, res.livelock_cycle.size());
+         ++i)
+      std::cout << " " << ring.brief(res.livelock_cycle[i]);
+    if (res.livelock_cycle.size() > 6) std::cout << " …";
+  }
+  std::cout << "\n  weak convergence:        "
+            << (res.weakly_converges ? "yes" : "no")
+            << "\n  strong self-stabilization: "
+            << (res.strongly_converges() ? "YES" : "no") << "\n";
+  if (res.strongly_converges())
+    std::cout << "  worst-case recovery:     " << res.max_recovery_steps
+              << " steps\n";
+  return res.strongly_converges() ? 0 : 1;
+}
+
+int cmd_dot(const Protocol& p, int argc, char** argv) {
+  if (has_flag(argc, argv, "--ltg")) {
+    std::cout << Ltg(p).to_dot();
+    return 0;
+  }
+  const bool deadlock_only = has_flag(argc, argv, "--deadlock-rcg");
+  const Digraph g = deadlock_only ? deadlock_rcg(p) : build_rcg(p.space());
+  DotOptions opts;
+  opts.graph_name = deadlock_only ? "deadlock_rcg" : "rcg";
+  opts.label = [&](VertexId v) { return p.space().brief(v); };
+  opts.vertex_attrs = [&](VertexId v) {
+    return p.is_legit(v) ? std::string("style=filled,fillcolor=lightgray")
+                         : std::string();
+  };
+  if (deadlock_only)
+    opts.include = [&, g = &g](VertexId v) {
+      return p.is_deadlock(v);
+    };
+  std::cout << to_dot(g, opts);
+  return 0;
+}
+
+int cmd_trace(const Protocol& p, std::size_t k, std::uint64_t seed,
+              const char* from, std::size_t max_steps) {
+  Simulator sim(p, k, seed);
+  if (from != nullptr) {
+    std::vector<Value> state;
+    std::string token;
+    for (const char* c = from;; ++c) {
+      if (*c == ',' || *c == '\0') {
+        if (!token.empty()) {
+          const auto v = p.domain().value_of(token);
+          if (!v) throw ModelError("unknown value in --from: " + token);
+          state.push_back(*v);
+          token.clear();
+        }
+        if (*c == '\0') break;
+      } else {
+        token += *c;
+      }
+    }
+    sim.set_state(std::move(state));
+  } else {
+    sim.randomize();
+  }
+
+  auto dump = [&](const std::vector<Value>& state) {
+    std::string s;
+    for (Value v : state) s += p.domain().abbrev(v);
+    return s;
+  };
+  std::cout << "     " << dump(sim.state())
+            << (sim.in_invariant() ? "   ∈ I" : "   ∉ I") << "\n";
+  for (std::size_t n = 1; n <= max_steps; ++n) {
+    if (sim.in_invariant() && sim.deadlocked()) {
+      std::cout << "silent legitimate state reached after " << n - 1
+                << " steps\n";
+      return 0;
+    }
+    const auto step = sim.step();
+    if (!step) {
+      std::cout << (sim.in_invariant()
+                        ? "silent legitimate state reached"
+                        : "DEADLOCK outside I")
+                << " after " << n - 1 << " steps\n";
+      return sim.in_invariant() ? 0 : 1;
+    }
+    std::cout << std::setw(4) << n << " " << dump(sim.state()) << "   P"
+              << step->process << ": "
+              << p.domain().name(p.space().self(step->transition.from)) << "→"
+              << p.domain().name(p.space().self(step->transition.to))
+              << (sim.in_invariant() ? "   ∈ I" : "") << "\n";
+  }
+  std::cout << "step cap reached\n";
+  return 1;
+}
+
+int cmd_simulate(const Protocol& p, std::size_t k, std::size_t trials,
+                 std::uint64_t seed) {
+  const auto stats = measure_convergence(p, k, trials, seed);
+  std::cout << p.name() << " at K=" << k << ", " << trials
+            << " random starts (seed " << seed << "):\n"
+            << "  converged: " << stats.converged << "/" << stats.trials
+            << "\n  mean steps: " << stats.mean_steps
+            << "\n  max steps:  " << stats.max_steps << "\n";
+  return stats.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  try {
+    const Protocol p = parse_protocol_file(argv[2]);
+    if (command == "analyze")
+      return has_flag(argc, argv, "--array") ? cmd_analyze_array(p)
+                                             : cmd_analyze(p);
+    if (command == "synthesize") {
+      if (has_flag(argc, argv, "--array")) {
+        const auto res = synthesize_array_convergence(p);
+        std::cout << res.summary(p) << "\n";
+        if (res.success) std::cout << describe(res.solutions[0].protocol);
+        return res.success ? 0 : 1;
+      }
+      return cmd_synthesize(p, has_flag(argc, argv, "--all"));
+    }
+    if (command == "check")
+      return cmd_check(p, static_cast<std::size_t>(
+                              arg_value(argc, argv, "-k", 5)));
+    if (command == "sweep") {
+      const auto rep = verify_up_to_cutoff(
+          p, static_cast<std::size_t>(arg_value(argc, argv, "--min", 2)),
+          static_cast<std::size_t>(arg_value(argc, argv, "--max", 9)));
+      std::cout << rep.to_string(p);
+      return rep.all_stabilize ? 0 : 1;
+    }
+    if (command == "emit") {
+      std::cout << to_ring_source(p);
+      return 0;
+    }
+    if (command == "report") {
+      ReportOptions opts;
+      opts.array_topology = has_flag(argc, argv, "--array");
+      opts.max_ring =
+          static_cast<std::size_t>(arg_value(argc, argv, "--max", 7));
+      std::cout << markdown_report(p, opts);
+      return 0;
+    }
+    if (command == "dot") return cmd_dot(p, argc, argv);
+    if (command == "trace") {
+      const char* from = nullptr;
+      for (int i = 3; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--from") == 0) from = argv[i + 1];
+      return cmd_trace(
+          p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8)),
+          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1)),
+          from, static_cast<std::size_t>(arg_value(argc, argv, "--max", 200)));
+    }
+    if (command == "simulate")
+      return cmd_simulate(
+          p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8)),
+          static_cast<std::size_t>(arg_value(argc, argv, "--trials", 100)),
+          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1)));
+    return usage();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

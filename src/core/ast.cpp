@@ -1,0 +1,107 @@
+#include "core/ast.hpp"
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+
+std::unique_ptr<Expr> Expr::literal(long long v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kInt;
+  e->value = v;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::domain_name(std::string n) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kName;
+  e->name = std::move(n);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::var(int offset) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVar;
+  e->offset = offset;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::unary(std::string op, std::unique_ptr<Expr> sub) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->op = std::move(op);
+  e->lhs = std::move(sub);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::binary(std::string op, std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = std::move(op);
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+long long Expr::eval(const LocalView& view) const {
+  switch (kind) {
+    case Kind::kInt:
+      return value;
+    case Kind::kName: {
+      auto v = view.domain().value_of(name);
+      if (!v) throw ParseError(cat("unknown domain value '", name, "'"));
+      return *v;
+    }
+    case Kind::kVar:
+      if (!view.in_window(offset))
+        throw ParseError(cat("variable x[", offset,
+                             "] is outside the declared locality"));
+      return view[offset];
+    case Kind::kUnary: {
+      const long long a = lhs->eval(view);
+      if (op == "-") return -a;
+      if (op == "!") return a == 0 ? 1 : 0;
+      break;
+    }
+    case Kind::kBinary: {
+      const long long a = lhs->eval(view);
+      // Short-circuit logical operators.
+      if (op == "||") return (a != 0 || rhs->eval(view) != 0) ? 1 : 0;
+      if (op == "&&") return (a != 0 && rhs->eval(view) != 0) ? 1 : 0;
+      const long long b = rhs->eval(view);
+      if (op == "==") return a == b ? 1 : 0;
+      if (op == "!=") return a != b ? 1 : 0;
+      if (op == "<") return a < b ? 1 : 0;
+      if (op == "<=") return a <= b ? 1 : 0;
+      if (op == ">") return a > b ? 1 : 0;
+      if (op == ">=") return a >= b ? 1 : 0;
+      if (op == "+") return a + b;
+      if (op == "-") return a - b;
+      if (op == "*") return a * b;
+      if (op == "/") {
+        if (b == 0) throw ParseError("division by zero in expression");
+        return a / b;
+      }
+      if (op == "%") {
+        if (b == 0) throw ParseError("modulo by zero in expression");
+        return ((a % b) + b) % b;  // mathematical modulo: guards use mod |D|
+      }
+      break;
+    }
+  }
+  throw ParseError(cat("malformed expression node (op '", op, "')"));
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::kInt: return std::to_string(value);
+    case Kind::kName: return name;
+    case Kind::kVar: return cat("x[", offset, "]");
+    case Kind::kUnary: return cat(op, lhs->to_string());
+    case Kind::kBinary:
+      return cat("(", lhs->to_string(), " ", op, " ", rhs->to_string(), ")");
+  }
+  return "?";
+}
+
+}  // namespace ringstab

@@ -1,0 +1,49 @@
+// Expression AST for .ring guards, effects and legitimacy predicates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.hpp"
+
+namespace ringstab {
+
+/// Expression node. Expressions evaluate to int64; booleans are 0/1 and any
+/// nonzero value is truthy (C semantics, as in Dijkstra-style guard sugar).
+struct Expr {
+  enum class Kind {
+    kInt,      // literal
+    kName,     // domain value name, resolved at evaluation time
+    kVar,      // x[offset]
+    kUnary,    // op: '-' or '!'
+    kBinary,   // op: one of "|| && == != < <= > >= + - * / %"
+  };
+
+  Kind kind;
+  long long value = 0;     // kInt
+  std::string name;        // kName
+  int offset = 0;          // kVar
+  std::string op;          // kUnary/kBinary
+  std::unique_ptr<Expr> lhs, rhs;
+
+  static std::unique_ptr<Expr> literal(long long v);
+  static std::unique_ptr<Expr> domain_name(std::string n);
+  static std::unique_ptr<Expr> var(int offset);
+  static std::unique_ptr<Expr> unary(std::string op, std::unique_ptr<Expr> e);
+  static std::unique_ptr<Expr> binary(std::string op, std::unique_ptr<Expr> l,
+                                      std::unique_ptr<Expr> r);
+
+  /// Evaluate over one local state. Domain value names resolve through the
+  /// view's domain. Throws ParseError for unknown names, division by zero.
+  long long eval(const LocalView& view) const;
+
+  /// Render back to source-ish text (for diagnostics).
+  std::string to_string() const;
+};
+
+/// Shared-ownership wrapper so parsed expressions can be captured by the
+/// std::function guards handed to ProtocolBuilder.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+}  // namespace ringstab

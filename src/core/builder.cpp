@@ -1,0 +1,64 @@
+#include "core/builder.hpp"
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+
+ProtocolBuilder::ProtocolBuilder(std::string name, Domain domain,
+                                 Locality locality)
+    : name_(std::move(name)), space_(std::move(domain), locality) {}
+
+ProtocolBuilder& ProtocolBuilder::legitimate(Guard lc) {
+  lc_ = std::move(lc);
+  return *this;
+}
+
+ProtocolBuilder& ProtocolBuilder::action(std::string label, Guard guard,
+                                         Effect effect) {
+  return action(std::move(label), std::move(guard),
+                MultiEffect([effect = std::move(effect)](const LocalView& v) {
+                  return std::vector<Value>{effect(v)};
+                }));
+}
+
+ProtocolBuilder& ProtocolBuilder::action(std::string label, Guard guard,
+                                         MultiEffect effect) {
+  actions_.push_back({std::move(label), std::move(guard), std::move(effect)});
+  return *this;
+}
+
+ProtocolBuilder& ProtocolBuilder::transition(LocalStateId from,
+                                             Value new_self) {
+  raw_.push_back({from, space_.with_self(from, new_self)});
+  return *this;
+}
+
+Protocol ProtocolBuilder::build() const {
+  if (!lc_)
+    throw ModelError(cat("protocol '", name_,
+                         "': no legitimacy predicate given"));
+
+  std::vector<bool> legit(space_.size(), false);
+  std::vector<LocalTransition> delta = raw_;
+
+  for (LocalStateId s = 0; s < space_.size(); ++s) {
+    const LocalView view(space_, s);
+    legit[s] = lc_(view);
+    for (const auto& a : actions_) {
+      if (!a.guard(view)) continue;
+      for (Value v : a.effect(view)) {
+        if (v >= space_.domain().size())
+          throw ModelError(cat("protocol '", name_, "': action '", a.label,
+                               "' writes value ", int(v),
+                               " outside the domain at state ",
+                               space_.brief(s)));
+        if (v == space_.self(s))
+          continue;  // effect leaves x_r unchanged: no transition
+        delta.push_back({s, space_.with_self(s, v)});
+      }
+    }
+  }
+  return Protocol(name_, space_, std::move(delta), std::move(legit));
+}
+
+}  // namespace ringstab

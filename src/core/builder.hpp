@@ -1,0 +1,85 @@
+// Programmatic protocol construction from guarded-command actions.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+/// Read-only view of one local state handed to guard/effect callbacks.
+/// `view[offset]` is the window variable at that offset (0 = own variable).
+class LocalView {
+ public:
+  LocalView(const LocalStateSpace& space, LocalStateId s)
+      : space_(&space), s_(s) {}
+
+  Value operator[](int offset) const { return space_->value(s_, offset); }
+  Value self() const { return space_->self(s_); }
+  LocalStateId id() const { return s_; }
+  const Domain& domain() const { return space_->domain(); }
+
+  /// Is `offset` inside the readable window? (Used by the .ring evaluator
+  /// to reject out-of-locality variable references with a ParseError.)
+  bool in_window(int offset) const {
+    const auto& loc = space_->locality();
+    return offset >= -loc.left && offset <= loc.right;
+  }
+
+ private:
+  const LocalStateSpace* space_;
+  LocalStateId s_;
+};
+
+/// Builds a Protocol from Dijkstra-style guarded commands, mirroring the
+/// paper's action notation `grd → stmt`. Guards and effects are expanded over
+/// the whole (small) local state space at build() time.
+///
+///   auto p = ProtocolBuilder("agreement", Domain::range(2), {1, 0})
+///                .legitimate([](const LocalView& v) { return v[-1] == v[0]; })
+///                .action("t01", [](auto& v) { return v[-1]==1 && v[0]==0; },
+///                                [](auto& v) { return Value{1}; })
+///                .build();
+class ProtocolBuilder {
+ public:
+  using Guard = std::function<bool(const LocalView&)>;
+  using Effect = std::function<Value(const LocalView&)>;
+  using MultiEffect = std::function<std::vector<Value>(const LocalView&)>;
+
+  ProtocolBuilder(std::string name, Domain domain, Locality locality);
+
+  /// LC_r, the local conjunct of the invariant. Required before build().
+  ProtocolBuilder& legitimate(Guard lc);
+
+  /// Deterministic action: where `guard` holds and the effect changes x_r,
+  /// add the corresponding local transitions.
+  ProtocolBuilder& action(std::string label, Guard guard, Effect effect);
+
+  /// Nondeterministic action (e.g. `m_r := right | left`): each returned
+  /// value yields a transition.
+  ProtocolBuilder& action(std::string label, Guard guard, MultiEffect effect);
+
+  /// Raw transition escape hatch.
+  ProtocolBuilder& transition(LocalStateId from, Value new_self);
+
+  /// Expand all actions and produce the protocol. Throws ModelError if no
+  /// legitimacy predicate was given or an effect leaves the domain.
+  Protocol build() const;
+
+ private:
+  struct Action {
+    std::string label;
+    Guard guard;
+    MultiEffect effect;
+  };
+
+  std::string name_;
+  LocalStateSpace space_;
+  Guard lc_;
+  std::vector<Action> actions_;
+  std::vector<LocalTransition> raw_;
+};
+
+}  // namespace ringstab

@@ -1,0 +1,47 @@
+#include "core/domain.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+
+Domain::Domain(std::vector<std::string> names) : names_(std::move(names)) {
+  if (names_.empty()) throw ModelError("domain must have at least one value");
+  if (names_.size() > 64)
+    throw ModelError("domain too large (max 64 values): " +
+                     std::to_string(names_.size()));
+  std::unordered_set<std::string_view> seen;
+  for (const auto& n : names_) {
+    if (n.empty()) throw ModelError("domain value names must be non-empty");
+    if (!seen.insert(n).second)
+      throw ModelError("duplicate domain value name: " + n);
+  }
+}
+
+Domain Domain::range(std::size_t size) {
+  std::vector<std::string> names;
+  names.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) names.push_back(std::to_string(i));
+  return Domain(std::move(names));
+}
+
+Domain Domain::named(std::vector<std::string> names) {
+  return Domain(std::move(names));
+}
+
+const std::string& Domain::name(Value v) const {
+  RINGSTAB_ASSERT(v < names_.size(), "domain value out of range");
+  return names_[v];
+}
+
+char Domain::abbrev(Value v) const { return name(v).front(); }
+
+std::optional<Value> Domain::value_of(std::string_view name) const {
+  auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) return std::nullopt;
+  return static_cast<Value>(it - names_.begin());
+}
+
+}  // namespace ringstab

@@ -1,0 +1,49 @@
+// Finite value domains with optional symbolic names (e.g. left/self/right).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ringstab {
+
+/// A finite, named value domain. Every process variable of a protocol ranges
+/// over the same Domain (the paper's protocols are uniform; heterogeneous
+/// variables can be modelled by a product domain).
+class Domain {
+ public:
+  /// Domain {0, 1, ..., size-1} with numeric names.
+  static Domain range(std::size_t size);
+
+  /// Domain with one value per name, in order. Names must be unique and
+  /// non-empty.
+  static Domain named(std::vector<std::string> names);
+
+  std::size_t size() const { return names_.size(); }
+
+  /// Human-readable name of a value.
+  const std::string& name(Value v) const;
+
+  /// Single-character abbreviation used in compact state dumps ("lls").
+  char abbrev(Value v) const;
+
+  /// Look up a value by name (also accepts the numeric spelling).
+  std::optional<Value> value_of(std::string_view name) const;
+
+  bool contains(long long raw) const {
+    return raw >= 0 && static_cast<std::size_t>(raw) < size();
+  }
+
+  bool operator==(const Domain&) const = default;
+
+ private:
+  explicit Domain(std::vector<std::string> names);
+
+  std::vector<std::string> names_;
+};
+
+}  // namespace ringstab

@@ -1,0 +1,37 @@
+// Minimal string-building helpers (the toolchain lacks <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ringstab {
+
+/// Concatenate the stream representations of all arguments.
+template <typename... Ts>
+std::string cat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+/// Join container elements with a separator, using each element's stream
+/// representation (or a projection).
+template <typename Container, typename Proj>
+std::string join(const Container& items, const std::string& sep, Proj proj) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << proj(item);
+  }
+  return os.str();
+}
+
+template <typename Container>
+std::string join(const Container& items, const std::string& sep) {
+  return join(items, sep, [](const auto& x) -> const auto& { return x; });
+}
+
+}  // namespace ringstab

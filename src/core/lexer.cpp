@@ -1,0 +1,137 @@
+#include "core/lexer.hpp"
+
+#include <cctype>
+
+#include "core/fmt.hpp"
+#include "core/types.hpp"
+
+namespace ringstab {
+
+const char* token_kind_name(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kAssign: return "':='";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kNot: return "'!'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+
+  auto error = [&](const std::string& msg) -> ParseError {
+    return ParseError(cat("lex error at ", line, ":", col, ": ", msg));
+  };
+  auto push = [&](TokenKind k, std::string text = {}, long long v = 0) {
+    out.push_back(Token{k, std::move(text), v, line, col});
+  };
+  auto advance = [&](std::size_t n) {
+    for (std::size_t j = 0; j < n; ++j, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < src.size() && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                                src[j] == '_'))
+        ++j;
+      push(TokenKind::kIdent, std::string(src.substr(i, j - i)));
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      long long v = 0;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) {
+        v = v * 10 + (src[j] - '0');
+        if (v > 1'000'000'000) throw error("integer literal too large");
+        ++j;
+      }
+      push(TokenKind::kInt, std::string(src.substr(i, j - i)), v);
+      advance(j - i);
+      continue;
+    }
+
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < src.size() && src[i + 1] == b;
+    };
+    if (two('-', '>')) { push(TokenKind::kArrow); advance(2); continue; }
+    if (two(':', '=')) { push(TokenKind::kAssign); advance(2); continue; }
+    if (two('|', '|')) { push(TokenKind::kOrOr); advance(2); continue; }
+    if (two('&', '&')) { push(TokenKind::kAndAnd); advance(2); continue; }
+    if (two('=', '=')) { push(TokenKind::kEq); advance(2); continue; }
+    if (two('!', '=')) { push(TokenKind::kNe); advance(2); continue; }
+    if (two('<', '=')) { push(TokenKind::kLe); advance(2); continue; }
+    if (two('>', '=')) { push(TokenKind::kGe); advance(2); continue; }
+    if (two('.', '.')) { push(TokenKind::kDotDot); advance(2); continue; }
+
+    switch (c) {
+      case '[': push(TokenKind::kLBracket); break;
+      case ']': push(TokenKind::kRBracket); break;
+      case '(': push(TokenKind::kLParen); break;
+      case ')': push(TokenKind::kRParen); break;
+      case ';': push(TokenKind::kSemi); break;
+      case ':': push(TokenKind::kColon); break;
+      case ',': push(TokenKind::kComma); break;
+      case '|': push(TokenKind::kPipe); break;
+      case '!': push(TokenKind::kNot); break;
+      case '<': push(TokenKind::kLt); break;
+      case '>': push(TokenKind::kGt); break;
+      case '+': push(TokenKind::kPlus); break;
+      case '-': push(TokenKind::kMinus); break;
+      case '*': push(TokenKind::kStar); break;
+      case '/': push(TokenKind::kSlash); break;
+      case '%': push(TokenKind::kPercent); break;
+      default:
+        throw error(cat("unexpected character '", c, "'"));
+    }
+    advance(1);
+  }
+  push(TokenKind::kEof);
+  return out;
+}
+
+}  // namespace ringstab

@@ -1,0 +1,15 @@
+// Lexer for the .ring guarded-command language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/token.hpp"
+
+namespace ringstab {
+
+/// Tokenize a .ring source text. Throws ParseError with line/column on
+/// unrecognized input. `#` starts a comment to end of line.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace ringstab

@@ -1,0 +1,79 @@
+// Dense mixed-radix encoding of the representative process's local states.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/domain.hpp"
+#include "core/locality.hpp"
+#include "core/types.hpp"
+
+namespace ringstab {
+
+/// The local state space S_r^l of the representative process: all valuations
+/// of the readable window. States are densely numbered in [0, size()).
+///
+/// Window positions are addressed by *offset* in [-left, +right]; offset 0 is
+/// the process's own (writable) variable.
+class LocalStateSpace {
+ public:
+  LocalStateSpace(Domain domain, Locality locality);
+
+  const Domain& domain() const { return domain_; }
+  const Locality& locality() const { return locality_; }
+
+  /// Number of local states: |D|^window.
+  std::size_t size() const { return size_; }
+
+  /// Value of the window variable at `offset` (in [-left, right]).
+  Value value(LocalStateId s, int offset) const;
+
+  /// Value of the writable variable x_r.
+  Value self(LocalStateId s) const { return value(s, 0); }
+
+  /// Copy of `s` with the variable at `offset` replaced.
+  LocalStateId with_value(LocalStateId s, int offset, Value v) const;
+
+  /// Copy of `s` with x_r replaced — the only change a local transition may
+  /// make.
+  LocalStateId with_self(LocalStateId s, Value v) const {
+    return with_value(s, 0, v);
+  }
+
+  /// Encode a full window valuation, listed from offset -left to +right.
+  LocalStateId encode(std::span<const Value> window) const;
+
+  /// Decode to a window valuation, listed from offset -left to +right.
+  std::vector<Value> decode(LocalStateId s) const;
+
+  /// Compact dump using domain abbreviations, window order: "lls".
+  std::string brief(LocalStateId s) const;
+
+  /// Verbose dump: "⟨x[-1]=left, x[0]=left, x[+1]=self⟩".
+  std::string describe(LocalStateId s) const;
+
+  /// True iff `v` can be the local state of the *right successor* P_{r+1}
+  /// when P_r is in local state `u`: the two windows agree on the variables
+  /// they share (offsets [1-left, right] of u == offsets [-left, right-1] of
+  /// v). This is the paper's right-continuation relation (Def. 4.1).
+  bool right_continues(LocalStateId u, LocalStateId v) const;
+
+  /// All right continuations of `u`, in increasing id order. Exactly
+  /// |D| states (the successor's rightmost variable is unconstrained).
+  std::vector<LocalStateId> right_continuations(LocalStateId u) const;
+
+  bool operator==(const LocalStateSpace& other) const {
+    return domain_ == other.domain_ && locality_ == other.locality_;
+  }
+
+ private:
+  std::size_t index_of(int offset) const;
+
+  Domain domain_;
+  Locality locality_;
+  std::size_t size_ = 0;
+  std::vector<std::uint32_t> pow_;  // pow_[p] = |D|^p, p = offset + left
+};
+
+}  // namespace ringstab

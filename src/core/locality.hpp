@@ -1,0 +1,38 @@
+// The readable window of the representative process on a ring.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace ringstab {
+
+/// Which ring variables the representative process P_r can read, expressed
+/// as offsets relative to its own variable x_r. P_r reads
+/// x_{r-left}, ..., x_r, ..., x_{r+right} and writes exactly x_r.
+///
+/// The paper's unidirectional rings are {left=1, right=0}
+/// (R_r = {x_{r-1}, x_r}); its bidirectional rings are {left=1, right=1}.
+struct Locality {
+  int left = 1;
+  int right = 0;
+
+  /// Number of readable variables.
+  int window() const { return left + 1 + right; }
+
+  /// A unidirectional ring in the paper's sense: information flows from a
+  /// process to its (right) successor only, so P_r does not read successors.
+  bool is_unidirectional() const { return right == 0; }
+
+  void validate() const {
+    if (left < 0 || right < 0)
+      throw ModelError("locality spans must be non-negative");
+    if (left + right == 0)
+      throw ModelError(
+          "locality must read at least one neighbor (window of size 1 makes "
+          "the continuation relation vacuous)");
+    if (window() > 8) throw ModelError("locality window too large (max 8)");
+  }
+
+  bool operator==(const Locality&) const = default;
+};
+
+}  // namespace ringstab

@@ -1,0 +1,300 @@
+#include "core/parser.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "core/ast.hpp"
+#include "core/fmt.hpp"
+#include "core/lexer.hpp"
+
+namespace ringstab {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : tokens_(lex(src)) {}
+
+  Protocol run() {
+    while (!at(TokenKind::kEof)) declaration();
+    if (!name_) fail("missing 'protocol <name>;' declaration");
+    if (!domain_) fail("missing 'domain ...;' declaration");
+    if (!locality_) fail("missing 'reads <lo> .. <hi>;' declaration");
+    if (!legit_) fail("missing 'legit: <expr>;' declaration");
+
+    ProtocolBuilder builder(*name_, *domain_, *locality_);
+    ExprPtr legit = std::move(legit_);
+    builder.legitimate([legit](const LocalView& v) {
+      return legit->eval(v) != 0;
+    });
+    for (auto& a : actions_) {
+      ExprPtr guard = a.guard;
+      std::vector<ExprPtr> effects = a.effects;
+      builder.action(
+          a.label, [guard](const LocalView& v) { return guard->eval(v) != 0; },
+          ProtocolBuilder::MultiEffect([effects](const LocalView& v) {
+            std::vector<Value> out;
+            out.reserve(effects.size());
+            for (const auto& e : effects) {
+              const long long raw = e->eval(v);
+              if (!v.domain().contains(raw))
+                throw ParseError(cat("assignment '", e->to_string(),
+                                     "' evaluates to ", raw,
+                                     ", outside the domain"));
+              out.push_back(static_cast<Value>(raw));
+            }
+            return out;
+          }));
+    }
+    return builder.build();
+  }
+
+ private:
+  struct ParsedAction {
+    std::string label;
+    ExprPtr guard;
+    std::vector<ExprPtr> effects;
+  };
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    const Token& t = tokens_[pos_];
+    throw ParseError(cat("parse error at ", t.line, ":", t.column, ": ", msg));
+  }
+
+  const Token& peek() const { return tokens_[pos_]; }
+  bool at(TokenKind k) const { return peek().kind == k; }
+  bool at_ident(std::string_view word) const {
+    return at(TokenKind::kIdent) && peek().text == word;
+  }
+
+  Token take() { return tokens_[pos_++]; }
+
+  Token expect(TokenKind k, const std::string& what) {
+    if (!at(k))
+      fail(cat("expected ", what.empty() ? token_kind_name(k) : what.c_str(),
+               ", found ", token_kind_name(peek().kind)));
+    return take();
+  }
+
+  long long expect_int() {
+    bool neg = false;
+    if (at(TokenKind::kMinus)) {
+      take();
+      neg = true;
+    }
+    const Token t = expect(TokenKind::kInt, "integer");
+    return neg ? -t.value : t.value;
+  }
+
+  void declaration() {
+    const Token head = expect(TokenKind::kIdent, "declaration keyword");
+    if (head.text == "protocol") {
+      name_ = expect(TokenKind::kIdent, "protocol name").text;
+    } else if (head.text == "domain") {
+      parse_domain();
+    } else if (head.text == "reads") {
+      const long long lo = expect_int();
+      expect(TokenKind::kDotDot, "'..'");
+      const long long hi = expect_int();
+      if (lo > 0 || hi < 0) fail("reads range must include offset 0");
+      locality_ = Locality{static_cast<int>(-lo), static_cast<int>(hi)};
+    } else if (head.text == "legit") {
+      expect(TokenKind::kColon, "':'");
+      legit_ = parse_expr();
+    } else if (head.text == "action") {
+      parse_action();
+      return;  // parse_action consumed the ';'
+    } else {
+      fail(cat("unknown declaration '", head.text, "'"));
+    }
+    expect(TokenKind::kSemi, "';'");
+  }
+
+  void parse_domain() {
+    if (at(TokenKind::kInt)) {
+      const long long n = take().value;
+      if (n < 1 || n > 64) fail("domain size must be in [1, 64]");
+      domain_ = Domain::range(static_cast<std::size_t>(n));
+      return;
+    }
+    std::vector<std::string> names;
+    names.push_back(expect(TokenKind::kIdent, "domain value name").text);
+    while (at(TokenKind::kComma)) {
+      take();
+      names.push_back(expect(TokenKind::kIdent, "domain value name").text);
+    }
+    domain_ = Domain::named(std::move(names));
+  }
+
+  void parse_action() {
+    ParsedAction act;
+    // Optional label: "action <label> : guard -> ..." — a label is an ident
+    // directly followed by ':'.
+    if (at(TokenKind::kIdent) &&
+        tokens_[pos_ + 1].kind == TokenKind::kColon) {
+      act.label = take().text;
+      take();  // ':'
+    } else if (at(TokenKind::kColon)) {
+      take();  // anonymous "action: guard -> ..."
+    }
+    act.guard = parse_expr();
+    expect(TokenKind::kArrow, "'->'");
+    act.effects.push_back(parse_assign());
+    while (at(TokenKind::kPipe)) {
+      take();
+      act.effects.push_back(parse_assign());
+    }
+    expect(TokenKind::kSemi, "';'");
+    if (act.label.empty())
+      act.label = cat("a", actions_.size());
+    actions_.push_back(std::move(act));
+  }
+
+  ExprPtr parse_assign() {
+    // x[0] := expr
+    const Token x = expect(TokenKind::kIdent, "'x'");
+    if (x.text != "x") fail("assignment target must be x[0]");
+    expect(TokenKind::kLBracket, "'['");
+    const long long off = expect_int();
+    if (off != 0) fail("only x[0] is writable");
+    expect(TokenKind::kRBracket, "']'");
+    expect(TokenKind::kAssign, "':='");
+    return parse_expr();
+  }
+
+  // Precedence-climbing expression parser.
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    auto lhs = parse_and();
+    while (at(TokenKind::kOrOr)) {
+      take();
+      lhs = Expr::binary("||", clone(lhs), clone(parse_and()));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    auto lhs = parse_cmp();
+    while (at(TokenKind::kAndAnd)) {
+      take();
+      lhs = Expr::binary("&&", clone(lhs), clone(parse_cmp()));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    auto lhs = parse_sum();
+    const auto op = [&]() -> std::optional<std::string> {
+      switch (peek().kind) {
+        case TokenKind::kEq: return "==";
+        case TokenKind::kNe: return "!=";
+        case TokenKind::kLt: return "<";
+        case TokenKind::kLe: return "<=";
+        case TokenKind::kGt: return ">";
+        case TokenKind::kGe: return ">=";
+        default: return std::nullopt;
+      }
+    }();
+    if (!op) return lhs;
+    take();
+    return Expr::binary(*op, clone(lhs), clone(parse_sum()));
+  }
+
+  ExprPtr parse_sum() {
+    auto lhs = parse_term();
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      const std::string op = at(TokenKind::kPlus) ? "+" : "-";
+      take();
+      lhs = Expr::binary(op, clone(lhs), clone(parse_term()));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_term() {
+    auto lhs = parse_unary();
+    while (at(TokenKind::kStar) || at(TokenKind::kSlash) ||
+           at(TokenKind::kPercent)) {
+      const std::string op = at(TokenKind::kStar)    ? "*"
+                             : at(TokenKind::kSlash) ? "/"
+                                                     : "%";
+      take();
+      lhs = Expr::binary(op, clone(lhs), clone(parse_unary()));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::kMinus)) {
+      take();
+      return Expr::unary("-", clone(parse_unary()));
+    }
+    if (at(TokenKind::kNot)) {
+      take();
+      return Expr::unary("!", clone(parse_unary()));
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    if (at(TokenKind::kInt)) return Expr::literal(take().value);
+    if (at(TokenKind::kLParen)) {
+      take();
+      auto e = parse_expr();
+      expect(TokenKind::kRParen, "')'");
+      return e;
+    }
+    if (at(TokenKind::kIdent)) {
+      const Token id = take();
+      if (id.text == "x") {
+        expect(TokenKind::kLBracket, "'['");
+        const long long off = expect_int();
+        expect(TokenKind::kRBracket, "']'");
+        return Expr::var(static_cast<int>(off));
+      }
+      return Expr::domain_name(id.text);
+    }
+    fail(cat("expected expression, found ", token_kind_name(peek().kind)));
+  }
+
+  // Expr builders return unique_ptr; analyses share them as ExprPtr. The
+  // parser moves unique ownership into shared wrappers at each composition.
+  static std::unique_ptr<Expr> clone(ExprPtr p) {
+    // ExprPtr values produced by this parser are uniquely owned until
+    // composed, so a structural copy keeps things simple and safe.
+    auto copy = std::make_unique<Expr>();
+    copy->kind = p->kind;
+    copy->value = p->value;
+    copy->name = p->name;
+    copy->offset = p->offset;
+    copy->op = p->op;
+    if (p->lhs) copy->lhs = clone(ExprPtr(p, p->lhs.get()));
+    if (p->rhs) copy->rhs = clone(ExprPtr(p, p->rhs.get()));
+    return copy;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+
+  std::optional<std::string> name_;
+  std::optional<Domain> domain_;
+  std::optional<Locality> locality_;
+  ExprPtr legit_;
+  std::vector<ParsedAction> actions_;
+};
+
+}  // namespace
+
+Protocol parse_protocol(std::string_view source) {
+  return Parser(source).run();
+}
+
+Protocol parse_protocol_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_protocol(buf.str());
+}
+
+}  // namespace ringstab

@@ -1,0 +1,31 @@
+// Parser for the .ring guarded-command protocol language.
+//
+// Example source (binary agreement on a unidirectional ring):
+//
+//   protocol agreement;
+//   domain 2;              # or: domain left, self, right;
+//   reads -1 .. 0;         # window offsets; 0 is always the writable var
+//   legit: x[-1] == x[0];
+//   action t01: x[-1] == 1 && x[0] == 0 -> x[0] := 1;
+//   action t10: x[-1] == 0 && x[0] == 1 -> x[0] := 0;
+//
+// A nondeterministic assignment lists alternatives:
+//   action: x[-1]==0 && x[0]==0 && x[1]==0 -> x[0] := 1 | x[0] := 2;
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+/// Parse .ring source text into a Protocol. Throws ParseError on syntax or
+/// semantic errors (unknown values, writes outside the domain, missing
+/// declarations).
+Protocol parse_protocol(std::string_view source);
+
+/// Convenience: read the file and parse it.
+Protocol parse_protocol_file(const std::string& path);
+
+}  // namespace ringstab

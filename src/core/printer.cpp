@@ -1,0 +1,142 @@
+#include "core/printer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+namespace {
+
+// Render one cube as a guard over offsets, e.g.
+// "x[-1]=left ∧ x[0]∈{left,right} → x[0]:=self".
+std::string render(const LocalStateSpace& space, const PrintedAction& a) {
+  const auto& dom = space.domain();
+  const int left = space.locality().left;
+  std::vector<std::string> conj;
+  for (std::size_t p = 0; p < a.allowed.size(); ++p) {
+    const auto& vals = a.allowed[p];
+    if (vals.size() == dom.size()) continue;  // unconstrained
+    const int offset = static_cast<int>(p) - left;
+    if (vals.size() == 1) {
+      conj.push_back(cat("x[", offset, "]=", dom.name(vals[0])));
+    } else if (vals.size() == dom.size() - 1) {
+      // complement form reads better: x[k] != v
+      for (Value v = 0; v < dom.size(); ++v)
+        if (std::find(vals.begin(), vals.end(), v) == vals.end())
+          conj.push_back(cat("x[", offset, "]≠", dom.name(v)));
+    } else {
+      conj.push_back(cat(
+          "x[", offset, "]∈{",
+          join(vals, ",", [&](Value v) { return dom.name(v); }), "}"));
+    }
+  }
+  std::string guard = conj.empty() ? std::string("true") : join(conj, " ∧ ");
+  return cat(guard, "  →  x[0] := ", dom.name(a.write_to));
+}
+
+// Visit every state of a cube.
+template <typename Fn>
+void for_each_cube_state(const LocalStateSpace& space, const Cube& cube,
+                         Fn&& fn) {
+  std::vector<std::size_t> idx(cube.size(), 0);
+  while (true) {
+    std::vector<Value> vals(cube.size());
+    for (std::size_t i = 0; i < cube.size(); ++i) vals[i] = cube[i][idx[i]];
+    fn(space.encode(vals));
+    std::size_t i = 0;
+    for (; i < cube.size(); ++i) {
+      if (++idx[i] < cube[i].size()) break;
+      idx[i] = 0;
+    }
+    if (i == cube.size()) break;
+  }
+}
+
+}  // namespace
+
+std::vector<Cube> cover_with_cubes(const LocalStateSpace& space,
+                                   const std::set<LocalStateId>& states) {
+  const auto& dom = space.domain();
+  const int w = space.locality().window();
+
+  std::vector<Cube> out;
+  std::set<LocalStateId> remaining = states;
+  while (!remaining.empty()) {
+    const LocalStateId seed = *remaining.begin();
+    // Start from the singleton cube at `seed` and grow each position's
+    // value set as long as the whole cube stays inside `states`.
+    Cube allowed(static_cast<std::size_t>(w));
+    const auto seed_vals = space.decode(seed);
+    for (int pos = 0; pos < w; ++pos)
+      allowed[static_cast<std::size_t>(pos)] = {
+          seed_vals[static_cast<std::size_t>(pos)]};
+
+    auto cube_inside = [&](const Cube& cube) {
+      bool ok = true;
+      for_each_cube_state(space, cube, [&](LocalStateId s) {
+        if (!states.count(s)) ok = false;
+      });
+      return ok;
+    };
+
+    for (int pos = 0; pos < w; ++pos) {
+      for (Value v = 0; v < dom.size(); ++v) {
+        const auto& slot = allowed[static_cast<std::size_t>(pos)];
+        if (std::find(slot.begin(), slot.end(), v) != slot.end()) continue;
+        auto trial = allowed;
+        trial[static_cast<std::size_t>(pos)].push_back(v);
+        std::sort(trial[static_cast<std::size_t>(pos)].begin(),
+                  trial[static_cast<std::size_t>(pos)].end());
+        if (cube_inside(trial)) allowed = std::move(trial);
+      }
+    }
+    for_each_cube_state(space, allowed,
+                        [&](LocalStateId s) { remaining.erase(s); });
+    out.push_back(std::move(allowed));
+  }
+  return out;
+}
+
+std::vector<PrintedAction> to_guarded_commands(const Protocol& p) {
+  const auto& space = p.space();
+
+  // Group source states by write pair (a -> b).
+  std::map<std::pair<Value, Value>, std::set<LocalStateId>> groups;
+  for (const auto& t : p.delta())
+    groups[{space.self(t.from), space.self(t.to)}].insert(t.from);
+
+  std::vector<PrintedAction> out;
+  for (auto& [pair, sources] : groups) {
+    for (Cube& cube : cover_with_cubes(space, sources)) {
+      PrintedAction act;
+      act.allowed = std::move(cube);
+      act.write_from = pair.first;
+      act.write_to = pair.second;
+      act.text = render(space, act);
+      out.push_back(std::move(act));
+    }
+  }
+  return out;
+}
+
+std::string describe(const Protocol& p) {
+  std::ostringstream os;
+  os << "protocol " << p.name() << ": |D|=" << p.domain().size()
+     << ", window [-" << p.locality().left << ".." << p.locality().right
+     << "], " << p.num_states() << " local states (" << p.num_legit()
+     << " legitimate), " << p.delta().size() << " local transitions\n";
+  for (const auto& a : to_guarded_commands(p)) os << "  " << a.text << "\n";
+  return os.str();
+}
+
+std::string describe_transition(const Protocol& p, const LocalTransition& t) {
+  const auto& space = p.space();
+  const auto& dom = space.domain();
+  return cat("⟨", space.brief(t.from), "⟩→⟨", space.brief(t.to), "⟩ [x0: ",
+             dom.name(space.self(t.from)), "→", dom.name(space.self(t.to)),
+             "]");
+}
+
+}  // namespace ringstab

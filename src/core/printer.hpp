@@ -1,0 +1,45 @@
+// Pretty-printing protocols back into guarded-command notation.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+/// One printed guarded command: a cube over window offsets and a write.
+struct PrintedAction {
+  /// allowed[p] = set of admissible values for window position p (offset
+  /// p - left). The guard is the conjunction of the per-offset memberships.
+  std::vector<std::vector<Value>> allowed;
+  Value write_from;  // value of x[0] in every source state of this cube
+  Value write_to;    // value written to x[0]
+  std::string text;  // rendered form
+};
+
+/// A cube: one admissible value set per window position; denotes the product
+/// set of local states.
+using Cube = std::vector<std::vector<Value>>;
+
+/// Cover an arbitrary set of local states with maximal cubes (greedy,
+/// deterministic, exact: the cubes partition-cover exactly `states`).
+std::vector<Cube> cover_with_cubes(const LocalStateSpace& space,
+                                   const std::set<LocalStateId>& states);
+
+/// Cover δ_r with guarded commands: transitions are grouped by their
+/// (x[0]-before, x[0]-after) write pair, and each group's source set is
+/// covered greedily with maximal cubes. The output is deterministic and
+/// exact: expanding the printed actions reproduces δ_r.
+std::vector<PrintedAction> to_guarded_commands(const Protocol& p);
+
+/// Whole-protocol description: header (name, domain, locality, |LC_r|)
+/// followed by one line per guarded command.
+std::string describe(const Protocol& p);
+
+/// One-line rendering of a single transition:
+/// "⟨l,l⟩ → ⟨l,s⟩  [x0: left→self]".
+std::string describe_transition(const Protocol& p, const LocalTransition& t);
+
+}  // namespace ringstab

@@ -1,0 +1,82 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+
+Protocol::Protocol(std::string name, LocalStateSpace space,
+                   std::vector<LocalTransition> delta,
+                   std::vector<bool> legit)
+    : name_(std::move(name)),
+      space_(std::move(space)),
+      delta_(std::move(delta)),
+      legit_(std::move(legit)) {
+  if (legit_.size() != space_.size())
+    throw ModelError(cat("protocol '", name_, "': legitimacy mask has ",
+                         legit_.size(), " entries for ", space_.size(),
+                         " local states"));
+
+  std::sort(delta_.begin(), delta_.end());
+  delta_.erase(std::unique(delta_.begin(), delta_.end()), delta_.end());
+
+  for (const auto& t : delta_) {
+    if (t.from >= space_.size() || t.to >= space_.size())
+      throw ModelError(cat("protocol '", name_,
+                           "': transition references invalid local state"));
+    if (t.from == t.to)
+      throw ModelError(cat("protocol '", name_, "': stutter transition at ",
+                           space_.brief(t.from)));
+    // A local transition may change only the writable variable (offset 0).
+    if (space_.with_self(t.from, space_.self(t.to)) != t.to)
+      throw ModelError(cat("protocol '", name_, "': transition ",
+                           space_.brief(t.from), " → ", space_.brief(t.to),
+                           " writes a non-writable variable"));
+  }
+
+  out_offset_.assign(space_.size() + 1, 0);
+  for (const auto& t : delta_) ++out_offset_[t.from + 1];
+  for (std::size_t i = 1; i < out_offset_.size(); ++i)
+    out_offset_[i] += out_offset_[i - 1];
+}
+
+std::size_t Protocol::index_of(const LocalTransition& t) const {
+  auto it = std::lower_bound(delta_.begin(), delta_.end(), t);
+  RINGSTAB_ASSERT(it != delta_.end() && *it == t,
+                  "transition not in protocol");
+  return static_cast<std::size_t>(it - delta_.begin());
+}
+
+std::vector<LocalStateId> Protocol::local_deadlocks() const {
+  std::vector<LocalStateId> out;
+  for (LocalStateId s = 0; s < space_.size(); ++s)
+    if (is_deadlock(s)) out.push_back(s);
+  return out;
+}
+
+std::vector<LocalStateId> Protocol::illegitimate_deadlocks() const {
+  std::vector<LocalStateId> out;
+  for (LocalStateId s = 0; s < space_.size(); ++s)
+    if (is_deadlock(s) && !legit_[s]) out.push_back(s);
+  return out;
+}
+
+std::size_t Protocol::num_legit() const {
+  return static_cast<std::size_t>(
+      std::count(legit_.begin(), legit_.end(), true));
+}
+
+Protocol Protocol::with_delta(std::string name,
+                              std::vector<LocalTransition> delta) const {
+  return Protocol(std::move(name), space_, std::move(delta), legit_);
+}
+
+Protocol Protocol::with_added(std::string name,
+                              std::vector<LocalTransition> extra) const {
+  std::vector<LocalTransition> all = delta_;
+  all.insert(all.end(), extra.begin(), extra.end());
+  return Protocol(std::move(name), space_, std::move(all), legit_);
+}
+
+}  // namespace ringstab

@@ -1,0 +1,79 @@
+// Immutable parameterized ring protocol, represented by its template process.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/local_state.hpp"
+#include "core/transition.hpp"
+
+namespace ringstab {
+
+/// A parameterized protocol p(K) on a ring, represented — as in the paper —
+/// entirely by its representative process P_r: a local state space, a set of
+/// local transitions δ_r, and the local legitimacy predicate LC_r. The
+/// conjunctive global invariant is I(K) = ∧_{r} LC_r.
+///
+/// Protocol values are immutable; analyses are pure functions over them, and
+/// synthesis produces revised copies via with_delta()/with_added().
+class Protocol {
+ public:
+  /// `legit[s]` is LC_r evaluated at local state s. Transitions must write
+  /// only offset 0 and must actually change it (stutter transitions carry no
+  /// information under interleaving semantics and are rejected).
+  Protocol(std::string name, LocalStateSpace space,
+           std::vector<LocalTransition> delta, std::vector<bool> legit);
+
+  const std::string& name() const { return name_; }
+  const LocalStateSpace& space() const { return space_; }
+  const Domain& domain() const { return space_.domain(); }
+  const Locality& locality() const { return space_.locality(); }
+
+  /// All local transitions, sorted by (from, to), duplicates removed.
+  const std::vector<LocalTransition>& delta() const { return delta_; }
+
+  bool is_legit(LocalStateId s) const { return legit_[s]; }
+  const std::vector<bool>& legit_mask() const { return legit_; }
+
+  bool is_enabled(LocalStateId s) const {
+    return out_offset_[s] != out_offset_[s + 1];
+  }
+  bool is_deadlock(LocalStateId s) const { return !is_enabled(s); }
+
+  /// Outgoing local transitions of `s` (contiguous in delta()).
+  std::span<const LocalTransition> transitions_from(LocalStateId s) const {
+    return {delta_.data() + out_offset_[s], delta_.data() + out_offset_[s + 1]};
+  }
+
+  /// Index into delta() of a transition's position; used by analyses that
+  /// address t-arcs with bitsets.
+  std::size_t index_of(const LocalTransition& t) const;
+
+  /// All local deadlock states, ascending.
+  std::vector<LocalStateId> local_deadlocks() const;
+
+  /// Local deadlock states violating LC_r (illegitimate deadlocks),
+  /// ascending.
+  std::vector<LocalStateId> illegitimate_deadlocks() const;
+
+  std::size_t num_states() const { return space_.size(); }
+  std::size_t num_legit() const;
+
+  /// A copy with a different transition set (legitimacy unchanged).
+  Protocol with_delta(std::string name,
+                      std::vector<LocalTransition> delta) const;
+
+  /// A copy with extra transitions added to δ_r.
+  Protocol with_added(std::string name,
+                      std::vector<LocalTransition> extra) const;
+
+ private:
+  std::string name_;
+  LocalStateSpace space_;
+  std::vector<LocalTransition> delta_;
+  std::vector<bool> legit_;
+  std::vector<std::uint32_t> out_offset_;  // CSR offsets into delta_
+};
+
+}  // namespace ringstab

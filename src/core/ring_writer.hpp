@@ -1,0 +1,16 @@
+// Serializing protocols back into parseable .ring source.
+#pragma once
+
+#include <string>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+/// Render a protocol as .ring source text. Round-trip exact:
+/// parse_protocol(to_ring_source(p)) has the same domain, locality, δ_r and
+/// LC_r as p (the cube covers of the legitimacy mask and of each transition
+/// group are expanded back to the identical sets).
+std::string to_ring_source(const Protocol& p);
+
+}  // namespace ringstab

@@ -1,0 +1,50 @@
+// Tokens of the .ring guarded-command language.
+#pragma once
+
+#include <string>
+
+namespace ringstab {
+
+enum class TokenKind {
+  kIdent,    // protocol names, keywords, domain value names
+  kInt,      // integer literal
+  kLBracket, // [
+  kRBracket, // ]
+  kLParen,   // (
+  kRParen,   // )
+  kSemi,     // ;
+  kColon,    // :
+  kComma,    // ,
+  kArrow,    // ->
+  kAssign,   // :=
+  kPipe,     // |
+  kOrOr,     // ||
+  kAndAnd,   // &&
+  kNot,      // !
+  kEq,       // ==
+  kNe,       // !=
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kPlus,     // +
+  kMinus,    // -
+  kStar,     // *
+  kSlash,    // /
+  kPercent,  // %
+  kDotDot,   // ..
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // identifier spelling
+  long long value = 0;  // integer literal value
+  int line = 1;
+  int column = 1;
+};
+
+/// Printable token-kind name for diagnostics.
+const char* token_kind_name(TokenKind k);
+
+}  // namespace ringstab

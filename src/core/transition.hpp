@@ -1,0 +1,19 @@
+// Local transitions of the representative process.
+#pragma once
+
+#include <compare>
+
+#include "core/types.hpp"
+
+namespace ringstab {
+
+/// A local transition (s, s') of P_r: the window valuation changes only at
+/// offset 0 (the writable variable). Protocol construction enforces this.
+struct LocalTransition {
+  LocalStateId from = kInvalidLocalState;
+  LocalStateId to = kInvalidLocalState;
+
+  auto operator<=>(const LocalTransition&) const = default;
+};
+
+}  // namespace ringstab

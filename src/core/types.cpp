@@ -1,0 +1,16 @@
+#include "core/types.hpp"
+
+#include <sstream>
+
+namespace ringstab::detail {
+
+void assert_fail(const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "ringstab internal invariant violated: " << cond << " at " << file
+     << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace ringstab::detail

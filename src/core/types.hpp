@@ -1,0 +1,64 @@
+// Fundamental value types and error hierarchy shared by every ringstab module.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ringstab {
+
+/// A single variable value. Every paper protocol has tiny domains (2..3
+/// values); 8 bits leaves ample headroom for user protocols.
+using Value = std::uint8_t;
+
+/// Index of a local state of the representative process, i.e. a mixed-radix
+/// encoding of the readable window. Dense: all ids in [0, space.size()).
+using LocalStateId = std::uint32_t;
+
+/// Index of a global ring state (mixed-radix over all K variables).
+using GlobalStateId = std::uint64_t;
+
+inline constexpr LocalStateId kInvalidLocalState = 0xffffffffu;
+
+/// Root of the ringstab error hierarchy. All public entry points report
+/// user-facing failures by throwing a subclass of Error.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed protocol definitions (domain mismatches, non-self writes, ...).
+class ModelError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Errors from the .ring guarded-command front-end.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A requested instantiation exceeds configured resource budgets
+/// (e.g. |D|^K global states would overflow or blow the state budget).
+class CapacityError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* cond, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+/// Internal invariant check; always on (analysis code is not hot enough to
+/// justify compiling these out, and silent corruption of verdicts is worse
+/// than a small constant cost).
+#define RINGSTAB_ASSERT(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::ringstab::detail::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)
+
+}  // namespace ringstab

@@ -1,0 +1,66 @@
+// Explicit-state view of an array (open chain) protocol instance: the
+// ground truth for the array extension of Theorem 4.2.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "local/array.hpp"
+
+namespace ringstab {
+
+/// An array of `n` processes running an array protocol (domain's last value
+/// reserved as ⊥; see local/array.hpp). Global states range over the REAL
+/// values only: |D−1|^n codes.
+class ArrayInstance {
+ public:
+  ArrayInstance(Protocol protocol, std::size_t length,
+                GlobalStateId max_states = GlobalStateId{1} << 24);
+
+  const Protocol& protocol() const { return protocol_; }
+  std::size_t length() const { return n_; }
+  GlobalStateId num_states() const { return num_states_; }
+
+  Value value(GlobalStateId s, std::size_t i) const {
+    return static_cast<Value>((s / pow_[i]) % real_d_);
+  }
+  std::vector<Value> decode(GlobalStateId s) const;
+  GlobalStateId encode(std::span<const Value> values) const;
+
+  /// Local state of process i (window padded with ⊥ past the ends).
+  LocalStateId local_state(GlobalStateId s, std::size_t i) const;
+
+  bool in_invariant(GlobalStateId s) const;
+  bool is_deadlock(GlobalStateId s) const;
+
+  struct Step {
+    GlobalStateId target = 0;
+    std::size_t process = 0;
+    LocalTransition transition;
+  };
+  void successors(GlobalStateId s, std::vector<Step>& out) const;
+
+  std::string brief(GlobalStateId s) const;
+
+ private:
+  Protocol protocol_;
+  std::size_t n_;
+  std::size_t real_d_;  // |D| − 1 (⊥ excluded from real variables)
+  GlobalStateId num_states_;
+  std::vector<GlobalStateId> pow_;
+};
+
+/// Exhaustive checks for array instances (small state spaces: materialized
+/// as an explicit digraph and analyzed with the graph toolkit).
+struct ArrayCheckResult {
+  std::size_t num_deadlocks_outside_i = 0;
+  bool has_livelock = false;
+  bool terminates = false;  // no infinite computation at all
+};
+
+ArrayCheckResult check_array(const ArrayInstance& inst);
+
+}  // namespace ringstab

@@ -1,0 +1,289 @@
+#include "global/checker.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+namespace {
+
+constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+// One pass over the state space; repeated in_invariant() calls during SCC
+// exploration would re-derive K local states each time.
+std::vector<bool> invariant_mask(const RingInstance& ring) {
+  std::vector<bool> mask(ring.num_states());
+  for (GlobalStateId s = 0; s < ring.num_states(); ++s)
+    mask[s] = ring.in_invariant(s);
+  return mask;
+}
+
+// Iterative Tarjan over the implicit global transition graph restricted to
+// states outside I. Stops early when a nontrivial SCC is found (if
+// `first_only`), otherwise collects all states on ¬I cycles.
+class OutsideInvariantScc {
+ public:
+  OutsideInvariantScc(const RingInstance& ring, bool first_only)
+      : ring_(ring), first_only_(first_only), in_inv_(invariant_mask(ring)) {
+    index_.assign(ring.num_states(), kUnvisited);
+    low_.assign(ring.num_states(), 0);
+    on_stack_.assign(ring.num_states(), false);
+  }
+
+  void run() {
+    for (GlobalStateId root = 0; root < ring_.num_states(); ++root) {
+      if (done_) return;
+      if (index_[root] != kUnvisited) continue;
+      if (in_inv_[root]) continue;
+      visit(root);
+    }
+  }
+
+  std::optional<std::vector<GlobalStateId>> witness_cycle;
+  std::vector<GlobalStateId> cycle_states;
+
+ private:
+  struct Frame {
+    GlobalStateId v;
+    std::vector<GlobalStateId> children;
+    std::size_t next_child = 0;
+  };
+
+  void expand(GlobalStateId v, std::vector<GlobalStateId>& out) {
+    out.clear();
+    static thread_local std::vector<RingInstance::Step> succ;
+    ring_.successors(v, succ);
+    for (const auto& s : succ)
+      if (!in_inv_[s.target]) out.push_back(s.target);
+  }
+
+  void visit(GlobalStateId root) {
+    std::vector<Frame> call;
+    call.push_back({root, {}, 0});
+    expand(root, call.back().children);
+    index_[root] = low_[root] = next_index_++;
+    stack_.push_back(root);
+    on_stack_[root] = true;
+
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const GlobalStateId v = f.v;
+      bool descended = false;
+      while (f.next_child < f.children.size()) {
+        const GlobalStateId w = f.children[f.next_child++];
+        if (index_[w] == kUnvisited) {
+          call.push_back({w, {}, 0});
+          expand(w, call.back().children);
+          index_[w] = low_[w] = next_index_++;
+          stack_.push_back(w);
+          on_stack_[w] = true;
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) low_[v] = std::min(low_[v], index_[w]);
+      }
+      if (descended) continue;
+
+      if (low_[v] == index_[v]) {
+        // Pop the component.
+        std::vector<GlobalStateId> comp;
+        while (true) {
+          const GlobalStateId w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        if (comp.size() > 1) {  // global self-loops cannot exist
+          if (first_only_ && !witness_cycle) {
+            witness_cycle = extract_cycle(comp);
+            done_ = true;
+            return;
+          }
+          cycle_states.insert(cycle_states.end(), comp.begin(), comp.end());
+        }
+      }
+      call.pop_back();
+      if (!call.empty())
+        low_[call.back().v] = std::min(low_[call.back().v], low_[v]);
+    }
+  }
+
+  // A simple cycle inside one nontrivial SCC: DFS from comp[0] back to it,
+  // restricted to component members.
+  std::vector<GlobalStateId> extract_cycle(
+      const std::vector<GlobalStateId>& comp) {
+    std::vector<GlobalStateId> sorted = comp;
+    std::sort(sorted.begin(), sorted.end());
+    auto in_comp = [&](GlobalStateId s) {
+      return std::binary_search(sorted.begin(), sorted.end(), s);
+    };
+    const GlobalStateId start = comp[0];
+
+    // Iterative DFS with parent links back to `start`.
+    std::unordered_map<GlobalStateId, GlobalStateId> parent;
+    std::vector<GlobalStateId> stack{start};
+    std::vector<GlobalStateId> kids;
+    parent.emplace(start, start);
+    while (!stack.empty()) {
+      const GlobalStateId v = stack.back();
+      stack.pop_back();
+      expand(v, kids);
+      for (GlobalStateId w : kids) {
+        if (!in_comp(w)) continue;
+        if (w == start) {
+          // Reconstruct v -> ... -> start.
+          std::vector<GlobalStateId> cyc{start};
+          for (GlobalStateId x = v; x != start; x = parent.at(x))
+            cyc.push_back(x);
+          std::reverse(cyc.begin() + 1, cyc.end());
+          return cyc;
+        }
+        if (!parent.emplace(w, v).second) continue;
+        stack.push_back(w);
+      }
+    }
+    RINGSTAB_ASSERT(false, "nontrivial SCC without a cycle");
+    return {};
+  }
+
+  const RingInstance& ring_;
+  bool first_only_;
+  std::vector<bool> in_inv_;
+  bool done_ = false;
+  std::uint32_t next_index_ = 0;
+  std::vector<std::uint32_t> index_, low_;
+  std::vector<bool> on_stack_;
+  std::vector<GlobalStateId> stack_;
+};
+
+}  // namespace
+
+std::size_t GlobalChecker::count_deadlocks_outside_invariant(
+    std::vector<GlobalStateId>* samples, std::size_t max_samples) const {
+  std::size_t count = 0;
+  std::vector<RingInstance::Step> succ;
+  for (GlobalStateId s = 0; s < ring_->num_states(); ++s) {
+    if (ring_->in_invariant(s)) continue;
+    if (!ring_->is_deadlock(s)) continue;
+    ++count;
+    if (samples && samples->size() < max_samples) samples->push_back(s);
+  }
+  return count;
+}
+
+std::optional<std::vector<GlobalStateId>> GlobalChecker::find_livelock()
+    const {
+  OutsideInvariantScc scc(*ring_, /*first_only=*/true);
+  scc.run();
+  return scc.witness_cycle;
+}
+
+std::vector<GlobalStateId> GlobalChecker::livelock_states() const {
+  OutsideInvariantScc scc(*ring_, /*first_only=*/false);
+  scc.run();
+  std::sort(scc.cycle_states.begin(), scc.cycle_states.end());
+  return scc.cycle_states;
+}
+
+bool GlobalChecker::check_closure(
+    std::optional<std::pair<GlobalStateId, GlobalStateId>>* violation) const {
+  std::vector<RingInstance::Step> succ;
+  for (GlobalStateId s = 0; s < ring_->num_states(); ++s) {
+    if (!ring_->in_invariant(s)) continue;
+    ring_->successors(s, succ);
+    for (const auto& step : succ) {
+      if (!ring_->in_invariant(step.target)) {
+        if (violation) *violation = {s, step.target};
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool GlobalChecker::check_weak_convergence() const {
+  const GlobalStateId n = ring_->num_states();
+  std::vector<bool> reaches(n, false);
+  GlobalStateId remaining = 0;
+  for (GlobalStateId s = 0; s < n; ++s) {
+    reaches[s] = ring_->in_invariant(s);
+    if (!reaches[s]) ++remaining;
+  }
+  // Backward fixpoint over the implicit graph.
+  std::vector<RingInstance::Step> succ;
+  bool changed = true;
+  while (changed && remaining > 0) {
+    changed = false;
+    for (GlobalStateId s = 0; s < n; ++s) {
+      if (reaches[s]) continue;
+      ring_->successors(s, succ);
+      for (const auto& step : succ) {
+        if (reaches[step.target]) {
+          reaches[s] = true;
+          --remaining;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return remaining == 0;
+}
+
+std::size_t GlobalChecker::max_recovery_steps() const {
+  // Longest path in the ¬I subgraph, all of whose maximal paths end in I
+  // (valid when strongly converging). Memoized DFS.
+  const GlobalStateId n = ring_->num_states();
+  constexpr std::uint32_t kUnknown = 0xfffffffeu;
+  constexpr std::uint32_t kInProgress = 0xfffffffdu;
+  std::vector<std::uint32_t> depth(n, kUnknown);
+  const std::vector<bool> in_inv = invariant_mask(*ring_);
+
+  std::size_t best = 0;
+  std::vector<RingInstance::Step> succ;
+  auto dfs = [&](auto&& self, GlobalStateId s) -> std::uint32_t {
+    if (in_inv[s]) return 0;
+    if (depth[s] == kInProgress)
+      throw ModelError("cycle outside I: not strongly converging");
+    if (depth[s] != kUnknown) return depth[s];
+    depth[s] = kInProgress;
+    std::vector<RingInstance::Step> local;
+    ring_->successors(s, local);
+    if (local.empty())
+      throw ModelError("deadlock outside I: not strongly converging");
+    std::uint32_t d = 0;
+    for (const auto& step : local)
+      d = std::max(d, 1 + self(self, step.target));
+    depth[s] = d;
+    return d;
+  };
+  for (GlobalStateId s = 0; s < n; ++s)
+    best = std::max<std::size_t>(best, dfs(dfs, s));
+  return best;
+}
+
+GlobalCheckResult GlobalChecker::check_all() const {
+  GlobalCheckResult res;
+  res.ring_size = ring_->ring_size();
+  res.num_states = ring_->num_states();
+  res.num_deadlocks_outside_i =
+      count_deadlocks_outside_invariant(&res.deadlock_samples);
+  auto cycle = find_livelock();
+  res.has_livelock = cycle.has_value();
+  if (cycle) res.livelock_cycle = std::move(*cycle);
+  res.closure_ok = check_closure(&res.closure_violation);
+  res.weakly_converges = check_weak_convergence();
+  if (res.strongly_converges()) res.max_recovery_steps = max_recovery_steps();
+  return res;
+}
+
+bool strongly_stabilizing(const RingInstance& ring) {
+  const GlobalChecker checker(ring);
+  if (!checker.check_closure()) return false;
+  if (checker.count_deadlocks_outside_invariant() > 0) return false;
+  return !checker.find_livelock().has_value();
+}
+
+}  // namespace ringstab

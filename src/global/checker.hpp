@@ -1,0 +1,81 @@
+// Explicit-state verification of concrete ring instances (the global
+// baseline the paper contrasts with local reasoning).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "global/ring_instance.hpp"
+
+namespace ringstab {
+
+/// Results of checking one instance p(K) exhaustively.
+struct GlobalCheckResult {
+  std::size_t ring_size = 0;
+  GlobalStateId num_states = 0;
+
+  std::size_t num_deadlocks_outside_i = 0;
+  std::vector<GlobalStateId> deadlock_samples;  // capped
+
+  bool has_livelock = false;
+  /// Witness cycle of global states, all outside I (empty if none).
+  std::vector<GlobalStateId> livelock_cycle;
+
+  bool closure_ok = true;
+  std::optional<std::pair<GlobalStateId, GlobalStateId>> closure_violation;
+
+  /// Every state can reach I (weak convergence).
+  bool weakly_converges = false;
+
+  /// Strong convergence to I = closure + no deadlock outside I + no cycle
+  /// outside I (Proposition 2.1).
+  bool strongly_converges() const {
+    return closure_ok && num_deadlocks_outside_i == 0 && !has_livelock;
+  }
+
+  /// Worst-case number of steps to reach I over all states and all
+  /// schedules; meaningful only when strongly_converges() (else 0).
+  std::size_t max_recovery_steps = 0;
+};
+
+class GlobalChecker {
+ public:
+  explicit GlobalChecker(const RingInstance& ring) : ring_(&ring) {}
+
+  /// Count (and sample up to `max_samples`) global deadlocks outside I.
+  std::size_t count_deadlocks_outside_invariant(
+      std::vector<GlobalStateId>* samples = nullptr,
+      std::size_t max_samples = 8) const;
+
+  /// Find a cycle of global states entirely outside I (a livelock witness),
+  /// via iterative Tarjan on the ¬I-restricted transition graph.
+  std::optional<std::vector<GlobalStateId>> find_livelock() const;
+
+  /// All states lying on some cycle outside I (the union of nontrivial
+  /// ¬I SCCs).
+  std::vector<GlobalStateId> livelock_states() const;
+
+  /// Closure of I (Section 2.3): no transition leaves I.
+  bool check_closure(
+      std::optional<std::pair<GlobalStateId, GlobalStateId>>* violation =
+          nullptr) const;
+
+  /// Every global state can reach I (weak convergence), by backward
+  /// fixpoint.
+  bool check_weak_convergence() const;
+
+  /// Longest path to I in the (acyclic, deadlock-free) ¬I subgraph.
+  /// Throws ModelError if called on a non-strongly-converging instance.
+  std::size_t max_recovery_steps() const;
+
+  /// Everything at once.
+  GlobalCheckResult check_all() const;
+
+ private:
+  const RingInstance* ring_;
+};
+
+/// Convenience: does p(K) strongly self-stabilize to I(K)?
+bool strongly_stabilizing(const RingInstance& ring);
+
+}  // namespace ringstab

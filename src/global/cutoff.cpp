@@ -1,0 +1,53 @@
+#include "global/cutoff.hpp"
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+
+CutoffReport verify_up_to_cutoff(const Protocol& p, std::size_t min_ring,
+                                 std::size_t max_ring,
+                                 GlobalStateId max_states) {
+  CutoffReport report;
+  for (std::size_t k = min_ring; k <= max_ring; ++k) {
+    CutoffReport::Entry entry;
+    entry.ring_size = k;
+    try {
+      const RingInstance ring(p, k, max_states);
+      const GlobalChecker checker(ring);
+      entry.num_states = ring.num_states();
+      entry.deadlocks_outside_i = checker.count_deadlocks_outside_invariant();
+      entry.has_livelock = checker.find_livelock().has_value();
+      entry.stabilizes = entry.deadlocks_outside_i == 0 &&
+                         !entry.has_livelock && checker.check_closure();
+      report.states_explored += entry.num_states;
+    } catch (const CapacityError&) {
+      entry.stabilizes = false;  // unknown, reported as skipped
+    }
+    report.all_stabilize = report.all_stabilize &&
+                           (entry.num_states == 0 || entry.stabilizes);
+    report.entries.push_back(entry);
+  }
+  return report;
+}
+
+std::string CutoffReport::to_string(const Protocol& p) const {
+  std::ostringstream os;
+  os << "cutoff verification of " << p.name() << " ("
+     << states_explored << " global states explored):\n";
+  for (const auto& e : entries) {
+    os << "  K=" << e.ring_size << ": ";
+    if (e.num_states == 0) {
+      os << "skipped (over state budget)\n";
+      continue;
+    }
+    os << e.num_states << " states, "
+       << (e.stabilizes ? "stabilizes" : "FAILS");
+    if (!e.stabilizes)
+      os << " (deadlocks=" << e.deadlocks_outside_i << ", livelock="
+         << (e.has_livelock ? "yes" : "no") << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ringstab

@@ -1,0 +1,37 @@
+// Cutoff-style verification (the related-work approach of Emerson et al.,
+// paper Section 7): certify p(K) for every K up to a bound by exhaustive
+// checking — the baseline the local method renders unnecessary for rings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "global/checker.hpp"
+
+namespace ringstab {
+
+struct CutoffReport {
+  struct Entry {
+    std::size_t ring_size = 0;
+    GlobalStateId num_states = 0;
+    bool stabilizes = false;
+    std::size_t deadlocks_outside_i = 0;
+    bool has_livelock = false;
+  };
+  std::vector<Entry> entries;
+  /// True iff every checked size stabilizes.
+  bool all_stabilize = true;
+  /// Total states across all instances (the cost of this approach).
+  GlobalStateId states_explored = 0;
+
+  std::string to_string(const Protocol& p) const;
+};
+
+/// Check p(K) for K in [min_ring, max_ring]. Sizes whose state space
+/// exceeds `max_states` are skipped (reported with num_states = 0).
+CutoffReport verify_up_to_cutoff(const Protocol& p, std::size_t min_ring,
+                                 std::size_t max_ring,
+                                 GlobalStateId max_states = GlobalStateId{1}
+                                                            << 24);
+
+}  // namespace ringstab

@@ -1,0 +1,120 @@
+#include "global/ring_instance.hpp"
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+
+RingInstance::RingInstance(Protocol protocol, std::size_t ring_size,
+                           GlobalStateId max_states)
+    : protocol_(std::move(protocol)),
+      k_(ring_size),
+      d_(protocol_.domain().size()) {
+  if (k_ < 2) throw ModelError("ring size must be at least 2");
+  GlobalStateId n = 1;
+  pow_.reserve(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    pow_.push_back(n);
+    if (n > max_states / d_)
+      throw CapacityError(cat("|D|^K = ", d_, "^", k_, " exceeds the state budget ",
+                              max_states));
+    n *= d_;
+  }
+  num_states_ = n;
+}
+
+std::vector<Value> RingInstance::decode(GlobalStateId s) const {
+  std::vector<Value> out(k_);
+  for (std::size_t i = 0; i < k_; ++i) out[i] = value(s, i);
+  return out;
+}
+
+GlobalStateId RingInstance::encode(std::span<const Value> ring) const {
+  RINGSTAB_ASSERT(ring.size() == k_, "ring valuation has wrong size");
+  GlobalStateId s = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    RINGSTAB_ASSERT(ring[i] < d_, "value out of domain");
+    s += pow_[i] * ring[i];
+  }
+  return s;
+}
+
+LocalStateId RingInstance::local_state(GlobalStateId s, std::size_t i) const {
+  const auto& loc = protocol_.locality();
+  LocalStateId ls = 0;
+  LocalStateId mult = 1;
+  for (int off = -loc.left; off <= loc.right; ++off) {
+    const std::size_t j =
+        (i + static_cast<std::size_t>(off + static_cast<int>(k_))) % k_;
+    ls += static_cast<LocalStateId>(value(s, j)) * mult;
+    mult *= static_cast<LocalStateId>(d_);
+  }
+  return ls;
+}
+
+bool RingInstance::in_invariant(GlobalStateId s) const {
+  for (std::size_t i = 0; i < k_; ++i)
+    if (!protocol_.is_legit(local_state(s, i))) return false;
+  return true;
+}
+
+bool RingInstance::is_deadlock(GlobalStateId s) const {
+  for (std::size_t i = 0; i < k_; ++i)
+    if (process_enabled(s, i)) return false;
+  return true;
+}
+
+void RingInstance::successors(GlobalStateId s, std::vector<Step>& out) const {
+  out.clear();
+  for (std::size_t i = 0; i < k_; ++i) {
+    const LocalStateId ls = local_state(s, i);
+    for (const auto& t : protocol_.transitions_from(ls)) {
+      const Value old_self = protocol_.space().self(t.from);
+      const Value new_self = protocol_.space().self(t.to);
+      const GlobalStateId target =
+          s + pow_[i] * new_self - pow_[i] * old_self;
+      out.push_back({target, i, t});
+    }
+  }
+}
+
+std::size_t RingInstance::num_enabled(GlobalStateId s) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < k_; ++i)
+    if (process_enabled(s, i)) ++n;
+  return n;
+}
+
+std::string RingInstance::brief(GlobalStateId s) const {
+  std::string out;
+  out.reserve(k_);
+  for (std::size_t i = 0; i < k_; ++i)
+    out.push_back(protocol_.domain().abbrev(value(s, i)));
+  return out;
+}
+
+Schedule schedule_from_path(const RingInstance& ring,
+                            std::span<const GlobalStateId> path, bool cyclic) {
+  Schedule sched;
+  if (path.size() < 2 && !cyclic) return sched;
+  const std::size_t steps = cyclic ? path.size() : path.size() - 1;
+  std::vector<RingInstance::Step> succ;
+  for (std::size_t n = 0; n < steps; ++n) {
+    const GlobalStateId from = path[n];
+    const GlobalStateId to = path[(n + 1) % path.size()];
+    ring.successors(from, succ);
+    bool found = false;
+    for (const auto& st : succ) {
+      if (st.target == to) {
+        sched.push_back({st.process, st.transition});
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw ModelError(cat("path step ", n, " (", ring.brief(from), " → ",
+                           ring.brief(to), ") is not a protocol transition"));
+  }
+  return sched;
+}
+
+}  // namespace ringstab

@@ -1,0 +1,77 @@
+// A parameterized protocol instantiated on a concrete ring of size K.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "local/precedence.hpp"  // ScheduledStep
+
+namespace ringstab {
+
+/// Explicit-state view of p(K): global states are mixed-radix uint64 codes
+/// of the K ring variables. This is the substrate for the "global reasoning"
+/// baseline the paper contrasts with (model checking / fixed-K synthesis).
+class RingInstance {
+ public:
+  /// Throws CapacityError if |D|^K exceeds `max_states` (default 2^24) or
+  /// does not fit in 64 bits.
+  RingInstance(Protocol protocol, std::size_t ring_size,
+               GlobalStateId max_states = GlobalStateId{1} << 24);
+
+  const Protocol& protocol() const { return protocol_; }
+  std::size_t ring_size() const { return k_; }
+  GlobalStateId num_states() const { return num_states_; }
+
+  Value value(GlobalStateId s, std::size_t i) const {
+    return static_cast<Value>((s / pow_[i]) % d_);
+  }
+  std::vector<Value> decode(GlobalStateId s) const;
+  GlobalStateId encode(std::span<const Value> ring) const;
+
+  /// Local state of process i (its readable window) in global state s.
+  LocalStateId local_state(GlobalStateId s, std::size_t i) const;
+
+  bool process_enabled(GlobalStateId s, std::size_t i) const {
+    return protocol_.is_enabled(local_state(s, i));
+  }
+
+  /// s ∈ I(K): every process satisfies LC_r.
+  bool in_invariant(GlobalStateId s) const;
+
+  bool is_deadlock(GlobalStateId s) const;
+
+  /// One outgoing global transition.
+  struct Step {
+    GlobalStateId target = 0;
+    std::size_t process = 0;
+    LocalTransition transition;
+  };
+
+  /// All outgoing global transitions of s (interleaving semantics: one
+  /// process moves). Appended to `out` (cleared first).
+  void successors(GlobalStateId s, std::vector<Step>& out) const;
+
+  /// Number of enabled processes in s.
+  std::size_t num_enabled(GlobalStateId s) const;
+
+  /// Compact dump using domain abbreviations, e.g. "lsrls".
+  std::string brief(GlobalStateId s) const;
+
+ private:
+  Protocol protocol_;
+  std::size_t k_;
+  std::size_t d_;
+  GlobalStateId num_states_;
+  std::vector<GlobalStateId> pow_;
+};
+
+/// Recover the interleaving schedule along a path of global states
+/// (consecutive states must differ in exactly one process's variable by a
+/// δ_r transition). Throws ModelError if the path is not a computation.
+Schedule schedule_from_path(const RingInstance& ring,
+                            std::span<const GlobalStateId> path,
+                            bool cyclic = false);
+
+}  // namespace ringstab

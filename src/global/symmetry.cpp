@@ -1,0 +1,147 @@
+#include "global/symmetry.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ringstab {
+namespace {
+
+// Rotate the ring valuation left by r positions and encode.
+GlobalStateId rotate_encode(const RingInstance& ring,
+                            const std::vector<Value>& vals, std::size_t r) {
+  const std::size_t k = vals.size();
+  std::vector<Value> rot(k);
+  for (std::size_t i = 0; i < k; ++i) rot[i] = vals[(i + r) % k];
+  return ring.encode(rot);
+}
+
+}  // namespace
+
+GlobalStateId canonical_rotation(const RingInstance& ring, GlobalStateId s) {
+  const auto vals = ring.decode(s);
+  GlobalStateId best = s;
+  for (std::size_t r = 1; r < ring.ring_size(); ++r)
+    best = std::min(best, rotate_encode(ring, vals, r));
+  return best;
+}
+
+std::size_t rotation_orbit_size(const RingInstance& ring, GlobalStateId s) {
+  const auto vals = ring.decode(s);
+  // Orbit size = K / (smallest rotation period).
+  for (std::size_t r = 1; r < ring.ring_size(); ++r) {
+    if (ring.ring_size() % r != 0) continue;
+    if (rotate_encode(ring, vals, r) == s) return r;
+  }
+  return ring.ring_size();
+}
+
+SymmetricCheckResult check_symmetric(const RingInstance& ring,
+                                     std::size_t max_samples) {
+  SymmetricCheckResult res;
+
+  // Pass 1: orbit-aware deadlock census over canonical representatives.
+  for (GlobalStateId s = 0; s < ring.num_states(); ++s) {
+    if (canonical_rotation(ring, s) != s) continue;  // not a representative
+    ++res.canonical_states_visited;
+    if (ring.in_invariant(s) || !ring.is_deadlock(s)) continue;
+    res.num_deadlocks_outside_i += rotation_orbit_size(ring, s);
+    if (res.deadlock_orbit_reps.size() < max_samples)
+      res.deadlock_orbit_reps.push_back(s);
+  }
+
+  // Pass 2: livelock via iterative Tarjan on the ¬I quotient graph
+  // (vertices = canonical representatives; arcs = canonicalized successors;
+  // a quotient self-loop IS a cycle — it lifts by iterating the rotation).
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::unordered_map<GlobalStateId, std::uint32_t> index, low;
+  std::unordered_map<GlobalStateId, bool> on_stack;
+  std::vector<GlobalStateId> stack;
+  std::uint32_t next_index = 0;
+
+  std::vector<RingInstance::Step> succ;
+  auto expand = [&](GlobalStateId v, std::vector<GlobalStateId>& out,
+                    bool& self_loop) {
+    out.clear();
+    self_loop = false;
+    ring.successors(v, succ);
+    for (const auto& step : succ) {
+      if (ring.in_invariant(step.target)) continue;
+      const GlobalStateId c = canonical_rotation(ring, step.target);
+      if (c == v) self_loop = true;
+      out.push_back(c);
+    }
+  };
+
+  struct Frame {
+    GlobalStateId v;
+    std::vector<GlobalStateId> children;
+    std::size_t next_child = 0;
+  };
+
+  auto get = [](auto& map, GlobalStateId key, auto fallback) {
+    auto it = map.find(key);
+    return it == map.end() ? fallback : it->second;
+  };
+
+  for (GlobalStateId root = 0;
+       root < ring.num_states() && !res.has_livelock; ++root) {
+    if (ring.in_invariant(root)) continue;
+    if (canonical_rotation(ring, root) != root) continue;
+    if (get(index, root, kUnvisited) != kUnvisited) continue;
+
+    std::vector<Frame> call;
+    bool self_loop = false;
+    call.push_back({root, {}, 0});
+    expand(root, call.back().children, self_loop);
+    if (self_loop) {
+      res.has_livelock = true;
+      break;
+    }
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call.empty() && !res.has_livelock) {
+      Frame& f = call.back();
+      const GlobalStateId v = f.v;
+      bool descended = false;
+      while (f.next_child < f.children.size()) {
+        const GlobalStateId w = f.children[f.next_child++];
+        if (get(index, w, kUnvisited) == kUnvisited) {
+          call.push_back({w, {}, 0});
+          expand(w, call.back().children, self_loop);
+          if (self_loop) {
+            res.has_livelock = true;
+            break;
+          }
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          descended = true;
+          break;
+        }
+        if (get(on_stack, w, false))
+          low[v] = std::min(low[v], index[w]);
+      }
+      if (res.has_livelock || descended) continue;
+
+      if (low[v] == index[v]) {
+        std::size_t comp_size = 0;
+        while (true) {
+          const GlobalStateId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          ++comp_size;
+          if (w == v) break;
+        }
+        if (comp_size > 1) res.has_livelock = true;
+      }
+      call.pop_back();
+      if (!call.empty())
+        low[call.back().v] = std::min(low[call.back().v], low[v]);
+    }
+  }
+  return res;
+}
+
+}  // namespace ringstab

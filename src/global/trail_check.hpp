@@ -1,0 +1,40 @@
+// Realizing contiguous trails as concrete livelocks (the paper's
+// sum-not-two reconstruction: "if we try to reconstruct the global livelock
+// of a ring of three processes using T_R, we fail!").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "global/ring_instance.hpp"
+#include "local/trail.hpp"
+
+namespace ringstab {
+
+/// What became of a trail when instantiated at its implied ring size K.
+enum class TrailRealization {
+  kRealized,        // the trail's start state lies on a real livelock at K
+  kOtherLivelock,   // the start state does not, but p(K) livelocks elsewhere
+  kSpurious,        // p(K) has no livelock at all: the trail is an artifact
+                    // of the sufficient (not necessary) condition
+  kNotInstantiable, // K is smaller than the window or the trail's windows
+                    // are inconsistent around the ring
+};
+
+struct TrailRealizationResult {
+  TrailRealization verdict = TrailRealization::kNotInstantiable;
+  std::size_t ring_size = 0;
+  /// The reconstructed round-start global state (when instantiable).
+  std::optional<std::vector<Value>> start_state;
+};
+
+/// Instantiate the trail on a ring of K = |E| + P processes: the w1 segment
+/// vertices give the local states of the |E| adjacent enabled processes and
+/// the first round's w2 s-arc targets give the rest. Then decide whether
+/// that state really lies on a livelock by exhaustive checking.
+TrailRealizationResult realize_trail(const Protocol& p,
+                                     const ContiguousTrail& trail);
+
+const char* to_string(TrailRealization r);
+
+}  // namespace ringstab

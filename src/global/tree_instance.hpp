@@ -1,0 +1,75 @@
+// In-tree topology: every process reads its parent (the paper's Def. 4.1
+// remark sketches RCG construction for trees). For parent-read localities
+// (reads x[-1]..x[0]) the deadlock theory REDUCES to the array case: a
+// deadlocked tree outside I exists for some tree shape iff a deadlocked
+// array exists for some length — path trees are trees, and any bad tree
+// contains a bad root-to-node path. This class provides the exhaustive
+// ground truth used to validate that reduction.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "local/array.hpp"
+
+namespace ringstab {
+
+/// A rooted in-tree of n processes running an array-convention protocol
+/// (domain's last value = ⊥). Node 0 is the root (its window's parent slot
+/// is ⊥); parent[i] < i for every other node. The locality must be
+/// {left=1, right=0}.
+class TreeInstance {
+ public:
+  TreeInstance(Protocol protocol, std::vector<std::size_t> parent,
+               GlobalStateId max_states = GlobalStateId{1} << 22);
+
+  const Protocol& protocol() const { return protocol_; }
+  std::size_t size() const { return parent_.size() + 1; }
+  GlobalStateId num_states() const { return num_states_; }
+
+  Value value(GlobalStateId s, std::size_t i) const {
+    return static_cast<Value>((s / pow_[i]) % real_d_);
+  }
+  std::vector<Value> decode(GlobalStateId s) const;
+  GlobalStateId encode(std::span<const Value> values) const;
+
+  /// Parent of node i (i ≥ 1).
+  std::size_t parent(std::size_t i) const { return parent_[i - 1]; }
+
+  LocalStateId local_state(GlobalStateId s, std::size_t i) const;
+  bool in_invariant(GlobalStateId s) const;
+  bool is_deadlock(GlobalStateId s) const;
+
+  struct Step {
+    GlobalStateId target = 0;
+    std::size_t process = 0;
+    LocalTransition transition;
+  };
+  void successors(GlobalStateId s, std::vector<Step>& out) const;
+
+  std::string brief(GlobalStateId s) const;
+
+ private:
+  Protocol protocol_;
+  std::vector<std::size_t> parent_;  // parent_[i-1] = parent of node i
+  std::size_t real_d_;
+  GlobalStateId num_states_;
+  std::vector<GlobalStateId> pow_;
+};
+
+struct TreeCheckResult {
+  std::size_t num_deadlocks_outside_i = 0;
+  bool has_livelock = false;
+  bool terminates = false;
+};
+
+/// Exhaustive check (explicit digraph; capped state space).
+TreeCheckResult check_tree(const TreeInstance& inst);
+
+/// A uniformly random in-tree shape on n nodes (each node's parent drawn
+/// from its predecessors).
+std::vector<std::size_t> random_tree_shape(std::size_t n,
+                                           std::uint64_t seed);
+
+}  // namespace ringstab

@@ -1,0 +1,137 @@
+#include "graph/cycles.hpp"
+
+#include <algorithm>
+
+#include "graph/scc.hpp"
+
+namespace ringstab {
+namespace {
+
+// DFS from each successor of v back to v, avoiding revisits.
+std::optional<Cycle> cycle_via_dfs(const Digraph& g, VertexId v,
+                                   const std::vector<bool>* allowed) {
+  const std::size_t n = g.num_vertices();
+  auto ok = [&](VertexId u) { return allowed == nullptr || (*allowed)[u]; };
+  if (!ok(v)) return std::nullopt;
+  if (g.has_arc(v, v)) return Cycle{v};
+
+  std::vector<VertexId> parent(n, kInvalidLocalState);
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> stack;
+  for (VertexId w : g.out(v)) {
+    if (!ok(w) || visited[w]) continue;
+    visited[w] = true;
+    parent[w] = v;
+    stack.push_back(w);
+  }
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    for (VertexId w : g.out(u)) {
+      if (w == v) {
+        Cycle c{v};
+        for (VertexId x = u; x != v; x = parent[x]) c.push_back(x);
+        std::reverse(c.begin() + 1, c.end());
+        return c;
+      }
+      if (!ok(w) || visited[w]) continue;
+      visited[w] = true;
+      parent[w] = u;
+      stack.push_back(w);
+    }
+  }
+  return std::nullopt;
+}
+
+// Johnson's simple-cycle enumeration, recursion bounded by vertex count.
+class Johnson {
+ public:
+  Johnson(const Digraph& g, std::size_t max_cycles)
+      : g_(g), max_cycles_(max_cycles) {}
+
+  std::vector<Cycle> run() {
+    const std::size_t n = g_.num_vertices();
+    blocked_.assign(n, false);
+    block_list_.assign(n, {});
+    for (VertexId s = 0; s < n && cycles_.size() < max_cycles_; ++s) {
+      start_ = s;
+      std::fill(blocked_.begin(), blocked_.end(), false);
+      for (auto& b : block_list_) b.clear();
+      circuit(s);
+    }
+    std::sort(cycles_.begin(), cycles_.end(),
+              [](const Cycle& a, const Cycle& b) {
+                if (a.size() != b.size()) return a.size() < b.size();
+                return a < b;
+              });
+    return std::move(cycles_);
+  }
+
+ private:
+  bool circuit(VertexId v) {
+    bool found = false;
+    path_.push_back(v);
+    blocked_[v] = true;
+    for (VertexId w : g_.out(v)) {
+      if (w < start_) continue;  // canonical: cycles start at min vertex
+      if (w == start_) {
+        if (cycles_.size() < max_cycles_) cycles_.push_back(path_);
+        found = true;
+      } else if (!blocked_[w]) {
+        if (circuit(w)) found = true;
+      }
+      if (cycles_.size() >= max_cycles_) break;
+    }
+    if (found) {
+      unblock(v);
+    } else {
+      for (VertexId w : g_.out(v)) {
+        if (w < start_) continue;
+        auto& bl = block_list_[w];
+        if (std::find(bl.begin(), bl.end(), v) == bl.end()) bl.push_back(v);
+      }
+    }
+    path_.pop_back();
+    return found;
+  }
+
+  void unblock(VertexId v) {
+    blocked_[v] = false;
+    auto pending = std::move(block_list_[v]);
+    block_list_[v].clear();
+    for (VertexId w : pending)
+      if (blocked_[w]) unblock(w);
+  }
+
+  const Digraph& g_;
+  std::size_t max_cycles_;
+  VertexId start_ = 0;
+  std::vector<bool> blocked_;
+  std::vector<std::vector<VertexId>> block_list_;
+  std::vector<VertexId> path_;
+  std::vector<Cycle> cycles_;
+};
+
+}  // namespace
+
+std::optional<Cycle> find_cycle_through(const Digraph& g, VertexId v,
+                                        const std::vector<bool>* allowed) {
+  return cycle_via_dfs(g, v, allowed);
+}
+
+std::vector<Cycle> simple_cycles(const Digraph& g, std::size_t max_cycles) {
+  return Johnson(g, max_cycles).run();
+}
+
+std::vector<Cycle> simple_cycles_through(const Digraph& g,
+                                         const std::vector<bool>& marked,
+                                         std::size_t max_cycles) {
+  auto all = simple_cycles(g, max_cycles);
+  std::vector<Cycle> out;
+  for (auto& c : all)
+    if (std::any_of(c.begin(), c.end(), [&](VertexId v) { return marked[v]; }))
+      out.push_back(std::move(c));
+  return out;
+}
+
+}  // namespace ringstab

@@ -1,0 +1,33 @@
+// Cycle search and enumeration.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ringstab {
+
+/// A simple cycle listed as its vertex sequence v0, v1, ..., v_{m-1} with
+/// arcs v_i → v_{i+1 mod m}. A self-loop is the length-1 cycle {v}.
+using Cycle = std::vector<VertexId>;
+
+/// Find some simple cycle through `v`, optionally restricted to vertices
+/// where `allowed` holds (v itself must be allowed). Returns the cycle
+/// rotated to start at v, or nullopt.
+std::optional<Cycle> find_cycle_through(const Digraph& g, VertexId v,
+                                        const std::vector<bool>* allowed =
+                                            nullptr);
+
+/// Enumerate simple cycles (Johnson's algorithm), capped at `max_cycles`.
+/// Cycles are canonicalized to start at their smallest vertex and returned
+/// sorted by (length, lexicographic).
+std::vector<Cycle> simple_cycles(const Digraph& g,
+                                 std::size_t max_cycles = 100000);
+
+/// Cycles passing through at least one marked vertex.
+std::vector<Cycle> simple_cycles_through(const Digraph& g,
+                                         const std::vector<bool>& marked,
+                                         std::size_t max_cycles = 100000);
+
+}  // namespace ringstab

@@ -1,0 +1,52 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace ringstab {
+
+Digraph::Digraph(std::size_t num_vertices) : adj_(num_vertices) {}
+
+void Digraph::add_arc(VertexId u, VertexId v) {
+  RINGSTAB_ASSERT(u < adj_.size() && v < adj_.size(),
+                  "arc endpoint out of range");
+  auto& row = adj_[u];
+  auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it != row.end() && *it == v) return;
+  row.insert(it, v);
+  ++num_arcs_;
+}
+
+bool Digraph::has_arc(VertexId u, VertexId v) const {
+  RINGSTAB_ASSERT(u < adj_.size() && v < adj_.size(),
+                  "arc endpoint out of range");
+  const auto& row = adj_[u];
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+std::vector<std::size_t> Digraph::in_degrees() const {
+  std::vector<std::size_t> deg(num_vertices(), 0);
+  for (const auto& row : adj_)
+    for (VertexId v : row) ++deg[v];
+  return deg;
+}
+
+Digraph Digraph::induced(const std::vector<bool>& keep) const {
+  RINGSTAB_ASSERT(keep.size() == num_vertices(),
+                  "induced mask has wrong size");
+  Digraph g(num_vertices());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    if (!keep[u]) continue;
+    for (VertexId v : adj_[u])
+      if (keep[v]) g.add_arc(u, v);
+  }
+  return g;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph g(num_vertices());
+  for (VertexId u = 0; u < num_vertices(); ++u)
+    for (VertexId v : adj_[u]) g.add_arc(v, u);
+  return g;
+}
+
+}  // namespace ringstab

@@ -1,0 +1,46 @@
+// Small dense directed-graph toolkit used for RCG/LTG analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ringstab {
+
+using VertexId = std::uint32_t;
+
+/// Directed graph over a fixed vertex set [0, n). Parallel arcs are
+/// collapsed (the analyses are relational); self-loops are allowed and
+/// meaningful (an s-arc self-loop is a one-vertex continuation cycle).
+class Digraph {
+ public:
+  explicit Digraph(std::size_t num_vertices);
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_arcs() const { return num_arcs_; }
+
+  /// Insert u→v (idempotent).
+  void add_arc(VertexId u, VertexId v);
+
+  bool has_arc(VertexId u, VertexId v) const;
+
+  /// Out-neighbors in ascending order.
+  const std::vector<VertexId>& out(VertexId u) const { return adj_[u]; }
+
+  std::size_t out_degree(VertexId u) const { return adj_[u].size(); }
+  std::vector<std::size_t> in_degrees() const;
+
+  /// Subgraph over the same vertex ids keeping only arcs whose endpoints are
+  /// both in `keep`.
+  Digraph induced(const std::vector<bool>& keep) const;
+
+  /// Arc-reversed copy.
+  Digraph reversed() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  std::size_t num_arcs_ = 0;
+};
+
+}  // namespace ringstab

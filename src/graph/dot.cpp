@@ -1,0 +1,38 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace ringstab {
+
+std::string to_dot(const Digraph& g, const DotOptions& opts) {
+  std::ostringstream os;
+  os << "digraph " << (opts.graph_name.empty() ? "g" : opts.graph_name)
+     << " {\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (opts.include && !opts.include(v)) continue;
+    os << "  n" << v;
+    os << " [label=\"" << (opts.label ? opts.label(v) : std::to_string(v))
+       << "\"";
+    if (opts.vertex_attrs) {
+      const std::string extra = opts.vertex_attrs(v);
+      if (!extra.empty()) os << "," << extra;
+    }
+    os << "];\n";
+  }
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (opts.include && !opts.include(u)) continue;
+    for (VertexId v : g.out(u)) {
+      if (opts.include && !opts.include(v)) continue;
+      os << "  n" << u << " -> n" << v;
+      if (opts.arc_attrs) {
+        const std::string extra = opts.arc_attrs(u, v);
+        if (!extra.empty()) os << " [" << extra << "]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ringstab

@@ -1,0 +1,25 @@
+// Graphviz DOT export for analysis graphs.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace ringstab {
+
+struct DotOptions {
+  std::string graph_name = "g";
+  /// Label per vertex; default is the numeric id.
+  std::function<std::string(VertexId)> label;
+  /// Extra attributes (e.g. "style=filled,fillcolor=gray") per vertex.
+  std::function<std::string(VertexId)> vertex_attrs;
+  /// Extra attributes per arc.
+  std::function<std::string(VertexId, VertexId)> arc_attrs;
+  /// Skip vertices entirely (isolated helper states).
+  std::function<bool(VertexId)> include;
+};
+
+std::string to_dot(const Digraph& g, const DotOptions& opts = {});
+
+}  // namespace ringstab

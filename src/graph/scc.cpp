@@ -1,0 +1,82 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace ringstab {
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.num_vertices();
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+  SccResult res;
+  res.component.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    VertexId v;
+    std::size_t child = 0;
+  };
+  std::vector<Frame> call;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call.push_back({root});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const VertexId v = f.v;
+      if (f.child == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      const auto& out = g.out(v);
+      while (f.child < out.size()) {
+        const VertexId w = out[f.child++];
+        if (index[w] == kUnvisited) {
+          call.push_back({w});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        const auto comp = static_cast<std::uint32_t>(res.num_components++);
+        std::uint32_t size = 0;
+        while (true) {
+          const VertexId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          res.component[w] = comp;
+          ++size;
+          if (w == v) break;
+        }
+        res.component_size.push_back(size);
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        Frame& parent = call.back();
+        low[parent.v] = std::min(low[parent.v], low[v]);
+      }
+    }
+  }
+  return res;
+}
+
+bool on_cycle(const Digraph& g, const SccResult& scc, VertexId v) {
+  return scc.component_size[scc.component[v]] > 1 || g.has_arc(v, v);
+}
+
+bool any_marked_on_cycle(const Digraph& g, const std::vector<bool>& marked) {
+  const SccResult scc = strongly_connected_components(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (marked[v] && on_cycle(g, scc, v)) return true;
+  return false;
+}
+
+}  // namespace ringstab

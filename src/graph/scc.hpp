@@ -1,0 +1,27 @@
+// Iterative Tarjan strongly-connected components.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ringstab {
+
+struct SccResult {
+  /// Component id per vertex; components are numbered in reverse topological
+  /// order of the condensation (Tarjan's natural output order).
+  std::vector<std::uint32_t> component;
+  std::vector<std::uint32_t> component_size;
+  std::size_t num_components = 0;
+};
+
+SccResult strongly_connected_components(const Digraph& g);
+
+/// True iff `v` lies on some directed cycle of `g` (its SCC is nontrivial or
+/// it has a self-loop).
+bool on_cycle(const Digraph& g, const SccResult& scc, VertexId v);
+
+/// True iff any vertex with `marked[v]` lies on a directed cycle.
+bool any_marked_on_cycle(const Digraph& g, const std::vector<bool>& marked);
+
+}  // namespace ringstab

@@ -1,0 +1,78 @@
+#include "graph/walks.hpp"
+
+#include <algorithm>
+
+namespace ringstab {
+
+std::size_t WalkSpectrum::smallest() const {
+  for (std::size_t k = 1; k < feasible.size(); ++k)
+    if (feasible[k]) return k;
+  return 0;
+}
+
+WalkSpectrum closed_walk_lengths(const Digraph& g,
+                                 const std::vector<bool>& marked,
+                                 std::size_t max_len) {
+  const std::size_t n = g.num_vertices();
+  WalkSpectrum spec;
+  spec.feasible.assign(max_len + 1, false);
+
+  // One forward DP per marked start vertex; graphs here have ≤ a few
+  // thousand vertices and max_len ≤ a few hundred.
+  std::vector<bool> cur(n), next(n);
+  for (VertexId m = 0; m < n; ++m) {
+    if (!marked[m]) continue;
+    std::fill(cur.begin(), cur.end(), false);
+    cur[m] = true;
+    for (std::size_t k = 1; k <= max_len; ++k) {
+      std::fill(next.begin(), next.end(), false);
+      for (VertexId u = 0; u < n; ++u) {
+        if (!cur[u]) continue;
+        for (VertexId v : g.out(u)) next[v] = true;
+      }
+      std::swap(cur, next);
+      if (cur[m]) spec.feasible[k] = true;
+      if (std::none_of(cur.begin(), cur.end(), [](bool b) { return b; }))
+        break;
+    }
+  }
+  return spec;
+}
+
+std::optional<std::vector<VertexId>> closed_walk_of_length(
+    const Digraph& g, const std::vector<bool>& marked, std::size_t len) {
+  const std::size_t n = g.num_vertices();
+  if (len == 0) return std::nullopt;
+
+  for (VertexId m = 0; m < n; ++m) {
+    if (!marked[m]) continue;
+    // reach[k][v]: v reachable from m in exactly k steps.
+    std::vector<std::vector<bool>> reach(len + 1,
+                                         std::vector<bool>(n, false));
+    reach[0][m] = true;
+    for (std::size_t k = 1; k <= len; ++k)
+      for (VertexId u = 0; u < n; ++u) {
+        if (!reach[k - 1][u]) continue;
+        for (VertexId v : g.out(u)) reach[k][v] = true;
+      }
+    if (!reach[len][m]) continue;
+
+    // Backtrack from (len, m) to (0, m).
+    std::vector<VertexId> walk(len + 1);
+    walk[len] = m;
+    for (std::size_t k = len; k > 0; --k) {
+      const VertexId v = walk[k];
+      for (VertexId u = 0; u < n; ++u) {
+        if (reach[k - 1][u] && g.has_arc(u, v)) {
+          walk[k - 1] = u;
+          break;
+        }
+      }
+    }
+    walk.pop_back();  // drop the duplicate of m at the end
+    return walk;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ringstab

@@ -1,0 +1,35 @@
+// Closed-walk length spectra: for which ring sizes does a cycle structure
+// yield a witness?
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ringstab {
+
+/// For each length k in [1, max_len], whether `g` has a closed walk of
+/// length k through at least one marked vertex. By Theorem 4.2's witness
+/// construction, a closed walk of length K in the deadlock-induced RCG
+/// through an illegitimate vertex is exactly a globally deadlocked ring of
+/// size K outside I.
+struct WalkSpectrum {
+  std::vector<bool> feasible;  // index k (0 unused); size max_len+1
+
+  bool at(std::size_t k) const { return k < feasible.size() && feasible[k]; }
+  /// Smallest feasible length, or 0 if none up to max_len.
+  std::size_t smallest() const;
+};
+
+WalkSpectrum closed_walk_lengths(const Digraph& g,
+                                 const std::vector<bool>& marked,
+                                 std::size_t max_len);
+
+/// A concrete closed walk of exactly `len` arcs through a marked vertex,
+/// listed as len vertices v0 ... v_{len-1} with arcs v_i → v_{(i+1) mod len},
+/// rotated so v0 is marked. nullopt if infeasible.
+std::optional<std::vector<VertexId>> closed_walk_of_length(
+    const Digraph& g, const std::vector<bool>& marked, std::size_t len);
+
+}  // namespace ringstab

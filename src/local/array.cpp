@@ -1,0 +1,173 @@
+#include "local/array.hpp"
+
+#include <algorithm>
+
+#include "core/fmt.hpp"
+#include "local/rcg.hpp"
+
+namespace ringstab {
+namespace {
+
+// Feasible deadlock states for position i of an n-array, with the "have we
+// passed an illegitimate state" flag folded into the DP below.
+std::vector<LocalStateId> feasible_deadlocks_at(const Protocol& p,
+                                                std::size_t i, std::size_t n) {
+  std::vector<LocalStateId> out;
+  for (LocalStateId s = 0; s < p.num_states(); ++s)
+    if (p.is_deadlock(s) && feasible_array_state(p, s, i, n))
+      out.push_back(s);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> ArrayDeadlockAnalysis::deadlocked_sizes() const {
+  std::vector<std::size_t> out;
+  for (std::size_t n = 2; n < size_spectrum.size(); ++n)
+    if (size_spectrum[n]) out.push_back(n);
+  return out;
+}
+
+void validate_array_protocol(const Protocol& p) {
+  if (p.domain().size() < 2)
+    throw ModelError(cat("array protocol '", p.name(),
+                         "' needs at least one real value besides ⊥"));
+  const Value bot = boundary_value(p);
+  for (const auto& t : p.delta()) {
+    if (p.space().self(t.from) == bot || p.space().self(t.to) == bot)
+      throw ModelError(cat("array protocol '", p.name(),
+                           "': transitions must not read a ⊥ self value or "
+                           "write ⊥ (the boundary is virtual)"));
+  }
+}
+
+bool feasible_array_state(const Protocol& p, LocalStateId s, std::size_t i,
+                          std::size_t n) {
+  const auto& loc = p.locality();
+  const Value bot = boundary_value(p);
+  for (int off = -loc.left; off <= loc.right; ++off) {
+    const long long j = static_cast<long long>(i) + off;
+    const bool outside = j < 0 || j >= static_cast<long long>(n);
+    if ((p.space().value(s, off) == bot) != outside) return false;
+  }
+  return true;
+}
+
+ArrayDeadlockAnalysis analyze_array_deadlocks(const Protocol& p,
+                                              std::size_t spectrum_max_n) {
+  validate_array_protocol(p);
+  ArrayDeadlockAnalysis res;
+  res.spectrum_max_n = spectrum_max_n;
+  res.size_spectrum.assign(spectrum_max_n + 1, false);
+
+  const Digraph rcg = build_rcg(p.space());
+  const std::size_t v = p.num_states();
+
+  // dp[s][flag]: a feasible deadlock walk reaches position i at state s,
+  // having visited an illegitimate state iff flag.
+  for (std::size_t n = 2; n <= spectrum_max_n; ++n) {
+    std::vector<std::array<bool, 2>> dp(v, {false, false});
+    for (LocalStateId s : feasible_deadlocks_at(p, 0, n))
+      dp[s][p.is_legit(s) ? 0 : 1] = true;
+    for (std::size_t i = 1; i < n; ++i) {
+      std::vector<std::array<bool, 2>> next(v, {false, false});
+      for (LocalStateId s = 0; s < v; ++s) {
+        if (!dp[s][0] && !dp[s][1]) continue;
+        for (VertexId t : rcg.out(s)) {
+          if (!p.is_deadlock(t) || !feasible_array_state(p, t, i, n))
+            continue;
+          const bool illegit = !p.is_legit(t);
+          if (dp[s][0]) next[t][illegit ? 1 : 0] = true;
+          if (dp[s][1]) next[t][1] = true;
+        }
+      }
+      dp = std::move(next);
+    }
+    for (LocalStateId s = 0; s < v; ++s)
+      if (dp[s][1]) res.size_spectrum[n] = true;
+  }
+  res.deadlock_free_all_n = std::none_of(res.size_spectrum.begin(),
+                                         res.size_spectrum.end(),
+                                         [](bool b) { return b; });
+  return res;
+}
+
+std::optional<std::vector<Value>> array_deadlock_witness(const Protocol& p,
+                                                         std::size_t n) {
+  validate_array_protocol(p);
+  if (n < 2) return std::nullopt;
+  const Digraph rcg = build_rcg(p.space());
+  const std::size_t v = p.num_states();
+
+  // Same DP, with parents for backtracking. Node = (state, flag).
+  struct Cell {
+    bool reach = false;
+    LocalStateId parent = kInvalidLocalState;
+    int parent_flag = 0;
+  };
+  std::vector<std::vector<std::array<Cell, 2>>> dp(
+      n, std::vector<std::array<Cell, 2>>(v));
+  for (LocalStateId s : [&] {
+         std::vector<LocalStateId> out;
+         for (LocalStateId t = 0; t < v; ++t)
+           if (p.is_deadlock(t) && feasible_array_state(p, t, 0, n))
+             out.push_back(t);
+         return out;
+       }())
+    dp[0][s][p.is_legit(s) ? 0 : 1].reach = true;
+
+  for (std::size_t i = 1; i < n; ++i)
+    for (LocalStateId s = 0; s < v; ++s)
+      for (int f = 0; f < 2; ++f) {
+        if (!dp[i - 1][s][f].reach) continue;
+        for (VertexId t : rcg.out(s)) {
+          if (!p.is_deadlock(t) || !feasible_array_state(p, t, i, n))
+            continue;
+          const int nf = f | (p.is_legit(t) ? 0 : 1);
+          if (dp[i][t][nf].reach) continue;
+          dp[i][t][nf] = {true, s, f};
+        }
+      }
+
+  for (LocalStateId end = 0; end < v; ++end) {
+    if (!dp[n - 1][end][1].reach) continue;
+    // Backtrack.
+    std::vector<LocalStateId> walk(n);
+    LocalStateId s = end;
+    int f = 1;
+    for (std::size_t i = n; i-- > 0;) {
+      walk[i] = s;
+      const Cell& c = dp[i][s][f];
+      s = c.parent;
+      f = c.parent_flag;
+    }
+    std::vector<Value> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+      values[i] = p.space().self(walk[i]);
+    // Verify: re-derive each window from the values.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& loc = p.locality();
+      std::vector<Value> window;
+      for (int off = -loc.left; off <= loc.right; ++off) {
+        const long long j = static_cast<long long>(i) + off;
+        window.push_back(j < 0 || j >= static_cast<long long>(n)
+                             ? boundary_value(p)
+                             : values[static_cast<std::size_t>(j)]);
+      }
+      RINGSTAB_ASSERT(p.space().encode(window) == walk[i],
+                      "array witness windows inconsistent");
+    }
+    return values;
+  }
+  return std::nullopt;
+}
+
+bool array_terminates_always(const Protocol& p) {
+  if (!p.locality().is_unidirectional()) return false;
+  return std::all_of(p.delta().begin(), p.delta().end(),
+                     [&](const LocalTransition& t) {
+                       return p.is_deadlock(t.to);
+                     });
+}
+
+}  // namespace ringstab

@@ -1,0 +1,69 @@
+// Extension beyond the paper (its stated future work): local reasoning for
+// parameterized protocols on ARRAYS (open chains) instead of rings.
+//
+// Modeling convention: the protocol's domain reserves its LAST value as the
+// boundary marker ⊥. An array of N processes is embedded between virtual ⊥
+// cells: process 0 sees ⊥ at its negative offsets, process N-1 at its
+// positive offsets; real variables never hold ⊥. Guards may test for ⊥ to
+// give end processes special behavior — all within one representative
+// process, exactly as the paper's Definition 4.1 remark suggests.
+//
+// The ring Theorem 4.2 transfers with cycles replaced by WALKS: array(N)
+// has a global deadlock outside I iff the deadlock-induced RCG has a walk
+// of N vertices from a left-boundary deadlock to a right-boundary deadlock
+// visiting some ¬LC state. Unlike the ring case there is no wrap-around
+// constraint, so the walk construction is exact for every N ≥ window-1.
+#pragma once
+
+#include <optional>
+
+#include "core/protocol.hpp"
+#include "graph/walks.hpp"
+
+namespace ringstab {
+
+/// The reserved boundary value of an array protocol's domain.
+inline Value boundary_value(const Protocol& p) {
+  return static_cast<Value>(p.domain().size() - 1);
+}
+
+/// Validate the array modeling convention: no transition fires from or
+/// writes a ⊥ self value, and ⊥ may appear in windows only as a contiguous
+/// run touching the window's edge (left run and/or right run). Throws
+/// ModelError otherwise.
+void validate_array_protocol(const Protocol& p);
+
+/// Is `s` a feasible local state for process `i` of an array of `n`
+/// processes (its ⊥ pattern matches the boundary overhang)?
+bool feasible_array_state(const Protocol& p, LocalStateId s, std::size_t i,
+                          std::size_t n);
+
+/// Deadlock analysis for every array length (the array analogue of
+/// Theorem 4.2).
+struct ArrayDeadlockAnalysis {
+  bool deadlock_free_all_n = false;
+
+  /// feasible[n] ⇒ a deadlocked array of n processes outside I exists;
+  /// exact for every n ≥ 2 up to spectrum_max_n.
+  std::vector<bool> size_spectrum;  // index n
+  std::size_t spectrum_max_n = 0;
+
+  std::vector<std::size_t> deadlocked_sizes() const;
+};
+
+ArrayDeadlockAnalysis analyze_array_deadlocks(const Protocol& p,
+                                              std::size_t spectrum_max_n = 64);
+
+/// Construct a deadlocked array of n processes outside I (the real variable
+/// values x_0..x_{n-1}), or nullopt. Verified before returning.
+std::optional<std::vector<Value>> array_deadlock_witness(const Protocol& p,
+                                                         std::size_t n);
+
+/// Livelock-freedom is FREE on unidirectional self-disabling arrays: P_0's
+/// local state only changes when P_0 itself fires, so P_0 fires at most
+/// #states times, and inductively every process fires boundedly often —
+/// every computation terminates. Returns true iff that argument applies
+/// (unidirectional locality and self-disabling δ_r).
+bool array_terminates_always(const Protocol& p);
+
+}  // namespace ringstab

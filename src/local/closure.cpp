@@ -1,0 +1,106 @@
+#include "local/closure.hpp"
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+namespace {
+
+// Enumerate the local states u of the process at ring distance `dist` from
+// P_r (positive = successor side) that are consistent with P_r being in
+// state s, and call fn(u). Offsets of u at position k correspond to P_r
+// offsets k + dist; out-of-window offsets are unconstrained.
+template <typename Fn>
+void for_each_neighbor_state(const LocalStateSpace& space, LocalStateId s,
+                             int dist, Fn&& fn) {
+  const auto& loc = space.locality();
+  std::vector<int> free_offsets;
+  const std::size_t d = space.domain().size();
+  std::vector<Value> window(static_cast<std::size_t>(loc.window()), 0);
+  for (int k = -loc.left; k <= loc.right; ++k) {
+    const int rk = k + dist;  // this offset of the neighbor, seen from P_r
+    if (rk >= -loc.left && rk <= loc.right) {
+      window[static_cast<std::size_t>(k + loc.left)] = space.value(s, rk);
+    } else {
+      free_offsets.push_back(k);
+    }
+  }
+  // Enumerate assignments of the free offsets.
+  std::vector<std::size_t> idx(free_offsets.size(), 0);
+  while (true) {
+    for (std::size_t i = 0; i < free_offsets.size(); ++i)
+      window[static_cast<std::size_t>(free_offsets[i] + loc.left)] =
+          static_cast<Value>(idx[i]);
+    fn(space.encode(window));
+    std::size_t i = 0;
+    for (; i < free_offsets.size(); ++i) {
+      if (++idx[i] < d) break;
+      idx[i] = 0;
+    }
+    if (i == free_offsets.size()) break;
+  }
+}
+
+}  // namespace
+
+ClosureCheck check_invariant_closure(const Protocol& p) {
+  const auto& space = p.space();
+  const auto& loc = p.locality();
+  ClosureCheck res;
+
+  for (const auto& t : p.delta()) {
+    if (!p.is_legit(t.from)) continue;
+    if (!p.is_legit(t.to)) {
+      res.verdict = ClosureCheck::Verdict::kMaybeViolated;
+      res.witness = t;
+      res.self_violation = true;
+      return res;
+    }
+    // The write to x_r is visible to P_{r+j} (j in 1..left, at its offset
+    // -j) and to P_{r-j} (j in 1..right, at its offset +j). Check that no
+    // legitimate neighbor state becomes illegitimate.
+    const Value new_self = space.self(t.to);
+    for (int j = 1; j <= loc.left; ++j) {
+      bool bad = false;
+      for_each_neighbor_state(space, t.from, j, [&](LocalStateId u) {
+        if (!p.is_legit(u)) return;
+        if (!p.is_legit(space.with_value(u, -j, new_self))) bad = true;
+      });
+      if (bad) {
+        res.verdict = ClosureCheck::Verdict::kMaybeViolated;
+        res.witness = t;
+        res.neighbor_offset = j;
+        return res;
+      }
+    }
+    for (int j = 1; j <= loc.right; ++j) {
+      bool bad = false;
+      for_each_neighbor_state(space, t.from, -j, [&](LocalStateId u) {
+        if (!p.is_legit(u)) return;
+        if (!p.is_legit(space.with_value(u, j, new_self))) bad = true;
+      });
+      if (bad) {
+        res.verdict = ClosureCheck::Verdict::kMaybeViolated;
+        res.witness = t;
+        res.neighbor_offset = -j;
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+std::string ClosureCheck::describe(const Protocol& p) const {
+  if (verdict == Verdict::kClosed)
+    return cat("I is closed in ", p.name(), " (locally certified)");
+  std::ostringstream os;
+  os << "possible closure violation in " << p.name() << ": transition ⟨"
+     << p.space().brief(witness->from) << "⟩→⟨" << p.space().brief(witness->to)
+     << "⟩ ";
+  if (self_violation)
+    os << "leaves LC_r";
+  else
+    os << "can corrupt the neighbor at ring distance " << neighbor_offset;
+  return os.str();
+}
+
+}  // namespace ringstab

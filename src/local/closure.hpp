@@ -1,0 +1,31 @@
+// Local check that the conjunctive invariant I is closed in the protocol.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+/// Result of the local closure check. The check is sound: kClosed implies
+/// I(K) is closed in p(K) for every K. kMaybeViolated reports a locally
+/// consistent witness (mover + affected neighbor) which may or may not be
+/// embeddable in a fully legitimate ring; cross-check globally if exactness
+/// matters.
+struct ClosureCheck {
+  enum class Verdict { kClosed, kMaybeViolated };
+  Verdict verdict = Verdict::kClosed;
+
+  /// Witness (when violated): the transition whose execution corrupts LC —
+  /// either its own (self_violation) or a neighbor's at `neighbor_offset`.
+  std::optional<LocalTransition> witness;
+  bool self_violation = false;
+  int neighbor_offset = 0;
+
+  std::string describe(const Protocol& p) const;
+};
+
+ClosureCheck check_invariant_closure(const Protocol& p);
+
+}  // namespace ringstab

@@ -1,0 +1,60 @@
+#include "local/convergence.hpp"
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+
+ConvergenceAnalysis check_convergence(const Protocol& p,
+                                      const TrailQuery& query,
+                                      std::size_t spectrum_max_k) {
+  ConvergenceAnalysis res;
+  res.deadlocks = analyze_deadlocks(p, spectrum_max_k);
+  if (!res.deadlocks.deadlock_free_all_k) {
+    res.verdict = ConvergenceAnalysis::Verdict::kDeadlock;
+    return res;
+  }
+  res.livelocks = check_livelock_freedom(p, query);
+  switch (res.livelocks.verdict) {
+    case LivelockAnalysis::Verdict::kLivelockFree:
+      res.verdict = ConvergenceAnalysis::Verdict::kConverges;
+      break;
+    case LivelockAnalysis::Verdict::kTrailFound:
+      res.verdict = ConvergenceAnalysis::Verdict::kTrailFound;
+      break;
+    case LivelockAnalysis::Verdict::kInconclusive:
+      res.verdict = ConvergenceAnalysis::Verdict::kInconclusive;
+      break;
+  }
+  return res;
+}
+
+std::string ConvergenceAnalysis::summary(const Protocol& p) const {
+  std::ostringstream os;
+  os << "protocol " << p.name() << ": ";
+  switch (verdict) {
+    case Verdict::kConverges:
+      os << "strongly converges to I for every ring size K";
+      if (!livelocks.covers_all_livelocks)
+        os << " (livelock-freedom certified for contiguous livelocks only: "
+              "bidirectional ring)";
+      break;
+    case Verdict::kDeadlock:
+      os << "has global deadlocks outside I; smallest deadlocked K = "
+         << deadlocks.size_spectrum.smallest() << ", " << deadlocks.bad_cycles.size()
+         << " bad cycle(s) in the deadlock RCG";
+      break;
+    case Verdict::kTrailFound:
+      os << "deadlock-free for every K, but a contiguous trail exists "
+            "(|E|="
+         << livelocks.trail()->num_enabled
+         << ", K=" << livelocks.trail()->implied_ring_size()
+         << "): livelock-freedom cannot be certified locally";
+      break;
+    case Verdict::kInconclusive:
+      os << "analysis inconclusive (trail search budget exhausted)";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ringstab

@@ -1,0 +1,34 @@
+// Combined local verdict on strong convergence (Proposition 2.1).
+#pragma once
+
+#include <string>
+
+#include "local/deadlock.hpp"
+#include "local/livelock.hpp"
+
+namespace ringstab {
+
+/// Strong convergence = deadlock-freedom + livelock-freedom outside I
+/// (Proposition 2.1), both decided in the local state space.
+struct ConvergenceAnalysis {
+  enum class Verdict {
+    kConverges,      // deadlock-free ∀K (exact) and livelock-free ∀K (via
+                     // Theorem 5.14's sufficient condition)
+    kDeadlock,       // Theorem 4.2 found a bad cycle: deadlocks exist
+    kTrailFound,     // deadlock-free, but a qualifying trail exists: the
+                     // local method cannot certify livelock-freedom
+    kInconclusive,   // livelock search budget exhausted
+  };
+
+  Verdict verdict = Verdict::kInconclusive;
+  DeadlockAnalysis deadlocks;
+  LivelockAnalysis livelocks;
+
+  std::string summary(const Protocol& p) const;
+};
+
+ConvergenceAnalysis check_convergence(const Protocol& p,
+                                      const TrailQuery& query = {},
+                                      std::size_t spectrum_max_k = 64);
+
+}  // namespace ringstab

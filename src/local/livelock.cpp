@@ -1,0 +1,28 @@
+#include "local/livelock.hpp"
+
+namespace ringstab {
+
+LivelockAnalysis check_livelock_freedom(const Protocol& p,
+                                        const TrailQuery& query) {
+  LivelockAnalysis res;
+  res.was_self_disabling = is_self_disabling(p);
+  res.covers_all_livelocks = p.locality().is_unidirectional();
+
+  const Protocol analyzed = res.was_self_disabling ? p : make_self_disabling(p);
+  const Ltg ltg(analyzed);
+  res.search = find_contiguous_trail(ltg, query);
+  switch (res.search.status) {
+    case TrailSearchStatus::kNoTrail:
+      res.verdict = LivelockAnalysis::Verdict::kLivelockFree;
+      break;
+    case TrailSearchStatus::kTrailFound:
+      res.verdict = LivelockAnalysis::Verdict::kTrailFound;
+      break;
+    case TrailSearchStatus::kInconclusive:
+      res.verdict = LivelockAnalysis::Verdict::kInconclusive;
+      break;
+  }
+  return res;
+}
+
+}  // namespace ringstab

@@ -1,0 +1,44 @@
+// Theorem 5.14: livelock-freedom for every ring size, decided locally.
+#pragma once
+
+#include "local/self_disabling.hpp"
+#include "local/trail.hpp"
+
+namespace ringstab {
+
+/// Livelock analysis of a parameterized protocol via the contrapositive of
+/// Theorem 5.14: if no contiguous trail satisfies the theorem's two
+/// conditions, the protocol is livelock-free for every K.
+struct LivelockAnalysis {
+  enum class Verdict {
+    kLivelockFree,  // no qualifying trail: livelock-free ∀K (sound)
+    kTrailFound,    // a qualifying trail exists: the sufficient condition
+                    // fails; a livelock MAY exist (the trail may be spurious
+                    // — see the paper's sum-not-two discussion)
+    kInconclusive,  // search budget exhausted
+  };
+
+  Verdict verdict = Verdict::kInconclusive;
+  TrailSearchResult search;
+
+  /// True iff the input was already self-disabling; otherwise the analysis
+  /// ran on make_self_disabling(p) as Section 5 prescribes.
+  bool was_self_disabling = true;
+
+  /// Theorem 5.14 covers *all* livelocks only on unidirectional rings; on
+  /// bidirectional rings the trail search models enablement circulating
+  /// RIGHTWARD only, so a kLivelockFree verdict there rules out
+  /// rightward-circulating contiguous livelocks and nothing more (a
+  /// mirror-image protocol with a leftward livelock would be declared
+  /// free). For bidirectional inputs prefer
+  /// check_livelock_freedom_bidirectional (transform/transform.hpp), which
+  /// also runs the search on the mirrored protocol.
+  bool covers_all_livelocks = true;
+
+  const std::optional<ContiguousTrail>& trail() const { return search.trail; }
+};
+
+LivelockAnalysis check_livelock_freedom(const Protocol& p,
+                                        const TrailQuery& query = {});
+
+}  // namespace ringstab

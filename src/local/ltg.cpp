@@ -1,0 +1,40 @@
+#include "local/ltg.hpp"
+
+#include <sstream>
+
+#include "core/fmt.hpp"
+#include "local/rcg.hpp"
+
+namespace ringstab {
+
+Ltg::Ltg(Protocol protocol)
+    : protocol_(std::move(protocol)), s_arcs_(build_rcg(protocol_.space())) {}
+
+std::size_t Ltg::s_arc_id(LocalStateId u, LocalStateId v) const {
+  RINGSTAB_ASSERT(space().right_continues(u, v), "not an s-arc");
+  const Value top = space().value(v, space().locality().right);
+  return static_cast<std::size_t>(u) * protocol_.domain().size() + top;
+}
+
+std::string Ltg::to_dot(bool include_s_arcs) const {
+  const auto& space = protocol_.space();
+  std::ostringstream os;
+  os << "digraph ltg_" << protocol_.name() << " {\n";
+  for (LocalStateId s = 0; s < num_states(); ++s) {
+    os << "  n" << s << " [label=\"" << space.brief(s) << "\""
+       << (protocol_.is_legit(s) ? ",style=filled,fillcolor=lightgray" : "")
+       << (protocol_.is_deadlock(s) ? ",shape=box" : ",shape=ellipse")
+       << "];\n";
+  }
+  for (const auto& t : protocol_.delta())
+    os << "  n" << t.from << " -> n" << t.to << " [color=black,penwidth=2];\n";
+  if (include_s_arcs) {
+    for (LocalStateId u = 0; u < num_states(); ++u)
+      for (VertexId v : s_arcs_.out(u))
+        os << "  n" << u << " -> n" << v << " [style=dashed,color=gray];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ringstab

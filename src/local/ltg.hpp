@@ -1,0 +1,48 @@
+// Local Transition Graph (paper Definition 5.3): RCG + t-arcs.
+#pragma once
+
+#include <string>
+
+#include "core/protocol.hpp"
+#include "graph/digraph.hpp"
+
+namespace ringstab {
+
+/// The LTG of a protocol: vertices are the local states of P_r; s-arcs are
+/// the right-continuation relation; t-arcs are the protocol's local
+/// transitions (δ_r, addressed by index into protocol().delta()).
+class Ltg {
+ public:
+  explicit Ltg(Protocol protocol);
+
+  const Protocol& protocol() const { return protocol_; }
+  const LocalStateSpace& space() const { return protocol_.space(); }
+
+  /// s-arc relation (the full RCG).
+  const Digraph& s_arcs() const { return s_arcs_; }
+
+  /// t-arcs = protocol().delta().
+  const std::vector<LocalTransition>& t_arcs() const {
+    return protocol_.delta();
+  }
+
+  std::size_t num_states() const { return protocol_.num_states(); }
+
+  /// Dense id of an s-arc u→v: each u has exactly |D| right continuations,
+  /// distinguished by v's rightmost window value. Used by the trail search
+  /// to track arc usage compactly.
+  std::size_t s_arc_id(LocalStateId u, LocalStateId v) const;
+  std::size_t num_s_arc_ids() const {
+    return num_states() * protocol_.domain().size();
+  }
+
+  /// Graphviz rendering: solid arcs are t-arcs, dashed arcs s-arcs,
+  /// illegitimate states unfilled, deadlocks boxed.
+  std::string to_dot(bool include_s_arcs = true) const;
+
+ private:
+  Protocol protocol_;
+  Digraph s_arcs_;
+};
+
+}  // namespace ringstab

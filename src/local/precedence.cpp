@@ -1,0 +1,184 @@
+#include "local/precedence.hpp"
+
+#include <algorithm>
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+
+LocalStateId local_state_of(const Protocol& p, const std::vector<Value>& ring,
+                            std::size_t i) {
+  const auto& loc = p.locality();
+  const std::size_t k = ring.size();
+  RINGSTAB_ASSERT(i < k, "process index out of range");
+  std::vector<Value> window;
+  window.reserve(static_cast<std::size_t>(loc.window()));
+  for (int off = -loc.left; off <= loc.right; ++off) {
+    const std::size_t j =
+        (i + static_cast<std::size_t>(off + static_cast<int>(k))) % k;
+    window.push_back(ring[j]);
+  }
+  return p.space().encode(window);
+}
+
+bool apply_step(const Protocol& p, std::vector<Value>& ring,
+                const ScheduledStep& step) {
+  if (local_state_of(p, ring, step.process) != step.transition.from)
+    return false;
+  const auto& delta = p.delta();
+  if (!std::binary_search(delta.begin(), delta.end(), step.transition))
+    return false;
+  ring[step.process] = p.space().self(step.transition.to);
+  return true;
+}
+
+std::optional<std::vector<std::vector<Value>>> execute_schedule(
+    const Protocol& p, std::vector<Value> start, const Schedule& schedule) {
+  std::vector<std::vector<Value>> states;
+  states.reserve(schedule.size() + 1);
+  states.push_back(start);
+  for (const auto& step : schedule) {
+    if (!apply_step(p, start, step)) return std::nullopt;
+    states.push_back(start);
+  }
+  return states;
+}
+
+bool is_livelock_schedule(const Protocol& p, const std::vector<Value>& start,
+                          const Schedule& schedule) {
+  auto states = execute_schedule(p, start, schedule);
+  if (!states) return false;
+  if (states->back() != start) return false;
+  // Every visited state must lie outside I (some process in ¬LC_r).
+  for (const auto& s : *states) {
+    bool outside = false;
+    for (std::size_t i = 0; i < s.size() && !outside; ++i)
+      outside = !p.is_legit(local_state_of(p, s, i));
+    if (!outside) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+PrecedenceRelation::independent_pairs() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t a = 0; a < size; ++a)
+    for (std::size_t b = a + 1; b < size; ++b)
+      if (independent(a, b)) out.emplace_back(a, b);
+  return out;
+}
+
+namespace {
+
+// Two steps are dependent iff one process's write is in the other's
+// locality (read ∪ write sets overlap on the writable variables).
+bool dependent(const Locality& loc, std::size_t ring_size, std::size_t pi,
+               std::size_t pj) {
+  const auto k = static_cast<long long>(ring_size);
+  auto within = [&](std::size_t a, std::size_t b) {
+    // does P_b read x_a? x_a ∈ {x_{b-left}, ..., x_{b+right}}
+    for (int off = -loc.left; off <= loc.right; ++off) {
+      const long long idx =
+          ((static_cast<long long>(b) + off) % k + k) % k;
+      if (idx == static_cast<long long>(a)) return true;
+    }
+    return false;
+  };
+  return within(pi, pj) || within(pj, pi);
+}
+
+}  // namespace
+
+PrecedenceRelation livelock_precedence(const Protocol& p,
+                                       std::size_t ring_size,
+                                       const Schedule& schedule) {
+  const std::size_t n = schedule.size();
+  PrecedenceRelation rel;
+  rel.size = n;
+  rel.precedes.assign(n, std::vector<bool>(n, false));
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      if (dependent(p.locality(), ring_size, schedule[a].process,
+                    schedule[b].process))
+        rel.precedes[a][b] = true;
+  // Transitive closure (order already respects schedule positions, so a
+  // Floyd–Warshall pass suffices).
+  for (std::size_t m = 0; m < n; ++m)
+    for (std::size_t a = 0; a < n; ++a) {
+      if (!rel.precedes[a][m]) continue;
+      for (std::size_t b = 0; b < n; ++b)
+        if (rel.precedes[m][b]) rel.precedes[a][b] = true;
+    }
+  return rel;
+}
+
+std::size_t count_linear_extensions(const PrecedenceRelation& rel,
+                                    bool fix_first) {
+  const std::size_t n = rel.size;
+  if (n > 24) throw CapacityError("schedule too long for extension counting");
+  if (n == 0) return 1;
+
+  // preds[b] = bitmask of steps that must precede b.
+  std::vector<std::uint32_t> preds(n, 0);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b)
+      if (rel.precedes[a][b]) preds[b] |= (1u << a);
+
+  const std::uint32_t full = (n == 32) ? 0xffffffffu : ((1u << n) - 1);
+  std::vector<std::size_t> count(static_cast<std::size_t>(full) + 1, 0);
+  const std::uint32_t seed = fix_first ? 1u : 0u;
+  if (fix_first && preds[0] != 0) return 0;  // step 0 cannot go first
+  count[seed] = 1;
+  for (std::uint32_t mask = seed; mask <= full; ++mask) {
+    if (count[mask] == 0) continue;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (mask & (1u << b)) continue;
+      if ((preds[b] & ~mask) != 0) continue;
+      count[mask | (1u << b)] += count[mask];
+    }
+    if (mask == full) break;
+  }
+  return count[full];
+}
+
+std::vector<Schedule> precedence_preserving_schedules(
+    const Protocol& p, const std::vector<Value>& start,
+    const Schedule& schedule, std::size_t max_results) {
+  RINGSTAB_ASSERT(is_livelock_schedule(p, start, schedule),
+                  "input schedule is not one period of a livelock");
+  const PrecedenceRelation rel =
+      livelock_precedence(p, start.size(), schedule);
+  const std::size_t n = schedule.size();
+
+  std::vector<std::uint32_t> preds(n, 0);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b)
+      if (rel.precedes[a][b]) preds[b] |= (1u << a);
+
+  std::vector<Schedule> out;
+  std::vector<std::size_t> order{0};  // first step fixed
+  auto dfs = [&](auto&& self, std::uint32_t mask) -> void {
+    if (out.size() >= max_results) return;
+    if (order.size() == n) {
+      Schedule perm;
+      perm.reserve(n);
+      for (std::size_t idx : order) perm.push_back(schedule[idx]);
+      RINGSTAB_ASSERT(is_livelock_schedule(p, start, perm),
+                      "Lemma 5.11 violated: permuted schedule misfires");
+      out.push_back(std::move(perm));
+      return;
+    }
+    for (std::size_t b = 1; b < n; ++b) {
+      if (mask & (1u << b)) continue;
+      if ((preds[b] & ~mask) != 0) continue;
+      order.push_back(b);
+      self(self, mask | (1u << b));
+      order.pop_back();
+      if (out.size() >= max_results) return;
+    }
+  };
+  if (n > 0 && preds[0] == 0) dfs(dfs, 1u);
+  return out;
+}
+
+}  // namespace ringstab

@@ -1,0 +1,76 @@
+// Livelock-induced precedence relation and schedule permutations
+// (paper Definition 5.10, Lemma 5.11, Example 5.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+/// One step of a concrete schedule on a ring of size K: process `process`
+/// fires local transition `transition` (its window must match
+/// transition.from at execution time).
+struct ScheduledStep {
+  std::size_t process = 0;
+  LocalTransition transition;
+
+  bool operator==(const ScheduledStep&) const = default;
+};
+
+using Schedule = std::vector<ScheduledStep>;
+
+/// Local state of process i in a concrete ring valuation.
+LocalStateId local_state_of(const Protocol& p, const std::vector<Value>& ring,
+                            std::size_t i);
+
+/// Apply one step in place; false (ring untouched) if the step is not
+/// enabled exactly as scheduled.
+bool apply_step(const Protocol& p, std::vector<Value>& ring,
+                const ScheduledStep& step);
+
+/// Execute a schedule from `start`; returns the state sequence
+/// (start included, length |schedule|+1), or nullopt if some step misfires.
+std::optional<std::vector<std::vector<Value>>> execute_schedule(
+    const Protocol& p, std::vector<Value> start, const Schedule& schedule);
+
+/// True iff the schedule executes from `start` and returns to `start`
+/// (i.e. it is one period of a livelock) — and, if `outside` is given, every
+/// visited state satisfies ¬I.
+bool is_livelock_schedule(const Protocol& p, const std::vector<Value>& start,
+                          const Schedule& schedule);
+
+/// The precedence relation ≺ of Definition 5.10 over the steps of one
+/// livelock period, computed from locality-based dependence: steps of
+/// processes whose localities overlap are ordered as in the schedule;
+/// independent steps are unordered. `precedes` is the transitive closure.
+struct PrecedenceRelation {
+  std::size_t size = 0;
+  std::vector<std::vector<bool>> precedes;
+
+  bool independent(std::size_t a, std::size_t b) const {
+    return !precedes[a][b] && !precedes[b][a];
+  }
+  /// Unordered pairs {a, b}, a < b, with neither a ≺ b nor b ≺ a.
+  std::vector<std::pair<std::size_t, std::size_t>> independent_pairs() const;
+};
+
+PrecedenceRelation livelock_precedence(const Protocol& p, std::size_t ring_size,
+                                       const Schedule& schedule);
+
+/// Number of precedence-preserving permutations with the first step fixed
+/// (the paper fixes the "starting" transition to quotient out rotations).
+/// Bitmask DP; throws CapacityError for schedules longer than 24 steps.
+std::size_t count_linear_extensions(const PrecedenceRelation& rel,
+                                    bool fix_first = true);
+
+/// Enumerate the precedence-preserving permutations themselves (as
+/// schedules), first step fixed, capped at `max_results`. By Lemma 5.11
+/// every returned schedule is again a livelock period; this is re-verified
+/// by execution and violations trigger an internal error.
+std::vector<Schedule> precedence_preserving_schedules(
+    const Protocol& p, const std::vector<Value>& start,
+    const Schedule& schedule, std::size_t max_results = 1024);
+
+}  // namespace ringstab

@@ -1,0 +1,142 @@
+#include "local/pseudo_livelock.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/fmt.hpp"
+#include "graph/cycles.hpp"
+
+namespace ringstab {
+
+WriteProjection::WriteProjection(const Protocol& p,
+                                 std::span<const std::size_t> t_arc_indices) {
+  if (t_arc_indices.empty()) {
+    indices_.resize(p.delta().size());
+    std::iota(indices_.begin(), indices_.end(), std::size_t{0});
+  } else {
+    indices_.assign(t_arc_indices.begin(), t_arc_indices.end());
+  }
+  const std::size_t d = p.domain().size();
+  adj_.assign(d, std::vector<std::vector<std::size_t>>(d));
+  write_pairs_.reserve(indices_.size());
+  for (std::size_t idx : indices_) {
+    RINGSTAB_ASSERT(idx < p.delta().size(), "t-arc index out of range");
+    const auto& t = p.delta()[idx];
+    const Value a = p.space().self(t.from);
+    const Value b = p.space().self(t.to);
+    write_pairs_.emplace_back(a, b);
+    adj_[a][b].push_back(idx);
+  }
+}
+
+const std::vector<std::size_t>& WriteProjection::arcs(Value a, Value b) const {
+  return adj_[a][b];
+}
+
+bool WriteProjection::reaches(Value a, Value b) const {
+  // Path of length >= 1 from a to b (so reaches(b, a) with a == b detects a
+  // genuine cycle, not the empty path).
+  const std::size_t d = adj_.size();
+  std::vector<bool> expanded(d, false);
+  std::vector<Value> stack{a};
+  expanded[a] = true;
+  while (!stack.empty()) {
+    const Value u = stack.back();
+    stack.pop_back();
+    for (Value v = 0; v < d; ++v) {
+      if (adj_[u][v].empty()) continue;
+      if (v == b) return true;
+      if (!expanded[v]) {
+        expanded[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+bool WriteProjection::on_value_cycle(std::size_t idx) const {
+  const auto it = std::find(indices_.begin(), indices_.end(), idx);
+  RINGSTAB_ASSERT(it != indices_.end(), "t-arc not in this projection");
+  const auto& [a, b] =
+      write_pairs_[static_cast<std::size_t>(it - indices_.begin())];
+  return reaches(b, a);
+}
+
+bool WriteProjection::forms_pseudo_livelocks() const {
+  return std::all_of(write_pairs_.begin(), write_pairs_.end(),
+                     [&](const auto& pair) {
+                       return reaches(pair.second, pair.first);
+                     });
+}
+
+bool WriteProjection::has_pseudo_livelock() const {
+  return std::any_of(write_pairs_.begin(), write_pairs_.end(),
+                     [&](const auto& pair) {
+                       return reaches(pair.second, pair.first);
+                     });
+}
+
+std::string WriteProjection::describe(const Protocol& p) const {
+  std::ostringstream os;
+  const auto& dom = p.domain();
+  bool first = true;
+  for (Value a = 0; a < dom.size(); ++a)
+    for (Value b = 0; b < dom.size(); ++b) {
+      if (adj_[a][b].empty()) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << dom.name(a) << "→" << dom.name(b) << " {"
+         << join(adj_[a][b], ",",
+                 [](std::size_t i) { return cat("t#", i); })
+         << "}";
+    }
+  os << (forms_pseudo_livelocks() ? " : union of value cycles"
+                                  : " : NOT a union of value cycles");
+  return os.str();
+}
+
+std::vector<std::vector<std::size_t>> minimal_pseudo_livelocks(
+    const Protocol& p, std::span<const std::size_t> t_arc_indices,
+    std::size_t max_results) {
+  const WriteProjection proj(p, t_arc_indices);
+  const std::size_t d = p.domain().size();
+
+  // Value graph (one arc per nonempty bucket).
+  Digraph values(d);
+  for (Value a = 0; a < d; ++a)
+    for (Value b = 0; b < d; ++b)
+      if (!proj.arcs(a, b).empty()) values.add_arc(a, b);
+
+  std::vector<std::vector<std::size_t>> out;
+  for (const Cycle& cyc : simple_cycles(values)) {
+    // Expand the cartesian product of t-arc choices along the value cycle.
+    std::vector<const std::vector<std::size_t>*> buckets;
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      const Value a = static_cast<Value>(cyc[i]);
+      const Value b = static_cast<Value>(cyc[(i + 1) % cyc.size()]);
+      buckets.push_back(&proj.arcs(a, b));
+    }
+    std::vector<std::size_t> pick(buckets.size(), 0);
+    while (true) {
+      std::vector<std::size_t> subset;
+      subset.reserve(buckets.size());
+      for (std::size_t i = 0; i < buckets.size(); ++i)
+        subset.push_back((*buckets[i])[pick[i]]);
+      std::sort(subset.begin(), subset.end());
+      out.push_back(std::move(subset));
+      if (out.size() >= max_results) return out;
+      std::size_t i = 0;
+      for (; i < buckets.size(); ++i) {
+        if (++pick[i] < buckets[i]->size()) break;
+        pick[i] = 0;
+      }
+      if (i == buckets.size()) break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ringstab

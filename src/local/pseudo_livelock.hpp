@@ -1,0 +1,62 @@
+// Pseudo-livelocks (paper Definition 5.13): repetitive write projections.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+/// The projection of a set of t-arcs on the writable variable: a multigraph
+/// over domain values with one arc (self(from) → self(to)) per t-arc.
+class WriteProjection {
+ public:
+  /// `t_arc_indices` index into p.delta(); an empty span means all of δ_r.
+  WriteProjection(const Protocol& p, std::span<const std::size_t> t_arc_indices);
+
+  std::size_t num_values() const { return adj_.size(); }
+
+  /// t-arc indices projecting onto value arc a→b.
+  const std::vector<std::size_t>& arcs(Value a, Value b) const;
+
+  /// True iff value b is reachable from value a along projected arcs.
+  bool reaches(Value a, Value b) const;
+
+  /// True iff the projected arc of t-arc `idx` lies on a directed cycle of
+  /// the projection.
+  bool on_value_cycle(std::size_t idx) const;
+
+  /// Paper Def. 5.13 lifted to sets: the t-arc set forms pseudo-livelocks
+  /// iff every projected arc lies on a directed cycle (the projection
+  /// decomposes into repetitive value sequences).
+  bool forms_pseudo_livelocks() const;
+
+  /// True iff *some* subset of the t-arcs forms a pseudo-livelock, i.e. the
+  /// projected value graph has a directed cycle at all. When false, the NPL
+  /// fast path of the synthesis methodology (step 4) applies: Theorem 5.14's
+  /// condition 2 can never hold, so the protocol is livelock-free ∀K.
+  bool has_pseudo_livelock() const;
+
+  /// Human-readable summary, e.g. "0→1 {t#3}, 1→0 {t#7} : cycle".
+  std::string describe(const Protocol& p) const;
+
+ private:
+  std::vector<std::size_t> indices_;
+  // write_pair_[i] = projected (from, to) values of indices_[i]'s t-arc.
+  std::vector<std::pair<Value, Value>> write_pairs_;
+  // adj_[a][b] = t-arc indices with write pair (a, b).
+  std::vector<std::vector<std::vector<std::size_t>>> adj_;
+};
+
+/// Enumerate the *minimal* pseudo-livelocks inside a candidate t-arc set:
+/// every simple cycle of the projected value graph, expanded over the choice
+/// of t-arc per value arc. Each result is a sorted list of t-arc indices.
+/// Capped at `max_results`.
+std::vector<std::vector<std::size_t>> minimal_pseudo_livelocks(
+    const Protocol& p, std::span<const std::size_t> t_arc_indices,
+    std::size_t max_results = 4096);
+
+}  // namespace ringstab

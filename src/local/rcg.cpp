@@ -1,0 +1,29 @@
+#include "local/rcg.hpp"
+
+namespace ringstab {
+
+Digraph build_rcg(const LocalStateSpace& space) {
+  Digraph g(space.size());
+  for (LocalStateId u = 0; u < space.size(); ++u)
+    for (LocalStateId v : space.right_continuations(u)) g.add_arc(u, v);
+  return g;
+}
+
+Digraph deadlock_rcg(const Protocol& p) {
+  std::vector<bool> keep(p.num_states());
+  for (LocalStateId s = 0; s < p.num_states(); ++s)
+    keep[s] = p.is_deadlock(s);
+  return build_rcg(p.space()).induced(keep);
+}
+
+Digraph deadlock_rcg_excluding(const Protocol& p,
+                               const std::vector<bool>& excluded) {
+  RINGSTAB_ASSERT(excluded.size() == p.num_states(),
+                  "exclusion mask size mismatch");
+  std::vector<bool> keep(p.num_states());
+  for (LocalStateId s = 0; s < p.num_states(); ++s)
+    keep[s] = p.is_deadlock(s) && !excluded[s];
+  return build_rcg(p.space()).induced(keep);
+}
+
+}  // namespace ringstab

@@ -1,0 +1,26 @@
+// Right Continuation Graph (paper Definition 4.1).
+#pragma once
+
+#include "core/protocol.hpp"
+#include "graph/digraph.hpp"
+
+namespace ringstab {
+
+/// The RCG over the *whole* local state space: vertex ids are LocalStateIds,
+/// with an s-arc u → v iff v is a right continuation of u (the local state a
+/// right successor process may be in). Every vertex has exactly |D| out-arcs
+/// and |D| in-arcs.
+Digraph build_rcg(const LocalStateSpace& space);
+
+/// The RCG induced over the protocol's local deadlock states (vertex ids are
+/// unchanged; non-deadlock vertices are isolated). This is the graph
+/// Theorem 4.2 inspects.
+Digraph deadlock_rcg(const Protocol& p);
+
+/// As deadlock_rcg, but with an explicit extra set of states to exclude
+/// (synthesis uses this to test Resolve candidates: the induced subgraph over
+/// D_L \ Resolve).
+Digraph deadlock_rcg_excluding(const Protocol& p,
+                               const std::vector<bool>& excluded);
+
+}  // namespace ringstab

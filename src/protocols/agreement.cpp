@@ -1,0 +1,54 @@
+#include "protocols/agreement.hpp"
+
+#include "core/builder.hpp"
+
+namespace ringstab::protocols {
+namespace {
+
+ProtocolBuilder base(std::string name, std::size_t domain_size) {
+  ProtocolBuilder b(std::move(name), Domain::range(domain_size),
+                    Locality{1, 0});
+  b.legitimate([](const LocalView& v) { return v[-1] == v[0]; });
+  return b;
+}
+
+}  // namespace
+
+Protocol agreement_empty(std::size_t domain_size) {
+  return base("agreement", domain_size).build();
+}
+
+Protocol agreement_both() {
+  auto b = base("agreement_both", 2);
+  b.action("t01",
+           [](const LocalView& v) { return v[-1] == 1 && v[0] == 0; },
+           [](const LocalView&) { return Value{1}; });
+  b.action("t10",
+           [](const LocalView& v) { return v[-1] == 0 && v[0] == 1; },
+           [](const LocalView&) { return Value{0}; });
+  return b.build();
+}
+
+Protocol agreement_one_sided(bool copy_up) {
+  auto b = base(copy_up ? "agreement_up" : "agreement_down", 2);
+  if (copy_up) {
+    b.action("t01",
+             [](const LocalView& v) { return v[-1] == 1 && v[0] == 0; },
+             [](const LocalView&) { return Value{1}; });
+  } else {
+    b.action("t10",
+             [](const LocalView& v) { return v[-1] == 0 && v[0] == 1; },
+             [](const LocalView&) { return Value{0}; });
+  }
+  return b.build();
+}
+
+Protocol agreement_max(std::size_t domain_size) {
+  auto b = base("agreement_max", domain_size);
+  b.action("copy_max",
+           [](const LocalView& v) { return v[0] < v[-1]; },
+           [](const LocalView& v) { return v[-1]; });
+  return b.build();
+}
+
+}  // namespace ringstab::protocols

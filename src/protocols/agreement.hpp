@@ -1,0 +1,24 @@
+// Agreement protocols on unidirectional rings (paper Example 5.2, Sec. 6.2).
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace ringstab::protocols {
+
+/// Empty binary agreement: domain {0,1}, reads x[-1]..x[0],
+/// LC_r: x_r = x_{r-1}, no transitions. The Section 6.2 synthesis input.
+Protocol agreement_empty(std::size_t domain_size = 2);
+
+/// Example 5.2: both corrective transitions t01 and t10 — livelocks for
+/// K ≥ 4 (the paper's K=4 livelock ≪1000,1100,…≫).
+Protocol agreement_both();
+
+/// The accepted synthesis outcome: only one corrective transition
+/// (x_{r-1} > x_r → copy for `copy_up`, else the mirror).
+Protocol agreement_one_sided(bool copy_up = true);
+
+/// k-ary generalization of the one-sided solution: x_{r-1} ≠ x_r and
+/// x_r < x_{r-1} → x_r := x_{r-1} (max wins). Livelock-free ∀K by NPL.
+Protocol agreement_max(std::size_t domain_size);
+
+}  // namespace ringstab::protocols

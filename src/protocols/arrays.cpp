@@ -1,0 +1,76 @@
+#include "protocols/arrays.hpp"
+
+#include "core/builder.hpp"
+#include "core/fmt.hpp"
+
+namespace ringstab::protocols {
+namespace {
+
+// Domain of `values` real values plus the trailing ⊥.
+Domain array_domain(std::size_t values) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < values; ++i) names.push_back(std::to_string(i));
+  names.push_back("B");  // ⊥ (abbreviated 'B' in dumps)
+  return Domain::named(std::move(names));
+}
+
+}  // namespace
+
+Protocol array_agreement(std::size_t values) {
+  const Value bot = static_cast<Value>(values);
+  ProtocolBuilder b(cat("array_agreement_", values), array_domain(values),
+                    Locality{1, 0});
+  b.legitimate([bot](const LocalView& v) {
+    return v[-1] == bot || v[-1] == v[0];
+  });
+  b.action("copy",
+           [bot](const LocalView& v) {
+             return v[-1] != bot && v[0] != bot && v[-1] != v[0];
+           },
+           [](const LocalView& v) { return v[-1]; });
+  return b.build();
+}
+
+Protocol array_sort(std::size_t values) {
+  const Value bot = static_cast<Value>(values);
+  ProtocolBuilder b(cat("array_sort_", values), array_domain(values),
+                    Locality{1, 0});
+  b.legitimate([bot](const LocalView& v) {
+    return v[-1] == bot || (v[0] != bot && v[-1] <= v[0]);
+  });
+  b.action("pull_up",
+           [bot](const LocalView& v) {
+             return v[-1] != bot && v[0] != bot && v[-1] > v[0];
+           },
+           [](const LocalView& v) { return v[-1]; });
+  return b.build();
+}
+
+Protocol array_two_coloring() {
+  const Value bot = 2;
+  ProtocolBuilder b("array_2coloring", array_domain(2), Locality{1, 0});
+  b.legitimate([](const LocalView& v) {
+    return v[-1] == bot || (v[0] != bot && v[-1] != v[0]);
+  });
+  b.action("flip",
+           [](const LocalView& v) {
+             return v[-1] != bot && v[0] != bot && v[-1] == v[0];
+           },
+           [](const LocalView& v) { return static_cast<Value>(1 - v[0]); });
+  return b.build();
+}
+
+Protocol array_two_coloring_broken() {
+  const Value bot = 2;
+  ProtocolBuilder b("array_2coloring_broken", array_domain(2),
+                    Locality{1, 0});
+  b.legitimate([](const LocalView& v) {
+    return v[-1] == bot || (v[0] != bot && v[-1] != v[0]);
+  });
+  b.action("flip_only_zero",
+           [](const LocalView& v) { return v[-1] == 0 && v[0] == 0; },
+           [](const LocalView&) { return Value{1}; });
+  return b.build();
+}
+
+}  // namespace ringstab::protocols

@@ -1,0 +1,29 @@
+// Protocols for the ARRAY (open chain) extension — domain's last value is
+// the boundary marker ⊥ (see local/array.hpp).
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace ringstab::protocols {
+
+/// Agreement on an array: everyone copies its predecessor; process 0 (which
+/// sees ⊥) is always legitimate. Converges for every length. `values` is
+/// the number of real values (the domain gets one extra ⊥ slot).
+Protocol array_agreement(std::size_t values = 2);
+
+/// Sorting sweep: LC_r: x[-1]=⊥ ∨ x[-1] ≤ x[0] (non-decreasing array);
+/// out-of-order processes copy the predecessor (max-propagation).
+Protocol array_sort(std::size_t values = 3);
+
+/// 2-coloring on an array: LC_r: x[-1]=⊥ ∨ x[-1] ≠ x[0]. IMPOSSIBLE on
+/// unidirectional rings (paper Fig. 11), but on arrays the parity
+/// obstruction disappears: flipping monochromatic pairs converges for every
+/// length.
+Protocol array_two_coloring();
+
+/// A deliberately broken array protocol: like array_two_coloring but the
+/// corrective action only fires when the predecessor is 0, leaving the
+/// (1,1) deadlock in place — deadlocked arrays exist for every length ≥ 2.
+Protocol array_two_coloring_broken();
+
+}  // namespace ringstab::protocols

@@ -1,0 +1,46 @@
+#include "protocols/coloring.hpp"
+
+#include "core/builder.hpp"
+#include "core/fmt.hpp"
+
+namespace ringstab::protocols {
+namespace {
+
+ProtocolBuilder base(std::string name, std::size_t num_colors) {
+  ProtocolBuilder b(std::move(name), Domain::range(num_colors),
+                    Locality{1, 0});
+  b.legitimate([](const LocalView& v) { return v[-1] != v[0]; });
+  return b;
+}
+
+}  // namespace
+
+Protocol coloring_empty(std::size_t num_colors) {
+  return base(cat(num_colors, "coloring"), num_colors).build();
+}
+
+Protocol three_coloring_rotation() {
+  return coloring_with_choices(3, {1, 2, 0});
+}
+
+Protocol coloring_with_choices(std::size_t num_colors,
+                               const std::vector<Value>& chosen) {
+  if (chosen.size() != num_colors)
+    throw ModelError("need one target color per monochromatic deadlock");
+  auto b = base(cat(num_colors, "coloring_fix"), num_colors);
+  for (std::size_t i = 0; i < num_colors; ++i) {
+    if (chosen[i] >= num_colors)
+      throw ModelError("target color outside the palette");
+    if (chosen[i] == i)
+      throw ModelError("target color must differ from the deadlock color");
+    b.action(cat("t", i, chosen[i]),
+             [i](const LocalView& v) {
+               return v[-1] == static_cast<Value>(i) &&
+                      v[0] == static_cast<Value>(i);
+             },
+             [j = chosen[i]](const LocalView&) { return j; });
+  }
+  return b.build();
+}
+
+}  // namespace ringstab::protocols

@@ -1,0 +1,23 @@
+// Ring coloring protocols (paper Section 6.1/6.2: 3-coloring, 2-coloring).
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace ringstab::protocols {
+
+/// Empty coloring protocol on a unidirectional ring: domain {0..c-1},
+/// LC_r: c_r ≠ c_{r-1}. Synthesis input for Section 6.1 (c=3) and the
+/// 2-coloring impossibility discussion (c=2).
+Protocol coloring_empty(std::size_t num_colors);
+
+/// The rotation candidate {t01, t12, t20} of Section 6.1 that the
+/// methodology rejects: it forms the pseudo-livelock ≪0,1,2≫ and the
+/// contiguous trail through {00,11,22} — and indeed livelocks globally.
+Protocol three_coloring_rotation();
+
+/// Generic "pick i → j" candidate built from a choice of target color per
+/// monochromatic deadlock: chosen[i] = j adds t_ij : c_{r-1}=c_r=i → c_r:=j.
+Protocol coloring_with_choices(std::size_t num_colors,
+                               const std::vector<Value>& chosen);
+
+}  // namespace ringstab::protocols

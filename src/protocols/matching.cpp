@@ -1,0 +1,147 @@
+#include "protocols/matching.hpp"
+
+#include "core/builder.hpp"
+
+namespace ringstab::protocols {
+namespace {
+
+enum : Value { kLeft = 0, kRight = 1, kSelf = 2 };
+
+Domain matching_domain() {
+  return Domain::named({"left", "right", "self"});
+}
+
+// LC_r of Example 4.1:
+// (m_r=right ∧ m_{r+1}=left) ∨ (m_{r-1}=right ∧ m_r=left)
+//   ∨ (m_{r-1}=left ∧ m_r=self ∧ m_{r+1}=right).
+bool matching_legit(const LocalView& v) {
+  return (v[0] == kRight && v[1] == kLeft) ||
+         (v[-1] == kRight && v[0] == kLeft) ||
+         (v[-1] == kLeft && v[0] == kSelf && v[1] == kRight);
+}
+
+ProtocolBuilder base(std::string name) {
+  ProtocolBuilder b(std::move(name), matching_domain(), Locality{1, 1});
+  b.legitimate(matching_legit);
+  return b;
+}
+
+}  // namespace
+
+Protocol matching_skeleton() { return base("matching").build(); }
+
+Protocol matching_generalizable() {
+  auto b = base("matching_gen");
+  // A1
+  b.action("A1",
+           [](const LocalView& v) {
+             return v[-1] == kLeft && v[0] != kSelf && v[1] == kRight;
+           },
+           [](const LocalView&) { return Value{kSelf}; });
+  // A2 (nondeterministic: right | left)
+  b.action("A2",
+           [](const LocalView& v) {
+             return v[-1] == kSelf && v[0] == kSelf && v[1] == kSelf;
+           },
+           ProtocolBuilder::MultiEffect([](const LocalView&) {
+             return std::vector<Value>{kRight, kLeft};
+           }));
+  // A3
+  b.action("A3a",
+           [](const LocalView& v) { return v[-1] == kRight && v[0] == kSelf; },
+           [](const LocalView&) { return Value{kLeft}; });
+  b.action("A3b",
+           [](const LocalView& v) { return v[0] == kSelf && v[1] == kLeft; },
+           [](const LocalView&) { return Value{kRight}; });
+  // A4
+  b.action("A4a",
+           [](const LocalView& v) {
+             return v[-1] == kRight && v[0] == kRight && v[1] != kLeft;
+           },
+           [](const LocalView&) { return Value{kLeft}; });
+  b.action("A4b",
+           [](const LocalView& v) {
+             return v[-1] != kRight && v[0] == kLeft && v[1] == kLeft;
+           },
+           [](const LocalView&) { return Value{kRight}; });
+  // A5
+  b.action("A5a",
+           [](const LocalView& v) {
+             return v[-1] == kSelf && v[0] != kLeft && v[1] == kRight;
+           },
+           [](const LocalView&) { return Value{kLeft}; });
+  b.action("A5b",
+           [](const LocalView& v) {
+             return v[-1] == kLeft && v[0] != kRight && v[1] == kSelf;
+           },
+           [](const LocalView&) { return Value{kRight}; });
+  return b.build();
+}
+
+Protocol matching_nongeneralizable() {
+  auto b = base("matching_nongen");
+  // B1
+  b.action("B1",
+           [](const LocalView& v) {
+             return v[-1] == kLeft && v[0] != kSelf && v[1] == kRight;
+           },
+           [](const LocalView&) { return Value{kSelf}; });
+  // B2
+  b.action("B2a",
+           [](const LocalView& v) {
+             return v[-1] == kRight && v[0] == kSelf && v[1] == kLeft;
+           },
+           [](const LocalView&) { return Value{kRight}; });
+  b.action("B2b",
+           [](const LocalView& v) {
+             return v[-1] == kSelf && v[0] == kSelf && v[1] == kSelf;
+           },
+           [](const LocalView&) { return Value{kRight}; });
+  // B3
+  b.action("B3a",
+           [](const LocalView& v) {
+             return v[-1] == kRight && v[0] == kRight && v[1] == kLeft;
+           },
+           [](const LocalView&) { return Value{kLeft}; });
+  b.action("B3b",
+           [](const LocalView& v) {
+             return v[-1] == kSelf && v[0] == kSelf && v[1] == kRight;
+           },
+           [](const LocalView&) { return Value{kLeft}; });
+  // B4
+  b.action("B4a",
+           [](const LocalView& v) {
+             return v[-1] == kRight && v[0] != kLeft && v[1] != kLeft;
+           },
+           [](const LocalView&) { return Value{kLeft}; });
+  b.action("B4b",
+           [](const LocalView& v) {
+             return v[-1] != kRight && v[0] != kRight && v[1] == kLeft;
+           },
+           [](const LocalView&) { return Value{kRight}; });
+  return b.build();
+}
+
+Protocol matching_nongeneralizable_fixed() {
+  const Protocol base = matching_nongeneralizable();
+  // Resolve ⟨left,left,self⟩ by letting it withdraw the stale left-match
+  // (m_r := self); both bad cycles of Figure 3 pass through this state.
+  const auto& space = base.space();
+  const LocalStateId lls =
+      space.encode(std::vector<Value>{kLeft, kLeft, kSelf});
+  return base.with_added("matching_nongen_fixed",
+                         {{lls, space.with_self(lls, kSelf)}});
+}
+
+Protocol matching_gouda_acharya_fragment() {
+  auto b = base("matching_ga");
+  b.action("t_ls",
+           [](const LocalView& v) { return v[0] == kLeft && v[-1] == kLeft; },
+           [](const LocalView&) { return Value{kSelf}; });
+  b.action("t_sl",
+           [](const LocalView& v) { return v[0] == kSelf && v[-1] != kLeft; },
+           [](const LocalView&) { return Value{kLeft}; });
+  return b.build();
+}
+
+}  // namespace ringstab::protocols

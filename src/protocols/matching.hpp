@@ -1,0 +1,36 @@
+// Maximal matching on a bidirectional ring (paper Examples 4.1–4.3, Fig. 8).
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace ringstab::protocols {
+
+/// The matching domain {left, right, self} and locality {-1..+1}
+/// (Example 4.1): m_r says whether P_r matches its predecessor, successor,
+/// or nobody. LC_r is the paper's three-way disjunction.
+///
+/// An empty protocol (no transitions) over that structure; the common
+/// skeleton of the matching variants and a synthesis input.
+Protocol matching_skeleton();
+
+/// Example 4.2: the generalizable maximal-matching protocol (actions
+/// A1–A5, synthesized by STSyn for K=6) — deadlock-free for every K.
+Protocol matching_generalizable();
+
+/// Example 4.3: the non-generalizable variant (actions B1–B4) — stabilizes
+/// at K=5 but deadlocks on rings whose size is a multiple of 4 or 6 (the
+/// RCG cycles through ⟨left,left,self⟩).
+Protocol matching_nongeneralizable();
+
+/// The two-action fragment of Gouda & Acharya's matching solution used in
+/// Figure 8 (t_ls, t_sl); exhibits the K=5 livelock
+/// ⟨lslsl, sslsl, …⟩ the paper walks through.
+Protocol matching_gouda_acharya_fragment();
+
+/// Example 4.3's protocol with the paper's suggested repair applied:
+/// "resolving the local deadlock ⟨left,left,self⟩ renders RCG_p without
+/// cycles including local states in ¬LC_r; i.e., p(K) becomes deadlock free
+/// for any ring size K." One local transition is added at ⟨l,l,s⟩.
+Protocol matching_nongeneralizable_fixed();
+
+}  // namespace ringstab::protocols

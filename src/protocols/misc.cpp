@@ -1,0 +1,34 @@
+#include "protocols/misc.hpp"
+
+#include "core/builder.hpp"
+
+namespace ringstab::protocols {
+
+Protocol no_adjacent_ones_empty() {
+  ProtocolBuilder b("no_adjacent_ones", Domain::range(2), Locality{1, 0});
+  b.legitimate([](const LocalView& v) { return !(v[-1] == 1 && v[0] == 1); });
+  return b.build();
+}
+
+Protocol no_adjacent_ones_solution() {
+  ProtocolBuilder b("no_adjacent_ones_ss", Domain::range(2), Locality{1, 0});
+  b.legitimate([](const LocalView& v) { return !(v[-1] == 1 && v[0] == 1); });
+  b.action("drop",
+           [](const LocalView& v) { return v[-1] == 1 && v[0] == 1; },
+           [](const LocalView&) { return Value{0}; });
+  return b.build();
+}
+
+Protocol alternator_empty() {
+  ProtocolBuilder b("alternator", Domain::range(2), Locality{1, 0});
+  b.legitimate([](const LocalView& v) { return v[0] == 1 - v[-1]; });
+  return b.build();
+}
+
+Protocol monotone_empty(std::size_t domain_size) {
+  ProtocolBuilder b("monotone", Domain::range(domain_size), Locality{1, 0});
+  b.legitimate([](const LocalView& v) { return v[0] >= v[-1]; });
+  return b.build();
+}
+
+}  // namespace ringstab::protocols

@@ -1,0 +1,27 @@
+// Additional ring protocols exercising the library beyond the paper's set.
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace ringstab::protocols {
+
+/// "No adjacent tokens": domain {0,1} on a unidirectional ring,
+/// LC_r: ¬(x_{r-1}=1 ∧ x_r=1). Empty transition set (synthesis input). The
+/// NPL fast path applies: the single candidate t: 11→10 never cycles.
+Protocol no_adjacent_ones_empty();
+
+/// The synthesized solution: x_{r-1}=1 ∧ x_r=1 → x_r := 0.
+Protocol no_adjacent_ones_solution();
+
+/// Gouda & Acharya-style full maximal matching is bidirectional; this is a
+/// *unidirectional* "local leader" toy: LC_r: x_r = 1 − x_{r-1} fails on odd
+/// rings like 2-coloring; used in tests of impossibility reporting.
+Protocol alternator_empty();
+
+/// Monotone ring: LC_r: x_r ≥ x_{r-1}, which on a ring forces all values
+/// equal (the same I as agreement, reached through a different conjunct).
+/// Empty transition set; a synthesis input whose Resolve structure differs
+/// from agreement's.
+Protocol monotone_empty(std::size_t domain_size = 3);
+
+}  // namespace ringstab::protocols

@@ -1,0 +1,48 @@
+#include "protocols/sum_not_two.hpp"
+
+#include "core/builder.hpp"
+#include "core/fmt.hpp"
+
+namespace ringstab::protocols {
+namespace {
+
+ProtocolBuilder base(std::string name, std::size_t d, int q) {
+  ProtocolBuilder b(std::move(name), Domain::range(d), Locality{1, 0});
+  b.legitimate([q](const LocalView& v) { return v[-1] + v[0] != q; });
+  return b;
+}
+
+}  // namespace
+
+Protocol sum_not_two_empty() { return base("sum_not_two", 3, 2).build(); }
+
+Protocol sum_not_two_solution() {
+  auto b = base("sum_not_two_ss", 3, 2);
+  b.action("bump_up",
+           [](const LocalView& v) { return v[-1] + v[0] == 2 && v[0] != 2; },
+           [](const LocalView& v) { return static_cast<Value>((v[0] + 1) % 3); });
+  b.action("bump_down",
+           [](const LocalView& v) { return v[-1] + v[0] == 2 && v[0] == 2; },
+           [](const LocalView& v) { return static_cast<Value>((v[0] + 2) % 3); });
+  return b.build();
+}
+
+Protocol sum_not_two_rotation(bool rotation_up) {
+  auto b = base(rotation_up ? "sum_not_two_rot_up" : "sum_not_two_rot_down", 3,
+                2);
+  // Rotation up: every illegitimate deadlock bumps x_r by +1 mod 3
+  // ({t01 at 20, t12 at 11, t20 at 02}); rotation down is the mirror.
+  const int step = rotation_up ? 1 : 2;
+  b.action(rotation_up ? "rot_up" : "rot_down",
+           [](const LocalView& v) { return v[-1] + v[0] == 2; },
+           [step](const LocalView& v) {
+             return static_cast<Value>((v[0] + step) % 3);
+           });
+  return b.build();
+}
+
+Protocol sum_not_q_empty(std::size_t domain_size, int q) {
+  return base(cat("sum_not_", q, "_d", domain_size), domain_size, q).build();
+}
+
+}  // namespace ringstab::protocols

@@ -1,0 +1,26 @@
+// The Sum-Not-Two protocol (paper Section 6.2).
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace ringstab::protocols {
+
+/// Empty Sum-Not-Two: domain {0,1,2} on a unidirectional ring,
+/// LC_r: x_r + x_{r-1} ≠ 2. Synthesis input; Resolve = {20, 11, 02}.
+Protocol sum_not_two_empty();
+
+/// The paper's accepted solution {t21, t12, t01}:
+///   (x_r + x_{r-1} = 2) ∧ (x_r ≠ 2) → x_r := (x_r + 1) mod 3
+///   (x_r + x_{r-1} = 2) ∧ (x_r = 2) → x_r := (x_r − 1) mod 3
+Protocol sum_not_two_solution();
+
+/// One of the two rejected "rotation" candidates, whose pseudo-livelock
+/// participates in a contiguous trail (which turns out to be *spurious* —
+/// the paper's non-necessity discussion). rotation_up picks
+/// {t01, t12, t20}; otherwise {t21, t10, t02}.
+Protocol sum_not_two_rotation(bool rotation_up);
+
+/// Generalization used by sweeps: domain {0..d-1}, LC_r: x_r + x_{r-1} ≠ q.
+Protocol sum_not_q_empty(std::size_t domain_size, int q);
+
+}  // namespace ringstab::protocols

@@ -1,0 +1,31 @@
+// One-call markdown reporting: everything ringstab knows about a protocol.
+#pragma once
+
+#include <string>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+struct ReportOptions {
+  /// Spot-check sizes for the exhaustive cross-validation section (skipped
+  /// for instances over the state budget).
+  std::size_t min_ring = 2;
+  std::size_t max_ring = 7;
+  GlobalStateId max_states = GlobalStateId{1} << 22;
+
+  /// Random-scheduler simulation section (0 trials = skip).
+  std::size_t sim_trials = 200;
+  std::size_t sim_ring = 16;
+  std::uint64_t sim_seed = 1;
+
+  /// Treat the protocol under the array convention instead of a ring.
+  bool array_topology = false;
+};
+
+/// Render a complete markdown analysis report: the protocol as guarded
+/// commands, the local closure/deadlock/livelock verdicts with witnesses,
+/// exhaustive spot checks, and simulated recovery statistics.
+std::string markdown_report(const Protocol& p, const ReportOptions& options = {});
+
+}  // namespace ringstab

@@ -1,0 +1,154 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "core/fmt.hpp"
+
+namespace ringstab {
+
+Simulator::Simulator(Protocol protocol, std::size_t ring_size,
+                     std::uint64_t seed, Scheduler scheduler)
+    : protocol_(std::move(protocol)),
+      state_(ring_size, 0),
+      rng_(seed),
+      scheduler_(scheduler) {
+  if (ring_size < 2) throw ModelError("ring size must be at least 2");
+}
+
+void Simulator::set_state(std::vector<Value> state) {
+  if (state.size() != state_.size())
+    throw ModelError("state size does not match ring size");
+  for (Value v : state)
+    if (v >= protocol_.domain().size())
+      throw ModelError("state value outside the domain");
+  state_ = std::move(state);
+}
+
+void Simulator::randomize() {
+  std::uniform_int_distribution<int> dist(
+      0, static_cast<int>(protocol_.domain().size()) - 1);
+  for (auto& v : state_) v = static_cast<Value>(dist(rng_));
+}
+
+void Simulator::inject_faults(std::size_t count) {
+  count = std::min(count, state_.size());
+  std::vector<std::size_t> idx(state_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::shuffle(idx.begin(), idx.end(), rng_);
+  std::uniform_int_distribution<int> dist(
+      0, static_cast<int>(protocol_.domain().size()) - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    state_[idx[i]] = static_cast<Value>(dist(rng_));
+}
+
+bool Simulator::in_invariant() const {
+  for (std::size_t i = 0; i < state_.size(); ++i)
+    if (!protocol_.is_legit(local_state_of(protocol_, state_, i)))
+      return false;
+  return true;
+}
+
+bool Simulator::deadlocked() const {
+  for (std::size_t i = 0; i < state_.size(); ++i)
+    if (protocol_.is_enabled(local_state_of(protocol_, state_, i)))
+      return false;
+  return true;
+}
+
+std::optional<ScheduledStep> Simulator::step() {
+  // Pick the firing process per the scheduler policy, then one of its
+  // enabled transitions uniformly.
+  auto fire_at = [&](std::size_t i) -> std::optional<ScheduledStep> {
+    const LocalStateId ls = local_state_of(protocol_, state_, i);
+    const auto from = protocol_.transitions_from(ls);
+    if (from.empty()) return std::nullopt;
+    std::uniform_int_distribution<std::size_t> pick(0, from.size() - 1);
+    const ScheduledStep chosen{i, from[pick(rng_)]};
+    const bool ok = apply_step(protocol_, state_, chosen);
+    RINGSTAB_ASSERT(ok, "enabled step failed to apply");
+    return chosen;
+  };
+
+  switch (scheduler_) {
+    case Scheduler::kUniformRandom: {
+      std::vector<ScheduledStep> enabled;
+      for (std::size_t i = 0; i < state_.size(); ++i) {
+        const LocalStateId ls = local_state_of(protocol_, state_, i);
+        for (const auto& t : protocol_.transitions_from(ls))
+          enabled.push_back({i, t});
+      }
+      if (enabled.empty()) return std::nullopt;
+      std::uniform_int_distribution<std::size_t> dist(0, enabled.size() - 1);
+      const ScheduledStep chosen = enabled[dist(rng_)];
+      const bool ok = apply_step(protocol_, state_, chosen);
+      RINGSTAB_ASSERT(ok, "enabled step failed to apply");
+      return chosen;
+    }
+    case Scheduler::kRoundRobin: {
+      for (std::size_t scanned = 0; scanned < state_.size(); ++scanned) {
+        const std::size_t i = (rr_cursor_ + scanned) % state_.size();
+        if (auto step = fire_at(i)) {
+          rr_cursor_ = (i + 1) % state_.size();
+          return step;
+        }
+      }
+      return std::nullopt;
+    }
+    case Scheduler::kLeftmostFirst: {
+      for (std::size_t i = 0; i < state_.size(); ++i)
+        if (auto step = fire_at(i)) return step;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+Simulator::RunResult Simulator::run_to_convergence(std::size_t max_steps) {
+  RunResult res;
+  for (res.steps = 0; res.steps < max_steps; ++res.steps) {
+    if (in_invariant()) {
+      res.converged = true;
+      return res;
+    }
+    if (!step()) {
+      res.deadlocked_outside_i = true;
+      return res;
+    }
+  }
+  res.converged = in_invariant();
+  return res;
+}
+
+ConvergenceStats measure_convergence(const Protocol& p, std::size_t ring_size,
+                                     std::size_t trials, std::uint64_t seed,
+                                     std::size_t step_cap,
+                                     Scheduler scheduler) {
+  Simulator sim(p, ring_size, seed, scheduler);
+  ConvergenceStats stats;
+  stats.trials = trials;
+  double total = 0;
+  std::vector<std::size_t> steps;
+  steps.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    sim.randomize();
+    const auto run = sim.run_to_convergence(step_cap);
+    if (run.converged) {
+      ++stats.converged;
+      total += static_cast<double>(run.steps);
+      stats.max_steps = std::max(stats.max_steps, run.steps);
+      steps.push_back(run.steps);
+    } else {
+      ++stats.failed;
+    }
+  }
+  stats.mean_steps = stats.converged ? total / stats.converged : 0.0;
+  if (!steps.empty()) {
+    std::sort(steps.begin(), steps.end());
+    stats.p50_steps = steps[steps.size() / 2];
+    stats.p95_steps = steps[std::min(steps.size() - 1,
+                                     steps.size() * 95 / 100)];
+  }
+  return stats;
+}
+
+}  // namespace ringstab

@@ -1,0 +1,80 @@
+// Random-scheduler ring simulation with fault injection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "local/precedence.hpp"
+
+namespace ringstab {
+
+/// Interleaving scheduler policies.
+enum class Scheduler {
+  kUniformRandom,  // uniform over enabled (process, transition) pairs
+  kRoundRobin,     // cyclic scan; the next enabled process fires
+  kLeftmostFirst,  // the lowest-index enabled process fires (deterministic
+                   // daemon; still random among that process's transitions)
+};
+
+/// Executes a concrete ring under an interleaving scheduler (one enabled
+/// process fires one of its enabled transitions per step). Deterministic
+/// per (seed, scheduler).
+class Simulator {
+ public:
+  Simulator(Protocol protocol, std::size_t ring_size, std::uint64_t seed = 1,
+            Scheduler scheduler = Scheduler::kUniformRandom);
+
+  const Protocol& protocol() const { return protocol_; }
+  const std::vector<Value>& state() const { return state_; }
+  void set_state(std::vector<Value> state);
+
+  /// Uniformly random global state.
+  void randomize();
+
+  /// Transient faults: corrupt `count` distinct variables to random values.
+  void inject_faults(std::size_t count);
+
+  bool in_invariant() const;
+  bool deadlocked() const;
+
+  /// Fire one random enabled transition; nullopt when deadlocked.
+  std::optional<ScheduledStep> step();
+
+  /// Run until the invariant holds or `max_steps` elapse.
+  struct RunResult {
+    bool converged = false;
+    std::size_t steps = 0;
+    bool deadlocked_outside_i = false;
+  };
+  RunResult run_to_convergence(std::size_t max_steps = 1'000'000);
+
+ private:
+  Protocol protocol_;
+  std::vector<Value> state_;
+  std::mt19937_64 rng_;
+  Scheduler scheduler_;
+  std::size_t rr_cursor_ = 0;  // round-robin scan position
+};
+
+/// Aggregate recovery statistics over repeated randomized trials.
+struct ConvergenceStats {
+  std::size_t trials = 0;
+  std::size_t converged = 0;
+  std::size_t failed = 0;  // hit the step cap or deadlocked outside I
+  double mean_steps = 0.0;
+  std::size_t max_steps = 0;
+  std::size_t p50_steps = 0;  // median over converged runs
+  std::size_t p95_steps = 0;
+};
+
+ConvergenceStats measure_convergence(const Protocol& p, std::size_t ring_size,
+                                     std::size_t trials,
+                                     std::uint64_t seed = 1,
+                                     std::size_t step_cap = 1'000'000,
+                                     Scheduler scheduler =
+                                         Scheduler::kUniformRandom);
+
+}  // namespace ringstab

@@ -1,0 +1,232 @@
+#include "synthesis/array_synthesizer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/fmt.hpp"
+#include "core/printer.hpp"
+#include "global/array_instance.hpp"
+#include "local/array.hpp"
+#include "local/rcg.hpp"
+#include "local/self_disabling.hpp"
+
+namespace ringstab {
+namespace {
+
+// A bad walk: s_0 (left-boundary deadlock) → ... → s_m, all deadlocks not
+// in `removed`, interior states ⊥-free, visiting some illegitimate state.
+// Returns a shortest witness (BFS) or nullopt.
+std::optional<std::vector<LocalStateId>> find_bad_walk(
+    const Protocol& p, const Digraph& rcg, const std::vector<bool>& removed) {
+  const Value bot = boundary_value(p);
+  const auto& space = p.space();
+  const int left = space.locality().left;
+
+  auto is_start = [&](LocalStateId s) {
+    // Feasible for position 0 of a long array: every negative offset ⊥,
+    // the rest real.
+    for (int off = -left; off <= 0; ++off)
+      if ((space.value(s, off) == bot) != (off < 0)) return false;
+    return true;
+  };
+  auto is_interior = [&](LocalStateId s) {
+    for (int off = -left; off <= 0; ++off)
+      if (space.value(s, off) == bot) return false;
+    return true;
+  };
+
+  // BFS over (state), parents for witness reconstruction. Starts are
+  // boundary-grade states for positions 0..left-1; to keep this simple (and
+  // exact for left == 1, the supported case), we treat position-0 starts
+  // and interior continuations.
+  std::vector<LocalStateId> parent(p.num_states(), kInvalidLocalState);
+  std::vector<bool> seen(p.num_states(), false);
+  std::vector<LocalStateId> queue;
+  for (LocalStateId s = 0; s < p.num_states(); ++s) {
+    if (!p.is_deadlock(s) || removed[s] || !is_start(s)) continue;
+    seen[s] = true;
+    queue.push_back(s);
+  }
+  auto witness_from = [&](LocalStateId end) {
+    std::vector<LocalStateId> walk{end};
+    for (LocalStateId x = parent[end]; x != kInvalidLocalState;
+         x = parent[x])
+      walk.push_back(x);
+    std::reverse(walk.begin(), walk.end());
+    return walk;
+  };
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const LocalStateId s = queue[head];
+    if (!p.is_legit(s)) return witness_from(s);
+    for (VertexId t : rcg.out(s)) {
+      if (seen[t] || removed[t] || !p.is_deadlock(t) || !is_interior(t))
+        continue;
+      seen[t] = true;
+      parent[t] = s;
+      queue.push_back(t);
+    }
+  }
+  return std::nullopt;
+}
+
+void enumerate_resolves(const Protocol& p, const Digraph& rcg,
+                        std::vector<bool>& removed,
+                        std::vector<LocalStateId>& chosen,
+                        std::set<std::vector<LocalStateId>>& found,
+                        std::size_t cap) {
+  if (found.size() >= cap * 16) return;
+  const auto walk = find_bad_walk(p, rcg, removed);
+  if (!walk) {
+    auto s = chosen;
+    std::sort(s.begin(), s.end());
+    found.insert(std::move(s));
+    return;
+  }
+  bool any = false;
+  for (LocalStateId v : *walk) {
+    if (p.is_legit(v)) continue;  // only ¬LC states may be resolved
+    any = true;
+    removed[v] = true;
+    chosen.push_back(v);
+    enumerate_resolves(p, rcg, removed, chosen, found, cap);
+    chosen.pop_back();
+    removed[v] = false;
+  }
+  if (!any)
+    throw ModelError(
+        "a bad walk contains no illegitimate state to resolve (impossible: "
+        "bad walks end at an illegitimate state)");
+}
+
+}  // namespace
+
+ArraySynthesisResult synthesize_array_convergence(
+    const Protocol& p, const ArraySynthesisOptions& options) {
+  validate_array_protocol(p);
+  if (!p.locality().is_unidirectional() || p.locality().left != 1)
+    throw ModelError(
+        "array synthesis supports unidirectional localities with left span "
+        "1 (reads x[-1]..x[0])");
+  if (!is_self_disabling(p))
+    throw ModelError("array synthesis requires a self-disabling input");
+
+  if (options.closure_check_length >= 2) {
+    const ArrayInstance inst(p, options.closure_check_length);
+    std::vector<ArrayInstance::Step> succ;
+    for (GlobalStateId s = 0; s < inst.num_states(); ++s) {
+      if (!inst.in_invariant(s)) continue;
+      inst.successors(s, succ);
+      for (const auto& step : succ)
+        if (!inst.in_invariant(step.target))
+          throw ModelError(cat("input invariant is not closed (witnessed at "
+                               "array length ",
+                               options.closure_check_length, ")"));
+    }
+  }
+
+  ArraySynthesisResult res;
+  const Digraph rcg = build_rcg(p.space());
+
+  // Resolve sets: minimal ¬LC hitting sets of all bad walks.
+  {
+    std::vector<bool> removed(p.num_states(), false);
+    std::vector<LocalStateId> chosen;
+    std::set<std::vector<LocalStateId>> found;
+    enumerate_resolves(p, rcg, removed, chosen, found,
+                       options.max_resolve_sets);
+    // Inclusion-minimal only.
+    for (const auto& s : found) {
+      const bool has_subset =
+          std::any_of(found.begin(), found.end(), [&](const auto& t) {
+            return t.size() < s.size() &&
+                   std::includes(s.begin(), s.end(), t.begin(), t.end());
+          });
+      if (!has_subset) res.resolve_sets.push_back(s);
+    }
+    std::sort(res.resolve_sets.begin(), res.resolve_sets.end(),
+              [](const auto& a, const auto& b) {
+                if (a.size() != b.size()) return a.size() < b.size();
+                return a < b;
+              });
+    if (res.resolve_sets.size() > options.max_resolve_sets)
+      res.resolve_sets.resize(options.max_resolve_sets);
+  }
+
+  const Value bot = boundary_value(p);
+  for (const auto& resolve : res.resolve_sets) {
+    if (res.solutions.size() >= options.max_solutions) break;
+    // Candidates per resolved state: any real-valued self-disabling write.
+    std::vector<std::vector<LocalTransition>> per_state;
+    bool feasible = true;
+    for (LocalStateId s : resolve) {
+      std::vector<LocalTransition> cands;
+      if (p.space().self(s) == bot) {
+        feasible = false;  // virtual state: cannot act (should not happen)
+        break;
+      }
+      for (Value v = 0; v < bot; ++v) {
+        if (v == p.space().self(s)) continue;
+        const LocalStateId target = p.space().with_self(s, v);
+        if (std::find(resolve.begin(), resolve.end(), target) !=
+            resolve.end())
+          continue;
+        if (p.is_enabled(target)) continue;
+        cands.push_back({s, target});
+      }
+      if (cands.empty()) {
+        feasible = false;
+        break;
+      }
+      per_state.push_back(std::move(cands));
+    }
+    if (!feasible) continue;
+
+    std::vector<std::size_t> pick(per_state.size(), 0);
+    while (res.solutions.size() < options.max_solutions) {
+      std::vector<LocalTransition> added;
+      for (std::size_t i = 0; i < per_state.size(); ++i)
+        added.push_back(per_state[i][pick[i]]);
+      ++res.candidates_examined;
+
+      Protocol pss = p.with_added(
+          cat(p.name(), "_ass", res.candidates_examined), added);
+      // Defensive re-check of the local theorem on the revision.
+      const auto verify = analyze_array_deadlocks(pss, 8);
+      RINGSTAB_ASSERT(verify.deadlock_free_all_n,
+                      "array Resolve set failed to cut all bad walks");
+      res.solutions.push_back({std::move(pss), added, resolve});
+
+      std::size_t i = 0;
+      for (; i < per_state.size(); ++i) {
+        if (++pick[i] < per_state[i].size()) break;
+        pick[i] = 0;
+      }
+      if (i == per_state.size() ||
+          res.candidates_examined >= options.max_candidate_sets)
+        break;
+    }
+  }
+  res.success = !res.solutions.empty();
+  return res;
+}
+
+std::string ArraySynthesisResult::summary(const Protocol& input) const {
+  std::ostringstream os;
+  os << "array synthesis for " << input.name() << ": "
+     << (success ? "SUCCESS" : "FAILURE") << "\n"
+     << "  resolve sets: " << resolve_sets.size()
+     << "  candidates examined: " << candidates_examined
+     << "  solutions: " << solutions.size()
+     << " (livelock-freedom is automatic: unidirectional self-disabling "
+        "arrays terminate)\n";
+  for (std::size_t i = 0; i < solutions.size() && i < 4; ++i)
+    os << "  solution " << i + 1 << ": added "
+       << join(solutions[i].added, "; ",
+               [&](const LocalTransition& t) {
+                 return describe_transition(solutions[i].protocol, t);
+               })
+       << "\n";
+  return os.str();
+}
+
+}  // namespace ringstab

@@ -1,0 +1,50 @@
+// Adding convergence on ARRAYS (extension; see local/array.hpp).
+//
+// On unidirectional self-disabling arrays every computation terminates
+// (local/array.hpp), so Problem 3.1 reduces to deadlock resolution: make
+// every reachable deadlock legitimate. The ring methodology's feedback-set
+// step becomes a PATH-CUT step — Resolve must intersect every "bad walk"
+// (a chain of local deadlocks from a left-boundary state through some ¬LC
+// state), and then any self-disabling candidate transitions complete the
+// synthesis with no livelock check needed at all.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+struct ArraySynthesisOptions {
+  std::size_t max_resolve_sets = 64;
+  std::size_t max_candidate_sets = 4096;  // per Resolve set
+  std::size_t max_solutions = 64;
+  /// Spot-check closure of I globally at this array length (0 = skip).
+  std::size_t closure_check_length = 5;
+};
+
+struct ArraySynthesisSolution {
+  Protocol protocol;
+  std::vector<LocalTransition> added;
+  std::vector<LocalStateId> resolve;
+};
+
+struct ArraySynthesisResult {
+  bool success = false;
+  std::vector<ArraySynthesisSolution> solutions;
+  std::vector<std::vector<LocalStateId>> resolve_sets;
+  std::size_t candidates_examined = 0;
+
+  std::string summary(const Protocol& input) const;
+};
+
+/// Synthesize convergence for every array length. Requires a unidirectional
+/// locality (left span ≥ 1, right span 0) and the array modeling convention
+/// (domain's last value = ⊥); throws ModelError otherwise, or if the
+/// closure spot-check fails.
+ArraySynthesisResult synthesize_array_convergence(
+    const Protocol& p, const ArraySynthesisOptions& options = {});
+
+}  // namespace ringstab

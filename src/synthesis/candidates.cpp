@@ -1,0 +1,76 @@
+#include "synthesis/candidates.hpp"
+
+#include <algorithm>
+
+#include "graph/feedback.hpp"
+#include "local/rcg.hpp"
+
+namespace ringstab {
+
+std::vector<std::vector<LocalStateId>> enumerate_resolve_sets(
+    const Protocol& p, std::size_t max_sets) {
+  const Digraph g = deadlock_rcg(p);
+  std::vector<bool> marked(p.num_states(), false);
+  std::vector<bool> candidates(p.num_states(), false);
+  for (LocalStateId s : p.illegitimate_deadlocks())
+    marked[s] = candidates[s] = true;
+  auto sets = minimal_feedback_sets(g, marked, candidates, max_sets);
+  std::vector<std::vector<LocalStateId>> out;
+  out.reserve(sets.size());
+  for (auto& s : sets) out.emplace_back(s.begin(), s.end());
+  return out;
+}
+
+std::vector<LocalTransition> candidate_transitions(
+    const Protocol& p, LocalStateId s,
+    const std::vector<LocalStateId>& resolve) {
+  const auto& space = p.space();
+  std::vector<LocalTransition> out;
+  for (Value v = 0; v < space.domain().size(); ++v) {
+    if (v == space.self(s)) continue;
+    const LocalStateId target = space.with_self(s, v);
+    // Keep added actions self-disabling (Assumption 2): the target must be
+    // neither a state being resolved nor a state the input protocol already
+    // fires from.
+    if (std::find(resolve.begin(), resolve.end(), target) != resolve.end())
+      continue;
+    if (p.is_enabled(target)) continue;
+    out.push_back({s, target});
+  }
+  return out;
+}
+
+std::vector<std::vector<LocalTransition>> enumerate_candidate_sets(
+    const Protocol& p, const std::vector<LocalStateId>& resolve,
+    std::size_t max_sets) {
+  std::vector<std::vector<LocalTransition>> per_state;
+  per_state.reserve(resolve.size());
+  for (LocalStateId s : resolve) {
+    auto cands = candidate_transitions(p, s, resolve);
+    if (cands.empty()) return {};  // this Resolve set cannot be realized
+    per_state.push_back(std::move(cands));
+  }
+
+  std::vector<std::vector<LocalTransition>> out;
+  if (per_state.empty()) {
+    out.push_back({});  // already deadlock-free: the empty addition
+    return out;
+  }
+  std::vector<std::size_t> pick(per_state.size(), 0);
+  while (out.size() < max_sets) {
+    std::vector<LocalTransition> set;
+    set.reserve(per_state.size());
+    for (std::size_t i = 0; i < per_state.size(); ++i)
+      set.push_back(per_state[i][pick[i]]);
+    out.push_back(std::move(set));
+    std::size_t i = 0;
+    for (; i < per_state.size(); ++i) {
+      if (++pick[i] < per_state[i].size()) break;
+      pick[i] = 0;
+    }
+    if (i == per_state.size()) break;
+  }
+  return out;
+}
+
+}  // namespace ringstab

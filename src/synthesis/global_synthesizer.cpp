@@ -1,0 +1,61 @@
+#include "synthesis/global_synthesizer.hpp"
+
+#include "core/fmt.hpp"
+#include "core/printer.hpp"
+#include "local/deadlock.hpp"
+
+namespace ringstab {
+
+GlobalSynthesisResult synthesize_convergence_global(
+    const Protocol& p, const GlobalSynthesisOptions& options) {
+  GlobalSynthesisResult res;
+  const auto resolve_sets = enumerate_resolve_sets(p, options.max_resolve_sets);
+
+  for (const auto& resolve : resolve_sets) {
+    if (res.solutions.size() >= options.max_solutions) break;
+    for (auto& added : enumerate_candidate_sets(p, resolve,
+                                                options.max_candidate_sets)) {
+      if (res.solutions.size() >= options.max_solutions) break;
+      ++res.candidates_examined;
+      Protocol pss = p.with_added(
+          cat(p.name(), "_gss", res.candidates_examined), added);
+
+      if (options.prefilter_with_theorem42 &&
+          !analyze_deadlocks(pss, /*spectrum=*/2).deadlock_free_all_k) {
+        ++res.prefiltered_out;
+        continue;
+      }
+
+      bool ok = true;
+      for (std::size_t k = options.min_ring; k <= options.max_ring && ok;
+           ++k) {
+        const RingInstance ring(pss, k, options.max_states);
+        res.states_explored += ring.num_states();
+        ok = strongly_stabilizing(ring);
+      }
+      if (ok)
+        res.solutions.push_back({std::move(pss), added, resolve});
+    }
+  }
+  res.success = !res.solutions.empty();
+  return res;
+}
+
+std::string GlobalSynthesisResult::summary(const Protocol& input) const {
+  std::ostringstream os;
+  os << "global fixed-K synthesis for " << input.name() << ": "
+     << (success ? "SUCCESS" : "FAILURE") << "\n"
+     << "  candidates examined: " << candidates_examined
+     << "  solutions: " << solutions.size()
+     << "  global states explored: " << states_explored << "\n";
+  for (std::size_t i = 0; i < solutions.size() && i < 4; ++i)
+    os << "  solution " << i + 1 << ": added "
+       << join(solutions[i].added, "; ",
+               [&](const LocalTransition& t) {
+                 return describe_transition(solutions[i].protocol, t);
+               })
+       << "\n";
+  return os.str();
+}
+
+}  // namespace ringstab

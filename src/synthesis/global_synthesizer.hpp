@@ -1,0 +1,57 @@
+// Fixed-K baseline synthesizer (the global-state-space approach of the
+// paper's related work [16,17]: generate candidates, model-check each K).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "global/checker.hpp"
+#include "synthesis/candidates.hpp"
+
+namespace ringstab {
+
+struct GlobalSynthesisOptions {
+  /// Candidates are accepted iff p_ss(K) strongly stabilizes for every K in
+  /// [min_ring, max_ring] (inclusive).
+  std::size_t min_ring = 2;
+  std::size_t max_ring = 5;
+  std::size_t max_resolve_sets = 64;
+  std::size_t max_candidate_sets = 65536;
+  std::size_t max_solutions = 64;
+  GlobalStateId max_states = GlobalStateId{1} << 24;
+
+  /// Hybrid mode: run Theorem 4.2 on each candidate first and skip the
+  /// model checking for candidates with deadlocks at *any* size. This both
+  /// speeds up the baseline and removes one class of non-generalizable
+  /// solutions (K-bounded livelock acceptance remains).
+  bool prefilter_with_theorem42 = false;
+};
+
+struct GlobalSynthesisSolution {
+  Protocol protocol;
+  std::vector<LocalTransition> added;
+  std::vector<LocalStateId> resolve;
+};
+
+struct GlobalSynthesisResult {
+  bool success = false;
+  std::vector<GlobalSynthesisSolution> solutions;
+  std::size_t candidates_examined = 0;
+  /// Candidates discarded by the Theorem 4.2 prefilter (hybrid mode only).
+  std::size_t prefiltered_out = 0;
+  /// Global states visited across every model-checking run — the cost the
+  /// local method avoids entirely.
+  GlobalStateId states_explored = 0;
+
+  std::string summary(const Protocol& input) const;
+};
+
+/// Enumerate the same candidate space as the local synthesizer, but decide
+/// each candidate by exhaustive model checking of p_ss(K) for K in the
+/// configured range. Solutions carry NO generalization guarantee: the paper's
+/// Example 4.3 is exactly a protocol that passes K=5 yet deadlocks at K=4m
+/// (see bench_synth_local_vs_global).
+GlobalSynthesisResult synthesize_convergence_global(
+    const Protocol& p, const GlobalSynthesisOptions& options = {});
+
+}  // namespace ringstab

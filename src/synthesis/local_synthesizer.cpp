@@ -1,0 +1,134 @@
+#include "synthesis/local_synthesizer.hpp"
+
+#include <algorithm>
+
+#include "core/fmt.hpp"
+#include "core/printer.hpp"
+#include "global/checker.hpp"
+#include "local/pseudo_livelock.hpp"
+
+namespace ringstab {
+
+SynthesisResult synthesize_convergence(const Protocol& p,
+                                       const SynthesisOptions& options) {
+  SynthesisResult res;
+  res.closure = check_invariant_closure(p);
+  if (options.require_closed_invariant &&
+      res.closure.verdict != ClosureCheck::Verdict::kClosed) {
+    // The local check is sound but conservative: confirm the suspected
+    // violation on a small concrete ring before rejecting the input.
+    const std::size_t k =
+        static_cast<std::size_t>(p.locality().window()) + 2;
+    const RingInstance ring(p, k);
+    if (!GlobalChecker(ring).check_closure())
+      throw ModelError(cat("Problem 3.1 input invalid: ",
+                           res.closure.describe(p), " (confirmed at K=", k,
+                           ")"));
+  }
+
+  res.resolve_sets = enumerate_resolve_sets(p, options.max_resolve_sets);
+
+  for (const auto& resolve : res.resolve_sets) {
+    if (res.solutions.size() >= options.max_solutions) break;
+    for (auto& added : enumerate_candidate_sets(p, resolve,
+                                                options.max_candidate_sets)) {
+      if (res.solutions.size() >= options.max_solutions) break;
+      ++res.candidates_examined;
+
+      Protocol pss = p.with_added(
+          cat(p.name(), "_ss", res.candidates_examined), added);
+
+      CandidateReport report;
+      report.added = added;
+
+      // Step 4 fast path (NPL): if the write projection of the *entire*
+      // δ_r of p_ss has no value cycle, no subset can form a
+      // pseudo-livelock, so Theorem 5.14 certifies livelock-freedom with no
+      // trail search.
+      const WriteProjection all(pss, {});
+      if (!all.has_pseudo_livelock()) {
+        report.status = CandidateReport::Status::kAcceptedNpl;
+      } else {
+        // Step 5 (PL): search for a qualifying contiguous trail in the LTG
+        // of the self-disabled p_ss.
+        const LivelockAnalysis live =
+            check_livelock_freedom(pss, options.trail_query);
+        switch (live.verdict) {
+          case LivelockAnalysis::Verdict::kLivelockFree:
+            report.status = CandidateReport::Status::kAcceptedPl;
+            break;
+          case LivelockAnalysis::Verdict::kTrailFound:
+            report.status = CandidateReport::Status::kRejectedTrail;
+            report.trail = live.trail();
+            if (options.classify_rejected_trails) {
+              try {
+                report.realization =
+                    realize_trail(pss, *report.trail).verdict;
+              } catch (const CapacityError&) {
+                // implied K too large for the classification budget
+              }
+            }
+            break;
+          case LivelockAnalysis::Verdict::kInconclusive:
+            report.status = CandidateReport::Status::kInconclusive;
+            break;
+        }
+      }
+
+      if (report.accepted()) {
+        // Defensive: the Resolve construction guarantees deadlock-freedom;
+        // verify the Theorem 4.2 condition on the revised protocol anyway.
+        const DeadlockAnalysis dl = analyze_deadlocks(pss, /*spectrum=*/2);
+        RINGSTAB_ASSERT(dl.deadlock_free_all_k,
+                        "Resolve set failed to break all bad cycles");
+        SynthesisSolution sol{std::move(pss), added, resolve,
+                              report.status ==
+                                  CandidateReport::Status::kAcceptedNpl};
+        res.solutions.push_back(std::move(sol));
+      }
+      if (options.keep_rejected_reports || report.accepted())
+        res.reports.push_back(std::move(report));
+    }
+  }
+  res.success = !res.solutions.empty();
+  return res;
+}
+
+std::string SynthesisResult::summary(const Protocol& input) const {
+  std::ostringstream os;
+  os << "synthesis for " << input.name() << ": "
+     << (success ? "SUCCESS" : "FAILURE") << "\n"
+     << "  resolve sets: " << resolve_sets.size() << "  candidates examined: "
+     << candidates_examined << "  solutions: " << solutions.size() << "\n";
+  std::size_t rejected = 0, inconclusive = 0, real = 0, spurious = 0;
+  for (const auto& r : reports) {
+    if (r.status == CandidateReport::Status::kRejectedTrail) {
+      ++rejected;
+      if (r.realization) {
+        if (*r.realization == TrailRealization::kRealized ||
+            *r.realization == TrailRealization::kOtherLivelock)
+          ++real;
+        else
+          ++spurious;
+      }
+    }
+    if (r.status == CandidateReport::Status::kInconclusive) ++inconclusive;
+  }
+  os << "  rejected (trail found): " << rejected;
+  if (real + spurious > 0)
+    os << " (" << real << " realized as livelocks, " << spurious
+       << " spurious at the implied K)";
+  os << "  inconclusive: " << inconclusive << "\n";
+  for (std::size_t i = 0; i < solutions.size() && i < 4; ++i) {
+    os << "  solution " << i + 1 << (solutions[i].via_npl ? " (NPL)" : " (PL)")
+       << ": added "
+       << join(solutions[i].added, "; ",
+               [&](const LocalTransition& t) {
+                 return describe_transition(solutions[i].protocol, t);
+               })
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ringstab

@@ -1,0 +1,224 @@
+#include "transform/transform.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/fmt.hpp"
+#include "local/livelock.hpp"
+
+namespace ringstab {
+namespace {
+
+// Map a state of `from` into `to` by transforming its window valuation.
+template <typename Fn>
+LocalStateId map_state(const LocalStateSpace& from, const LocalStateSpace& to,
+                       LocalStateId s, Fn&& window_fn) {
+  return to.encode(window_fn(from.decode(s)));
+}
+
+}  // namespace
+
+Protocol reverse_orientation(const Protocol& p) {
+  const auto& space = p.space();
+  const Locality loc{p.locality().right, p.locality().left};
+  const LocalStateSpace mirrored(space.domain(), loc);
+
+  auto flip = [](std::vector<Value> w) {
+    std::reverse(w.begin(), w.end());
+    return w;
+  };
+
+  std::vector<bool> legit(mirrored.size(), false);
+  for (LocalStateId s = 0; s < space.size(); ++s)
+    legit[map_state(space, mirrored, s, flip)] = p.is_legit(s);
+
+  std::vector<LocalTransition> delta;
+  delta.reserve(p.delta().size());
+  for (const auto& t : p.delta())
+    delta.push_back({map_state(space, mirrored, t.from, flip),
+                     map_state(space, mirrored, t.to, flip)});
+
+  return Protocol(p.name() + "_rev", mirrored, std::move(delta),
+                  std::move(legit));
+}
+
+Protocol rename_values(const Protocol& p, const std::vector<Value>& perm) {
+  const auto& space = p.space();
+  const std::size_t d = space.domain().size();
+  if (perm.size() != d)
+    throw ModelError("permutation arity does not match the domain");
+  std::vector<bool> hit(d, false);
+  for (Value v : perm) {
+    if (v >= d || hit[v])
+      throw ModelError("value renaming must be a bijection on the domain");
+    hit[v] = true;
+  }
+
+  std::vector<std::string> names(d);
+  for (Value v = 0; v < d; ++v)
+    names[perm[v]] = space.domain().name(v);
+  const LocalStateSpace renamed(Domain::named(std::move(names)),
+                                p.locality());
+
+  auto apply = [&](std::vector<Value> w) {
+    for (auto& v : w) v = perm[v];
+    return w;
+  };
+
+  std::vector<bool> legit(renamed.size(), false);
+  for (LocalStateId s = 0; s < space.size(); ++s)
+    legit[map_state(space, renamed, s, apply)] = p.is_legit(s);
+
+  std::vector<LocalTransition> delta;
+  delta.reserve(p.delta().size());
+  for (const auto& t : p.delta())
+    delta.push_back({map_state(space, renamed, t.from, apply),
+                     map_state(space, renamed, t.to, apply)});
+
+  return Protocol(p.name() + "_pi", renamed, std::move(delta),
+                  std::move(legit));
+}
+
+namespace {
+
+// Pairing of layer values: v = a * |D2| + b.
+Value pair_value(Value a, Value b, std::size_t d2) {
+  return static_cast<Value>(a * d2 + b);
+}
+
+}  // namespace
+
+Protocol layer_product(const Protocol& p1, const Protocol& p2,
+                       const std::string& name) {
+  if (p1.locality() != p2.locality())
+    throw ModelError("layer_product requires identical localities");
+  const std::size_t d1 = p1.domain().size();
+  const std::size_t d2 = p2.domain().size();
+  if (d1 * d2 > 64)
+    throw ModelError("product domain too large (max 64 values)");
+
+  std::vector<std::string> names;
+  names.reserve(d1 * d2);
+  for (Value a = 0; a < d1; ++a)
+    for (Value b = 0; b < d2; ++b)
+      names.push_back(cat(p1.domain().name(a), "_", p2.domain().name(b)));
+  const LocalStateSpace space(Domain::named(std::move(names)),
+                              p1.locality());
+
+  const int w = p1.locality().window();
+  auto split = [&](LocalStateId s) {
+    std::vector<Value> w1(static_cast<std::size_t>(w)),
+        w2(static_cast<std::size_t>(w));
+    const auto vals = space.decode(s);
+    for (int i = 0; i < w; ++i) {
+      w1[static_cast<std::size_t>(i)] =
+          static_cast<Value>(vals[static_cast<std::size_t>(i)] / d2);
+      w2[static_cast<std::size_t>(i)] =
+          static_cast<Value>(vals[static_cast<std::size_t>(i)] % d2);
+    }
+    return std::make_pair(p1.space().encode(w1), p2.space().encode(w2));
+  };
+
+  std::vector<bool> legit(space.size(), false);
+  std::vector<LocalTransition> delta;
+  for (LocalStateId s = 0; s < space.size(); ++s) {
+    const auto [s1, s2] = split(s);
+    legit[s] = p1.is_legit(s1) && p2.is_legit(s2);
+    // Layer-1 moves: replace the pair's first component.
+    for (const auto& t : p1.transitions_from(s1)) {
+      const Value new_a = p1.space().self(t.to);
+      const Value b = static_cast<Value>(space.self(s) % d2);
+      delta.push_back({s, space.with_self(s, pair_value(new_a, b, d2))});
+    }
+    // Layer-2 moves.
+    for (const auto& t : p2.transitions_from(s2)) {
+      const Value a = static_cast<Value>(space.self(s) / d2);
+      const Value new_b = p2.space().self(t.to);
+      delta.push_back({s, space.with_self(s, pair_value(a, new_b, d2))});
+    }
+  }
+  return Protocol(
+      name.empty() ? cat(p1.name(), "_x_", p2.name()) : name, space,
+      std::move(delta), std::move(legit));
+}
+
+ValueCanonicalKey value_canonical_key(const Protocol& p) {
+  const std::size_t d = p.domain().size();
+  if (d > 8) throw ModelError("canonicalization supports |D| ≤ 8");
+  std::vector<Value> perm(d);
+  for (std::size_t i = 0; i < d; ++i) perm[i] = static_cast<Value>(i);
+
+  std::optional<ValueCanonicalKey> best;
+  do {
+    const Protocol q = rename_values(p, perm);
+    ValueCanonicalKey key{q.legit_mask(), q.delta()};
+    if (!best || key < *best) best = std::move(key);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return *best;
+}
+
+std::vector<std::vector<std::size_t>> value_symmetry_orbits(
+    const std::vector<Protocol>& protocols) {
+  std::vector<std::vector<std::size_t>> orbits;
+  std::vector<ValueCanonicalKey> keys;
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    const ValueCanonicalKey key = value_canonical_key(protocols[i]);
+    bool placed = false;
+    for (std::size_t o = 0; o < orbits.size() && !placed; ++o) {
+      if (keys[o] == key) {
+        orbits[o].push_back(i);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      orbits.push_back({i});
+      keys.push_back(key);
+    }
+  }
+  return orbits;
+}
+
+BidirectionalLivelockAnalysis check_livelock_freedom_bidirectional(
+    const Protocol& p) {
+  BidirectionalLivelockAnalysis res;
+  const auto fwd = check_livelock_freedom(p);
+  const auto bwd = check_livelock_freedom(reverse_orientation(p));
+  res.forward_free = fwd.verdict == LivelockAnalysis::Verdict::kLivelockFree;
+  res.backward_free = bwd.verdict == LivelockAnalysis::Verdict::kLivelockFree;
+  using V = BidirectionalLivelockAnalysis::Verdict;
+  if (res.forward_free && res.backward_free)
+    res.verdict = V::kLivelockFree;
+  else if (fwd.verdict == LivelockAnalysis::Verdict::kTrailFound ||
+           bwd.verdict == LivelockAnalysis::Verdict::kTrailFound)
+    res.verdict = V::kTrailFound;
+  else
+    res.verdict = V::kInconclusive;
+  return res;
+}
+
+LocalStateId product_layer1(const Protocol& product, const Protocol& p1,
+                            const Protocol& p2, LocalStateId s) {
+  const int w = product.locality().window();
+  const std::size_t d2 = p2.domain().size();
+  std::vector<Value> w1(static_cast<std::size_t>(w));
+  const auto vals = product.space().decode(s);
+  for (int i = 0; i < w; ++i)
+    w1[static_cast<std::size_t>(i)] =
+        static_cast<Value>(vals[static_cast<std::size_t>(i)] / d2);
+  return p1.space().encode(w1);
+}
+
+LocalStateId product_layer2(const Protocol& product, const Protocol& p1,
+                            const Protocol& p2, LocalStateId s) {
+  (void)p1;
+  const int w = product.locality().window();
+  const std::size_t d2 = p2.domain().size();
+  std::vector<Value> w2(static_cast<std::size_t>(w));
+  const auto vals = product.space().decode(s);
+  for (int i = 0; i < w; ++i)
+    w2[static_cast<std::size_t>(i)] =
+        static_cast<Value>(vals[static_cast<std::size_t>(i)] % d2);
+  return p2.space().encode(w2);
+}
+
+}  // namespace ringstab

@@ -1,0 +1,82 @@
+// Protocol transformations: mirroring, value symmetry, and layering.
+//
+// These give the library the compositional vocabulary the paper's related
+// work revolves around (layering/modularization, composition — Section 7),
+// and they double as powerful metamorphic test oracles: every analysis in
+// ringstab must be invariant under reverse() and rename_values(), and
+// layer_product() preserves convergence of silent protocols.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+/// Mirror the ring orientation: the window [-L, R] becomes [-R, L] and
+/// every local state reads backwards. Running p clockwise is running
+/// reverse(p) counter-clockwise, so all size-indexed properties (deadlock
+/// spectra, livelocks, convergence) coincide.
+Protocol reverse_orientation(const Protocol& p);
+
+/// Transport the protocol along a value permutation π (π must be a
+/// bijection on the domain): states, transitions and LC_r relabel. Every
+/// analysis is invariant; value names are composed as "π(name)".
+Protocol rename_values(const Protocol& p, const std::vector<Value>& perm);
+
+/// Asynchronous layered product: each process carries a pair (a, b) with a
+/// from p1's domain and b from p2's; a step moves exactly one layer
+/// (interleaving); LC = LC1 ∧ LC2. Both inputs must share the same
+/// locality. The product invariant is the conjunction of the layers', and
+/// a product state is a local deadlock iff both layers are.
+Protocol layer_product(const Protocol& p1, const Protocol& p2,
+                       const std::string& name = "");
+
+/// A canonical key for a protocol modulo value renaming: the
+/// lexicographically least (legitimacy mask, transition list) over all |D|!
+/// value permutations. Two protocols have equal keys iff some renaming maps
+/// one onto the other. |D| ≤ 8.
+struct ValueCanonicalKey {
+  std::vector<bool> legit;
+  std::vector<LocalTransition> delta;
+
+  bool operator==(const ValueCanonicalKey&) const = default;
+  bool operator<(const ValueCanonicalKey& o) const {
+    if (legit != o.legit) return legit < o.legit;
+    return delta < o.delta;
+  }
+};
+
+ValueCanonicalKey value_canonical_key(const Protocol& p);
+
+/// Partition protocols into value-symmetry orbits; returns one
+/// representative index per orbit (first occurrence order).
+std::vector<std::vector<std::size_t>> value_symmetry_orbits(
+    const std::vector<Protocol>& protocols);
+
+/// Strengthened livelock check for bidirectional rings (the paper's future
+/// work #2 made executable): Theorem 5.14's trail search models enablement
+/// circulating rightward; running it on BOTH p and reverse_orientation(p)
+/// also covers leftward-circulating contiguous livelocks. The combined
+/// verdict is livelock-free iff both searches find no qualifying trail.
+/// Still a sufficient condition (mixed-direction livelocks remain out of
+/// scope), but strictly stronger than the one-orientation check.
+struct BidirectionalLivelockAnalysis {
+  enum class Verdict { kLivelockFree, kTrailFound, kInconclusive };
+  Verdict verdict = Verdict::kInconclusive;
+  bool forward_free = false;   // no rightward contiguous trail
+  bool backward_free = false;  // no leftward contiguous trail (via mirror)
+};
+
+BidirectionalLivelockAnalysis check_livelock_freedom_bidirectional(
+    const Protocol& p);
+
+/// Projections out of a product state id (inverse of the pairing used by
+/// layer_product): layer-1 and layer-2 local states.
+LocalStateId product_layer1(const Protocol& product, const Protocol& p1,
+                            const Protocol& p2, LocalStateId s);
+LocalStateId product_layer2(const Protocol& product, const Protocol& p1,
+                            const Protocol& p2, LocalStateId s);
+
+}  // namespace ringstab

@@ -1,0 +1,101 @@
+#include "synthesis/array_synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "global/array_instance.hpp"
+#include "helpers.hpp"
+#include "protocols/arrays.hpp"
+
+namespace ringstab {
+namespace {
+
+// Strip a protocol's transitions, keeping domain/locality/legitimacy.
+Protocol empty_input(const Protocol& p, const std::string& name) {
+  return p.with_delta(name, {});
+}
+
+// Synthesizing from the empty 2-coloring array input recovers exactly the
+// flip protocol — the problem that is IMPOSSIBLE on unidirectional rings.
+TEST(ArraySynthesis, TwoColoringSynthesizesTheFlipProtocol) {
+  const Protocol input =
+      empty_input(protocols::array_two_coloring(), "a2c_in");
+  const auto res = synthesize_array_convergence(input);
+  ASSERT_TRUE(res.success);
+  ASSERT_EQ(res.resolve_sets.size(), 1u);
+  EXPECT_EQ(res.resolve_sets[0].size(), 2u);  // {00, 11}
+  ASSERT_EQ(res.solutions.size(), 1u);
+  EXPECT_EQ(res.solutions[0].protocol.delta(),
+            protocols::array_two_coloring().delta());
+}
+
+TEST(ArraySynthesis, AgreementSynthesizesCopy) {
+  const Protocol input =
+      empty_input(protocols::array_agreement(2), "a_agree_in");
+  const auto res = synthesize_array_convergence(input);
+  ASSERT_TRUE(res.success);
+  ASSERT_EQ(res.solutions.size(), 1u);
+  EXPECT_EQ(res.solutions[0].protocol.delta(),
+            protocols::array_agreement(2).delta());
+}
+
+// Every synthesized solution is exhaustively verified: deadlock-free,
+// livelock-free and terminating at all sampled lengths.
+TEST(ArraySynthesis, SolutionsVerifyExhaustively) {
+  for (const Protocol& base :
+       {protocols::array_agreement(3), protocols::array_sort(3),
+        protocols::array_two_coloring()}) {
+    const Protocol input = empty_input(base, base.name() + "_in");
+    const auto res = synthesize_array_convergence(input);
+    ASSERT_TRUE(res.success) << base.name();
+    for (const auto& sol : res.solutions) {
+      for (std::size_t n = 2; n <= 7; ++n) {
+        const auto check = check_array(ArrayInstance(sol.protocol, n));
+        EXPECT_EQ(check.num_deadlocks_outside_i, 0u)
+            << base.name() << " n=" << n;
+        EXPECT_FALSE(check.has_livelock) << base.name() << " n=" << n;
+        EXPECT_TRUE(check.terminates) << base.name() << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ArraySynthesis, AddedTransitionsOnlyAtIllegitimateDeadlocks) {
+  const Protocol input =
+      empty_input(protocols::array_sort(3), "a_sort_in");
+  const auto res = synthesize_array_convergence(input);
+  ASSERT_TRUE(res.success);
+  for (const auto& sol : res.solutions)
+    for (const auto& t : sol.added) {
+      EXPECT_FALSE(input.is_legit(t.from));
+      EXPECT_TRUE(input.is_deadlock(t.from));
+    }
+}
+
+TEST(ArraySynthesis, RejectsBidirectionalInputs) {
+  ProtocolBuilder b("bidi", Domain::named({"0", "B"}), Locality{1, 1});
+  b.legitimate([](const LocalView&) { return true; });
+  EXPECT_THROW(synthesize_array_convergence(b.build()), ModelError);
+}
+
+TEST(ArraySynthesis, RejectsNonClosedInvariant) {
+  // Legit everywhere except (0,1); transition 00→01 jumps from I into ¬I.
+  ProtocolBuilder b("leaky", Domain::named({"0", "1", "B"}), Locality{1, 0});
+  b.legitimate([](const LocalView& v) {
+    return !(v[-1] == 0 && v[0] == 1);
+  });
+  b.action("leak", [](const LocalView& v) { return v[-1] == 0 && v[0] == 0; },
+           [](const LocalView&) { return Value{1}; });
+  EXPECT_THROW(synthesize_array_convergence(b.build()), ModelError);
+}
+
+// Already-converging input: the empty addition is the unique solution.
+TEST(ArraySynthesis, ConvergingInputYieldsItself) {
+  const auto res =
+      synthesize_array_convergence(protocols::array_two_coloring());
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(res.solutions[0].added.empty());
+}
+
+}  // namespace
+}  // namespace ringstab

@@ -1,0 +1,105 @@
+#include "core/ast.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ringstab {
+namespace {
+
+// A concrete view to evaluate expressions against: domain {0,1,2},
+// window (x[-1], x[0]).
+struct Fixture {
+  LocalStateSpace space{Domain::range(3), Locality{1, 0}};
+  LocalStateId state;
+  Fixture(Value prev, Value self)
+      : state(space.encode(std::vector<Value>{prev, self})) {}
+  LocalView view() const { return LocalView(space, state); }
+};
+
+TEST(Ast, LiteralsAndVariables) {
+  const Fixture f(2, 1);
+  EXPECT_EQ(Expr::literal(42)->eval(f.view()), 42);
+  EXPECT_EQ(Expr::var(-1)->eval(f.view()), 2);
+  EXPECT_EQ(Expr::var(0)->eval(f.view()), 1);
+}
+
+TEST(Ast, DomainNamesResolveThroughView) {
+  const LocalStateSpace space(Domain::named({"left", "right", "self"}),
+                              {1, 0});
+  const LocalView view(space, 0);
+  EXPECT_EQ(Expr::domain_name("right")->eval(view), 1);
+  EXPECT_THROW(Expr::domain_name("wat")->eval(view), ParseError);
+}
+
+TEST(Ast, Arithmetic) {
+  const Fixture f(2, 1);
+  auto bin = [](const char* op, long long a, long long b) {
+    return Expr::binary(op, Expr::literal(a), Expr::literal(b));
+  };
+  EXPECT_EQ(bin("+", 3, 4)->eval(Fixture(0, 0).view()), 7);
+  EXPECT_EQ(bin("-", 3, 4)->eval(f.view()), -1);
+  EXPECT_EQ(bin("*", 3, 4)->eval(f.view()), 12);
+  EXPECT_EQ(bin("/", 9, 4)->eval(f.view()), 2);
+  EXPECT_EQ(bin("%", 7, 3)->eval(f.view()), 1);
+}
+
+TEST(Ast, ModuloIsMathematical) {
+  // (x - 1) % 3 must wrap negatives into the domain: (0-1) % 3 == 2.
+  const Fixture f(0, 0);
+  auto e = Expr::binary("%", Expr::binary("-", Expr::var(0),
+                                          Expr::literal(1)),
+                        Expr::literal(3));
+  EXPECT_EQ(e->eval(f.view()), 2);
+}
+
+TEST(Ast, DivisionByZeroThrows) {
+  const Fixture f(0, 0);
+  EXPECT_THROW(
+      Expr::binary("/", Expr::literal(1), Expr::literal(0))->eval(f.view()),
+      ParseError);
+  EXPECT_THROW(
+      Expr::binary("%", Expr::literal(1), Expr::literal(0))->eval(f.view()),
+      ParseError);
+}
+
+TEST(Ast, Comparisons) {
+  const Fixture f(2, 1);
+  auto cmp = [&](const char* op) {
+    return Expr::binary(op, Expr::var(-1), Expr::var(0))->eval(f.view());
+  };
+  EXPECT_EQ(cmp("=="), 0);
+  EXPECT_EQ(cmp("!="), 1);
+  EXPECT_EQ(cmp("<"), 0);
+  EXPECT_EQ(cmp(">"), 1);
+  EXPECT_EQ(cmp("<="), 0);
+  EXPECT_EQ(cmp(">="), 1);
+}
+
+TEST(Ast, LogicalShortCircuit) {
+  const Fixture f(0, 0);
+  // (1 || crash) must not evaluate the crash; same for (0 && crash).
+  auto crash = Expr::binary("/", Expr::literal(1), Expr::literal(0));
+  EXPECT_EQ(Expr::binary("||", Expr::literal(1), std::move(crash))
+                ->eval(f.view()),
+            1);
+  auto crash2 = Expr::binary("/", Expr::literal(1), Expr::literal(0));
+  EXPECT_EQ(Expr::binary("&&", Expr::literal(0), std::move(crash2))
+                ->eval(f.view()),
+            0);
+}
+
+TEST(Ast, UnaryOperators) {
+  const Fixture f(0, 0);
+  EXPECT_EQ(Expr::unary("-", Expr::literal(5))->eval(f.view()), -5);
+  EXPECT_EQ(Expr::unary("!", Expr::literal(5))->eval(f.view()), 0);
+  EXPECT_EQ(Expr::unary("!", Expr::literal(0))->eval(f.view()), 1);
+}
+
+TEST(Ast, ToStringRoundTripsStructure) {
+  auto e = Expr::binary(
+      "&&", Expr::binary("==", Expr::var(-1), Expr::literal(1)),
+      Expr::unary("!", Expr::var(0)));
+  EXPECT_EQ(e->to_string(), "((x[-1] == 1) && !x[0])");
+}
+
+}  // namespace
+}  // namespace ringstab

@@ -1,0 +1,88 @@
+#include "core/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/agreement.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(ProtocolBuilder, RequiresLegitimacy) {
+  ProtocolBuilder b("t", Domain::range(2), {1, 0});
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(ProtocolBuilder, ExpandsGuardOverAllStates) {
+  ProtocolBuilder b("t", Domain::range(2), {1, 0});
+  b.legitimate([](const LocalView& v) { return v[-1] == v[0]; });
+  b.action("fix", [](const LocalView& v) { return v[0] == 0; },
+           [](const LocalView&) { return Value{1}; });
+  const Protocol p = b.build();
+  // Guard holds in states 00 and 10; both get a transition to x0 := 1.
+  EXPECT_EQ(p.delta().size(), 2u);
+  for (const auto& t : p.delta()) {
+    EXPECT_EQ(p.space().self(t.from), 0);
+    EXPECT_EQ(p.space().self(t.to), 1);
+  }
+}
+
+TEST(ProtocolBuilder, NoopEffectsProduceNoTransition) {
+  ProtocolBuilder b("t", Domain::range(2), {1, 0});
+  b.legitimate([](const LocalView&) { return true; });
+  b.action("idem", [](const LocalView&) { return true; },
+           [](const LocalView& v) { return v.self(); });
+  EXPECT_EQ(b.build().delta().size(), 0u);
+}
+
+TEST(ProtocolBuilder, MultiEffectAddsAllAlternatives) {
+  ProtocolBuilder b("t", Domain::range(3), {1, 0});
+  b.legitimate([](const LocalView&) { return false; });
+  b.action("split", [](const LocalView& v) { return v[0] == 0 && v[-1] == 0; },
+           ProtocolBuilder::MultiEffect([](const LocalView&) {
+             return std::vector<Value>{1, 2};
+           }));
+  const Protocol p = b.build();
+  EXPECT_EQ(p.delta().size(), 2u);
+}
+
+TEST(ProtocolBuilder, OutOfDomainEffectThrows) {
+  ProtocolBuilder b("t", Domain::range(2), {1, 0});
+  b.legitimate([](const LocalView&) { return true; });
+  b.action("bad", [](const LocalView&) { return true; },
+           [](const LocalView&) { return Value{7}; });
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(ProtocolBuilder, RawTransitionEscapeHatch) {
+  ProtocolBuilder b("t", Domain::range(2), {1, 0});
+  b.legitimate([](const LocalView&) { return false; });
+  b.transition(0, 1);
+  const Protocol p = b.build();
+  ASSERT_EQ(p.delta().size(), 1u);
+  EXPECT_EQ(p.delta()[0].from, 0u);
+}
+
+TEST(ProtocolBuilder, LocalViewExposesDomain) {
+  ProtocolBuilder b("t", Domain::named({"a", "b"}), {1, 0});
+  b.legitimate([](const LocalView& v) {
+    return v[0] == *v.domain().value_of("a");
+  });
+  const Protocol p = b.build();
+  EXPECT_EQ(p.num_legit(), 2u);  // states with x[0] = a
+}
+
+TEST(ProtocolBuilder, AgreementMatchesHandEncoding) {
+  const Protocol p = protocols::agreement_both();
+  // t01: 10 → 11 and t10: 01 → 00, exactly two transitions.
+  ASSERT_EQ(p.delta().size(), 2u);
+  const auto& space = p.space();
+  const LocalStateId s10 = space.encode(std::vector<Value>{1, 0});
+  const LocalStateId s01 = space.encode(std::vector<Value>{0, 1});
+  EXPECT_TRUE(p.is_enabled(s10));
+  EXPECT_TRUE(p.is_enabled(s01));
+  EXPECT_EQ(space.self(p.transitions_from(s10)[0].to), 1);
+  EXPECT_EQ(space.self(p.transitions_from(s01)[0].to), 0);
+}
+
+}  // namespace
+}  // namespace ringstab

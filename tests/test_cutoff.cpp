@@ -1,0 +1,64 @@
+#include "global/cutoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/matching.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(Cutoff, StabilizingProtocolPassesAllSizes) {
+  const auto rep =
+      verify_up_to_cutoff(protocols::agreement_one_sided(true), 2, 8);
+  EXPECT_TRUE(rep.all_stabilize);
+  EXPECT_EQ(rep.entries.size(), 7u);
+  // 2^2 + ... + 2^8 states explored.
+  GlobalStateId expect = 0;
+  for (std::size_t k = 2; k <= 8; ++k) expect += GlobalStateId{1} << k;
+  EXPECT_EQ(rep.states_explored, expect);
+}
+
+TEST(Cutoff, NonGeneralizableCaughtOnlyWithLargeEnoughCutoff) {
+  const Protocol p = protocols::matching_nongeneralizable();
+  // Checking only K=5 passes — the trap.
+  EXPECT_TRUE(verify_up_to_cutoff(p, 5, 5).all_stabilize);
+  // Including K=4 catches it.
+  const auto rep = verify_up_to_cutoff(p, 4, 6);
+  EXPECT_FALSE(rep.all_stabilize);
+  EXPECT_FALSE(rep.entries[0].stabilizes);  // K=4
+  EXPECT_TRUE(rep.entries[1].stabilizes);   // K=5
+  EXPECT_FALSE(rep.entries[2].stabilizes);  // K=6
+  EXPECT_GT(rep.entries[0].deadlocks_outside_i, 0u);
+}
+
+TEST(Cutoff, LivelocksAreReported) {
+  const auto rep = verify_up_to_cutoff(protocols::agreement_both(), 4, 5);
+  EXPECT_FALSE(rep.all_stabilize);
+  for (const auto& e : rep.entries) {
+    EXPECT_TRUE(e.has_livelock);
+    EXPECT_EQ(e.deadlocks_outside_i, 0u);
+  }
+}
+
+TEST(Cutoff, OversizeInstancesAreSkippedNotFatal) {
+  const auto rep = verify_up_to_cutoff(protocols::agreement_one_sided(true),
+                                       2, 40, /*max_states=*/1024);
+  // K ≤ 10 checked (2^10 = 1024), the rest skipped.
+  std::size_t checked = 0;
+  for (const auto& e : rep.entries)
+    if (e.num_states > 0) ++checked;
+  EXPECT_EQ(checked, 9u);
+}
+
+TEST(Cutoff, ReportMentionsVerdicts) {
+  const Protocol p = protocols::matching_nongeneralizable();
+  const auto rep = verify_up_to_cutoff(p, 4, 5);
+  const std::string text = rep.to_string(p);
+  EXPECT_NE(text.find("FAILS"), std::string::npos);
+  EXPECT_NE(text.find("stabilizes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringstab

@@ -1,0 +1,54 @@
+#include "core/domain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ringstab {
+namespace {
+
+TEST(Domain, RangeHasNumericNames) {
+  const Domain d = Domain::range(3);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.name(0), "0");
+  EXPECT_EQ(d.name(2), "2");
+  EXPECT_EQ(d.abbrev(1), '1');
+}
+
+TEST(Domain, NamedLookup) {
+  const Domain d = Domain::named({"left", "right", "self"});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.value_of("right"), Value{1});
+  EXPECT_EQ(d.value_of("nope"), std::nullopt);
+  EXPECT_EQ(d.abbrev(2), 's');
+}
+
+TEST(Domain, Contains) {
+  const Domain d = Domain::range(2);
+  EXPECT_TRUE(d.contains(0));
+  EXPECT_TRUE(d.contains(1));
+  EXPECT_FALSE(d.contains(2));
+  EXPECT_FALSE(d.contains(-1));
+}
+
+TEST(Domain, RejectsEmpty) {
+  EXPECT_THROW(Domain::named({}), ModelError);
+}
+
+TEST(Domain, RejectsDuplicateNames) {
+  EXPECT_THROW(Domain::named({"a", "a"}), ModelError);
+}
+
+TEST(Domain, RejectsEmptyName) {
+  EXPECT_THROW(Domain::named({"a", ""}), ModelError);
+}
+
+TEST(Domain, RejectsOversize) {
+  EXPECT_THROW(Domain::range(65), ModelError);
+}
+
+TEST(Domain, EqualityIsStructural) {
+  EXPECT_EQ(Domain::range(2), Domain::named({"0", "1"}));
+  EXPECT_NE(Domain::range(2), Domain::range(3));
+}
+
+}  // namespace
+}  // namespace ringstab

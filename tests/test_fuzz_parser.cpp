@@ -1,0 +1,90 @@
+// Robustness fuzzing: the .ring front-end must either parse or throw
+// ParseError/ModelError — never crash, hang, or throw anything else.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/parser.hpp"
+#include "core/ring_writer.hpp"
+
+namespace ringstab {
+namespace {
+
+const char* kFragments[] = {
+    "protocol", "domain", "reads", "legit", "action", "p", "x", "[", "]",
+    "(", ")", ";", ":", ":=", "->", "|", "||", "&&", "!", "==", "!=", "<",
+    "<=", "+", "-", "*", "/", "%", "..", "0", "1", "2", "3", "42", ",",
+    "left", "right", "self", "x[-1]", "x[0]", "x[1]",
+};
+
+TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  std::mt19937_64 rng(4242);
+  std::uniform_int_distribution<std::size_t> pick(
+      0, std::size(kFragments) - 1);
+  std::uniform_int_distribution<int> len(0, 60);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string src;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      src += kFragments[pick(rng)];
+      src += ' ';
+    }
+    try {
+      const Protocol p = parse_protocol(src);
+      // If it parsed, it must round-trip.
+      const Protocol q = parse_protocol(to_ring_source(p));
+      EXPECT_EQ(q.delta(), p.delta());
+    } catch (const ParseError&) {
+    } catch (const ModelError&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(777);
+  std::uniform_int_distribution<int> byte(1, 126);
+  std::uniform_int_distribution<int> len(0, 120);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string src;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i)
+      src += static_cast<char>(byte(rng));
+    try {
+      parse_protocol(src);
+    } catch (const ParseError&) {
+    } catch (const ModelError&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, MutatedValidSourcesNeverCrash) {
+  const std::string base = R"(
+protocol agreement;
+domain 2;
+reads -1 .. 0;
+legit: x[-1] == x[0];
+action t01: x[-1] == 1 && x[0] == 0 -> x[0] := 1;
+)";
+  std::mt19937_64 rng(31337);
+  std::uniform_int_distribution<int> byte(32, 126);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string src = base;
+    const int edits = 1 + static_cast<int>(rng() % 4);
+    for (int e = 0; e < edits && !src.empty(); ++e) {
+      const std::size_t at = rng() % src.size();
+      switch (rng() % 3) {
+        case 0: src[at] = static_cast<char>(byte(rng)); break;
+        case 1: src.erase(at, 1); break;
+        default: src.insert(at, 1, static_cast<char>(byte(rng))); break;
+      }
+    }
+    try {
+      parse_protocol(src);
+    } catch (const ParseError&) {
+    } catch (const ModelError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ringstab

@@ -1,0 +1,141 @@
+#include "synthesis/global_synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/sum_not_two.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(GlobalSynthesis, AgreementFindsBothSolutions) {
+  GlobalSynthesisOptions opts;
+  opts.min_ring = 2;
+  opts.max_ring = 6;
+  const auto res =
+      synthesize_convergence_global(protocols::agreement_empty(), opts);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.solutions.size(), 2u);
+  EXPECT_GT(res.states_explored, 0u);
+}
+
+TEST(GlobalSynthesis, SumNotTwoAcceptsMoreThanLocal) {
+  // The fixed-K baseline accepts every candidate that happens to stabilize
+  // up to the cutoff — including candidates whose trails were spurious. The
+  // local method is strictly more conservative.
+  GlobalSynthesisOptions gopts;
+  gopts.min_ring = 2;
+  gopts.max_ring = 6;
+  const auto global =
+      synthesize_convergence_global(protocols::sum_not_two_empty(), gopts);
+  const auto local = synthesize_convergence(protocols::sum_not_two_empty());
+  ASSERT_TRUE(global.success);
+  ASSERT_TRUE(local.success);
+  EXPECT_EQ(global.solutions.size(), 6u)
+      << "8 candidates − 2 real livelocks (the rotations pass: spurious)";
+  EXPECT_EQ(local.solutions.size(), 4u);
+  // Every locally accepted solution is also globally accepted.
+  for (const auto& ls : local.solutions) {
+    EXPECT_TRUE(std::any_of(global.solutions.begin(), global.solutions.end(),
+                            [&](const auto& gs) {
+                              return gs.protocol.delta() ==
+                                     ls.protocol.delta();
+                            }));
+  }
+}
+
+// The non-generalizability trap (the paper's core motivation): a candidate
+// accepted by checking K=5 alone deadlocks at K=4 and K=6.
+TEST(GlobalSynthesis, SmallCutoffAcceptsNonGeneralizableSolutions) {
+  // 3-coloring at cutoff K ≤ 3 accepts rotation-style candidates that
+  // livelock at K=4 — fixed-K synthesis does not generalize.
+  GlobalSynthesisOptions small;
+  small.min_ring = 2;
+  small.max_ring = 3;
+  const auto res =
+      synthesize_convergence_global(protocols::coloring_empty(3), small);
+  ASSERT_TRUE(res.success) << "small cutoff lets bad candidates through";
+  bool some_bad = false;
+  for (const auto& sol : res.solutions)
+    if (testing::global_has_livelock(sol.protocol, 4)) some_bad = true;
+  EXPECT_TRUE(some_bad);
+
+  // Raising the cutoff to 4 eliminates them all (3-coloring has no
+  // symmetric deterministic solution of this shape).
+  GlobalSynthesisOptions bigger;
+  bigger.min_ring = 2;
+  bigger.max_ring = 4;
+  EXPECT_FALSE(
+      synthesize_convergence_global(protocols::coloring_empty(3), bigger)
+          .success);
+}
+
+TEST(GlobalSynthesis, LocalAcceptanceImpliesGlobalAcceptance) {
+  // Soundness: anything the local synthesizer accepts must pass the global
+  // baseline at every K in range.
+  for (const Protocol& input :
+       {protocols::agreement_empty(), protocols::sum_not_two_empty()}) {
+    const auto local = synthesize_convergence(input);
+    GlobalSynthesisOptions opts;
+    opts.min_ring = 2;
+    opts.max_ring = 7;
+    for (const auto& sol : local.solutions) {
+      bool ok = true;
+      for (std::size_t k = opts.min_ring; k <= opts.max_ring; ++k)
+        ok = ok && strongly_stabilizing(RingInstance(sol.protocol, k));
+      EXPECT_TRUE(ok) << input.name();
+    }
+  }
+}
+
+// Hybrid mode: the Theorem 4.2 prefilter skips the model checking for
+// candidates that deadlock at some size, without losing any solution that
+// would have passed.
+TEST(GlobalSynthesis, Theorem42PrefilterIsLossless) {
+  for (const Protocol& input :
+       {protocols::agreement_empty(), protocols::sum_not_two_empty()}) {
+    GlobalSynthesisOptions plain;
+    plain.max_ring = 6;
+    GlobalSynthesisOptions hybrid = plain;
+    hybrid.prefilter_with_theorem42 = true;
+
+    const auto a = synthesize_convergence_global(input, plain);
+    const auto b = synthesize_convergence_global(input, hybrid);
+    ASSERT_EQ(a.solutions.size(), b.solutions.size()) << input.name();
+    for (std::size_t i = 0; i < a.solutions.size(); ++i)
+      EXPECT_EQ(a.solutions[i].protocol.delta(),
+                b.solutions[i].protocol.delta());
+    EXPECT_LE(b.states_explored, a.states_explored);
+  }
+}
+
+TEST(GlobalSynthesis, PrefilterCountsDiscards) {
+  // 3-coloring at a tiny cutoff: without prefilter some candidates pass
+  // (they only livelock later); all candidates are deadlock-free ∀K though,
+  // so the prefilter discards none — use an input with deadlocking
+  // candidates instead: none of our empties produce them (targets resolve
+  // all bad cycles by construction). The count is therefore 0 here, which
+  // itself is worth pinning: the Resolve construction already guarantees
+  // Theorem 4.2 for every candidate.
+  GlobalSynthesisOptions hybrid;
+  hybrid.max_ring = 4;
+  hybrid.prefilter_with_theorem42 = true;
+  const auto res =
+      synthesize_convergence_global(protocols::sum_not_two_empty(), hybrid);
+  EXPECT_EQ(res.prefiltered_out, 0u);
+}
+
+TEST(GlobalSynthesis, SummaryReportsCost) {
+  GlobalSynthesisOptions opts;
+  opts.max_ring = 4;
+  const Protocol input = protocols::agreement_empty();
+  const auto res = synthesize_convergence_global(input, opts);
+  const std::string s = res.summary(input);
+  EXPECT_NE(s.find("states explored"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringstab

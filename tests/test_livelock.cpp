@@ -1,0 +1,98 @@
+#include "local/livelock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "local/convergence.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/sum_not_two.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(Livelock, OneSidedAgreementIsFree) {
+  const auto res = check_livelock_freedom(protocols::agreement_one_sided(true));
+  EXPECT_EQ(res.verdict, LivelockAnalysis::Verdict::kLivelockFree);
+  EXPECT_TRUE(res.covers_all_livelocks);
+  EXPECT_TRUE(res.was_self_disabling);
+}
+
+TEST(Livelock, AgreementBothHasTrailAndRealLivelocks) {
+  const Protocol p = protocols::agreement_both();
+  const auto res = check_livelock_freedom(p);
+  ASSERT_EQ(res.verdict, LivelockAnalysis::Verdict::kTrailFound);
+  // The trail is genuine here: global livelocks at several K.
+  for (std::size_t k = 3; k <= 6; ++k)
+    EXPECT_TRUE(testing::global_has_livelock(p, k)) << k;
+}
+
+TEST(Livelock, BidirectionalVerdictIsQualified) {
+  const auto res =
+      check_livelock_freedom(protocols::matching_gouda_acharya_fragment());
+  EXPECT_FALSE(res.covers_all_livelocks);
+  EXPECT_EQ(res.verdict, LivelockAnalysis::Verdict::kTrailFound);
+}
+
+TEST(Livelock, NonSelfDisablingInputGetsTransformed) {
+  const Protocol p = protocols::matching_nongeneralizable();
+  const auto res = check_livelock_freedom(p);
+  EXPECT_FALSE(res.was_self_disabling);
+}
+
+// Soundness of kLivelockFree over the zoo: no global livelock for K=2..7.
+class LivelockZooTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LivelockZooTest, FreeVerdictIsGloballySound) {
+  const Protocol p = testing::protocol_zoo()[GetParam()];
+  if (!p.locality().is_unidirectional()) return;  // Thm 5.14 full coverage
+  const auto res = check_livelock_freedom(p);
+  if (res.verdict != LivelockAnalysis::Verdict::kLivelockFree) return;
+  for (std::size_t k = 2; k <= 7; ++k)
+    EXPECT_FALSE(testing::global_has_livelock(p, k))
+        << p.name() << " K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, LivelockZooTest,
+                         ::testing::Range<std::size_t>(
+                             0, testing::protocol_zoo().size()));
+
+// Combined convergence verdicts on the paper's flagship protocols.
+TEST(Convergence, Verdicts) {
+  using V = ConvergenceAnalysis::Verdict;
+  EXPECT_EQ(check_convergence(protocols::agreement_one_sided(true)).verdict,
+            V::kConverges);
+  EXPECT_EQ(check_convergence(protocols::sum_not_two_solution()).verdict,
+            V::kConverges);
+  EXPECT_EQ(check_convergence(protocols::agreement_both()).verdict,
+            V::kTrailFound);
+  EXPECT_EQ(check_convergence(protocols::agreement_empty()).verdict,
+            V::kDeadlock);
+  EXPECT_EQ(check_convergence(protocols::matching_nongeneralizable()).verdict,
+            V::kDeadlock);
+}
+
+TEST(Convergence, ConvergingVerdictMatchesGlobalChecking) {
+  for (const auto& p : testing::protocol_zoo()) {
+    if (!p.locality().is_unidirectional()) continue;
+    const auto res = check_convergence(p);
+    if (res.verdict != ConvergenceAnalysis::Verdict::kConverges) continue;
+    for (std::size_t k = 2; k <= 6; ++k) {
+      const RingInstance ring(p, k);
+      EXPECT_TRUE(GlobalChecker(ring).check_all().strongly_converges())
+          << p.name() << " K=" << k;
+    }
+  }
+}
+
+TEST(Convergence, SummaryIsInformative) {
+  const Protocol conv = protocols::sum_not_two_solution();
+  EXPECT_NE(check_convergence(conv).summary(conv).find("every ring size"),
+            std::string::npos);
+  const Protocol dead = protocols::matching_nongeneralizable();
+  EXPECT_NE(check_convergence(dead).summary(dead).find("smallest deadlocked"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringstab

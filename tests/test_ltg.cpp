@@ -1,0 +1,52 @@
+#include "local/ltg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "protocols/matching.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(Ltg, SArcsAreTheRcg) {
+  const Ltg ltg(protocols::matching_generalizable());
+  EXPECT_EQ(ltg.s_arcs().num_vertices(), 27u);
+  EXPECT_EQ(ltg.s_arcs().num_arcs(), 81u);
+}
+
+TEST(Ltg, TArcsAreDelta) {
+  const Protocol p = protocols::matching_generalizable();
+  const Ltg ltg(p);
+  EXPECT_EQ(ltg.t_arcs(), p.delta());
+}
+
+// s_arc_id is a bijection onto [0, |V|·|D|).
+TEST(Ltg, SArcIdsAreDenseAndUnique) {
+  for (const auto& p : testing::protocol_zoo()) {
+    const Ltg ltg(p);
+    std::vector<bool> seen(ltg.num_s_arc_ids(), false);
+    for (LocalStateId u = 0; u < ltg.num_states(); ++u)
+      for (VertexId v : ltg.s_arcs().out(u)) {
+        const std::size_t id = ltg.s_arc_id(u, v);
+        ASSERT_LT(id, ltg.num_s_arc_ids());
+        EXPECT_FALSE(seen[id]) << p.name();
+        seen[id] = true;
+      }
+    const std::size_t used =
+        static_cast<std::size_t>(std::count(seen.begin(), seen.end(), true));
+    EXPECT_EQ(used, ltg.s_arcs().num_arcs()) << p.name();
+  }
+}
+
+TEST(Ltg, DotMentionsStatesAndBothArcKinds) {
+  const Ltg ltg(protocols::matching_gouda_acharya_fragment());
+  const std::string dot = ltg.to_dot();
+  EXPECT_NE(dot.find("lls"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // s-arcs
+  EXPECT_NE(dot.find("penwidth=2"), std::string::npos);    // t-arcs
+  const std::string no_s = ltg.to_dot(/*include_s_arcs=*/false);
+  EXPECT_EQ(no_s.find("style=dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringstab

@@ -1,0 +1,133 @@
+// Corner-case coverage across modules: spectra periodicity, graph caps,
+// parser grammar edges, instance boundaries.
+#include <gtest/gtest.h>
+
+#include "core/parser.hpp"
+#include "graph/cycles.hpp"
+#include "graph/walks.hpp"
+#include "helpers.hpp"
+#include "local/deadlock.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/matching.hpp"
+
+namespace ringstab {
+namespace {
+
+// Closed-walk spectra are eventually periodic with period dividing the lcm
+// of cycle lengths; pin it for Example 4.3 (cycles 4 and 6 ⇒ dense tail).
+TEST(Coverage, SpectrumTailIsEventuallyAllTrue) {
+  const Protocol p = protocols::matching_nongeneralizable();
+  const auto res = analyze_deadlocks(p, 64);
+  for (std::size_t k = 6; k <= 64; ++k)
+    EXPECT_TRUE(res.size_spectrum.at(k)) << k;
+  EXPECT_FALSE(res.size_spectrum.at(5));
+}
+
+TEST(Coverage, JohnsonRespectsCap) {
+  // Complete digraph on 5 vertices has many cycles; the cap truncates.
+  Digraph g(5);
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = 0; v < 5; ++v)
+      if (u != v) g.add_arc(u, v);
+  EXPECT_EQ(simple_cycles(g, 7).size(), 7u);
+  EXPECT_GT(simple_cycles(g).size(), 80u);
+}
+
+TEST(Coverage, WalkOfLengthZeroAndOversize) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  std::vector<bool> marked{true, false};
+  EXPECT_FALSE(closed_walk_of_length(g, marked, 0).has_value());
+  EXPECT_FALSE(closed_walk_of_length(g, marked, 3).has_value());
+  EXPECT_TRUE(closed_walk_of_length(g, marked, 4).has_value());
+}
+
+TEST(Coverage, ParserAcceptsDeclarationsInAnyOrder) {
+  const Protocol p = parse_protocol(R"(
+legit: x[-1] == x[0];
+reads -1 .. 0;
+domain 2;
+protocol reordered;
+)");
+  EXPECT_EQ(p.name(), "reordered");
+  EXPECT_EQ(p.num_legit(), 2u);
+}
+
+TEST(Coverage, ParserLastDeclarationWins) {
+  const Protocol p = parse_protocol(R"(
+protocol a; protocol b;
+domain 3; domain 2;
+reads -1 .. 0;
+legit: 0; legit: 1;
+)");
+  EXPECT_EQ(p.name(), "b");
+  EXPECT_EQ(p.domain().size(), 2u);
+  EXPECT_EQ(p.num_legit(), p.num_states());
+}
+
+TEST(Coverage, ParserUnaryMinusAndNestedParens) {
+  const Protocol p = parse_protocol(R"(
+protocol u; domain 3; reads -1 .. 0;
+legit: ((x[0]) - (-1)) != ((x[-1] + 1));
+)");
+  // x0 + 1 != x-1 + 1  ⟺  x0 != x-1: 6 of 9 states.
+  EXPECT_EQ(p.num_legit(), 6u);
+}
+
+TEST(Coverage, ActionGuardFalseEverywhereIsFine) {
+  const Protocol p = parse_protocol(R"(
+protocol f; domain 2; reads -1 .. 0; legit: 1;
+action never: 0 -> x[0] := 1;
+)");
+  EXPECT_TRUE(p.delta().empty());
+}
+
+TEST(Coverage, WiderUnidirectionalLocalityWorks) {
+  // reads -2 .. 0: the representative sees two predecessors.
+  const Protocol p = parse_protocol(R"(
+protocol two_back; domain 2; reads -2 .. 0;
+legit: x[-2] == x[0];
+)");
+  EXPECT_EQ(p.num_states(), 8u);
+  const auto res = analyze_deadlocks(p, 8);
+  // Empty protocol: every ¬LC ring state deadlocks; K=2 aliases x[-2]=x[0]
+  // so every state is legit there — the spectrum must match the checker.
+  for (std::size_t k = 3; k <= 7; ++k)
+    EXPECT_EQ(res.size_spectrum.at(k), testing::global_has_deadlock(p, k))
+        << k;
+}
+
+TEST(Coverage, DeadlockWitnessRespectsWindowLowerBound) {
+  const Protocol p = protocols::matching_nongeneralizable();
+  // K=2 < window(3): the walk construction does not apply.
+  EXPECT_FALSE(deadlock_witness_ring(p, 2).has_value());
+}
+
+TEST(Coverage, RingInstanceMinimumSize) {
+  EXPECT_THROW(RingInstance(protocols::agreement_both(), 0), ModelError);
+  EXPECT_NO_THROW(RingInstance(protocols::agreement_both(), 2));
+}
+
+TEST(Coverage, GlobalCheckerOnTrivialInvariant) {
+  // LC ≡ true: no state is outside I; trivially stabilizing.
+  const Protocol p = parse_protocol(
+      "protocol t; domain 2; reads -1 .. 0; legit: 1;");
+  const RingInstance ring(p, 4);
+  const auto res = GlobalChecker(ring).check_all();
+  EXPECT_TRUE(res.strongly_converges());
+  EXPECT_EQ(res.max_recovery_steps, 0u);
+}
+
+TEST(Coverage, GlobalCheckerOnEmptyInvariant) {
+  // LC ≡ false: everything is outside I; all states are deadlocks outside I.
+  const Protocol p = parse_protocol(
+      "protocol f; domain 2; reads -1 .. 0; legit: 0;");
+  const RingInstance ring(p, 3);
+  const GlobalChecker checker(ring);
+  EXPECT_EQ(checker.count_deadlocks_outside_invariant(), 8u);
+  EXPECT_FALSE(checker.check_weak_convergence());
+}
+
+}  // namespace
+}  // namespace ringstab

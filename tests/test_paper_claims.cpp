@@ -1,0 +1,217 @@
+// Integration tests pinning the paper's headline claims end-to-end.
+// Each test names the paper artifact it reproduces.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "local/convergence.hpp"
+#include "local/deadlock.hpp"
+#include "local/rcg.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/sum_not_two.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace ringstab {
+namespace {
+
+// Figure 1: the RCG of maximal matching over all 27 local states.
+TEST(PaperClaims, Fig1MatchingRcg) {
+  const Protocol p = protocols::matching_skeleton();
+  const Digraph rcg = build_rcg(p.space());
+  EXPECT_EQ(rcg.num_vertices(), 27u);
+  EXPECT_EQ(rcg.num_arcs(), 81u);
+  EXPECT_EQ(p.num_legit(), 7u);
+}
+
+// Example 4.2 + Figure 2: generalizable matching is deadlock-free for all K;
+// the paper model-checked K = 5..8.
+TEST(PaperClaims, Ex42DeadlockFreedomGeneralizes) {
+  const Protocol p = protocols::matching_generalizable();
+  EXPECT_TRUE(analyze_deadlocks(p).deadlock_free_all_k);
+  for (std::size_t k = 5; k <= 8; ++k) {
+    const RingInstance ring(p, k);
+    const GlobalChecker checker(ring);
+    EXPECT_EQ(checker.count_deadlocks_outside_invariant(), 0u) << k;
+  }
+}
+
+// Example 4.3 + Figure 3: two bad cycles (lengths 4, 6) through
+// ⟨left,left,self⟩; stabilizes at K=5; deadlocks at K ∈ {4, 6}.
+TEST(PaperClaims, Ex43NonGeneralizable) {
+  const Protocol p = protocols::matching_nongeneralizable();
+  const auto res = analyze_deadlocks(p, 12);
+  ASSERT_EQ(res.bad_cycles.size(), 2u);
+  EXPECT_EQ(res.bad_cycles[0].size(), 4u);
+  EXPECT_EQ(res.bad_cycles[1].size(), 6u);
+  EXPECT_TRUE(strongly_stabilizing(RingInstance(p, 5)));
+  EXPECT_TRUE(testing::global_has_deadlock(p, 4));
+  EXPECT_TRUE(testing::global_has_deadlock(p, 6));
+  EXPECT_FALSE(testing::global_has_deadlock(p, 5));
+}
+
+// REFINEMENT of the paper's Example 4.3 claim ("deadlock free for ring sizes
+// that are not multiples of 4 or 6"): composite closed walks through the two
+// cycles also deadlock K=7 — confirmed by exhaustive global checking.
+TEST(PaperClaims, Ex43PaperSizeClaimIsIncomplete) {
+  const Protocol p = protocols::matching_nongeneralizable();
+  EXPECT_TRUE(analyze_deadlocks(p, 8).size_spectrum.at(7));
+  EXPECT_TRUE(testing::global_has_deadlock(p, 7))
+      << "K=7 is neither a multiple of 4 nor 6, yet deadlocks";
+}
+
+// Example 4.3's closing remark: "resolving the local deadlock
+// ⟨left,left,self⟩ renders RCG_p without cycles including local states in
+// ¬LC_r; i.e., p(K) becomes deadlock free for any ring size K."
+TEST(PaperClaims, Ex43SuggestedFixWorks) {
+  const Protocol fixed = protocols::matching_nongeneralizable_fixed();
+  const auto res = analyze_deadlocks(fixed, 12);
+  EXPECT_TRUE(res.deadlock_free_all_k);
+  EXPECT_TRUE(res.bad_cycles.empty());
+  for (std::size_t k = 3; k <= 8; ++k)
+    EXPECT_FALSE(testing::global_has_deadlock(fixed, k)) << k;
+}
+
+// Example 5.2: binary agreement with both corrective actions livelocks; the
+// paper's K=4 livelock state sequence is a real computation.
+TEST(PaperClaims, Ex52AgreementLivelock) {
+  const Protocol p = protocols::agreement_both();
+  EXPECT_TRUE(testing::global_has_livelock(p, 4));
+  EXPECT_EQ(check_convergence(p).verdict,
+            ConvergenceAnalysis::Verdict::kTrailFound);
+}
+
+// Figure 10 + Section 6.2: agreement synthesis gives exactly the two
+// one-sided solutions; including both actions is rejected.
+TEST(PaperClaims, Fig10AgreementSynthesis) {
+  const auto res = synthesize_convergence(protocols::agreement_empty());
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.solutions.size(), 2u);
+  EXPECT_EQ(check_convergence(protocols::agreement_both()).verdict,
+            ConvergenceAnalysis::Verdict::kTrailFound)
+      << "including both t01 and t10 must not be certified";
+}
+
+// Section 6.1 + Figure 9: 3-coloring synthesis fails on all 2^3 candidates.
+TEST(PaperClaims, Fig9ThreeColoringFailure) {
+  const auto res = synthesize_convergence(protocols::coloring_empty(3));
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.candidates_examined, 8u);
+}
+
+// Figure 11: 2-coloring fails (consistent with the impossibility result the
+// paper cites [25]); globally, the candidate really livelocks on odd rings.
+TEST(PaperClaims, Fig11TwoColoringFailure) {
+  const auto res = synthesize_convergence(protocols::coloring_empty(2));
+  EXPECT_FALSE(res.success);
+  const Protocol cand = protocols::coloring_with_choices(2, {1, 0});
+  EXPECT_TRUE(testing::global_has_livelock(cand, 3));
+  EXPECT_TRUE(testing::global_has_livelock(cand, 5));
+}
+
+// Figure 12 + Section 6.2: sum-not-two synthesis succeeds; the paper's
+// published action pair is an accepted solution; rotations are rejected and
+// their trails are spurious at the implied K=3 (the non-necessity point).
+TEST(PaperClaims, Fig12SumNotTwo) {
+  const auto res = synthesize_convergence(protocols::sum_not_two_empty());
+  ASSERT_TRUE(res.success);
+  const auto paper = protocols::sum_not_two_solution().delta();
+  EXPECT_TRUE(std::any_of(
+      res.solutions.begin(), res.solutions.end(),
+      [&](const auto& s) { return s.protocol.delta() == paper; }));
+  for (bool up : {true, false})
+    EXPECT_FALSE(
+        testing::global_has_livelock(protocols::sum_not_two_rotation(up), 3))
+        << "rotation trail is spurious at its implied K";
+}
+
+// Gouda–Acharya (Figure 8): the two-action fragment livelocks at K=5 with a
+// period-10 cycle alternating ⟨lslsl, sslsl, …⟩-style states.
+TEST(PaperClaims, Fig8GoudaAcharyaLivelock) {
+  const Protocol p = protocols::matching_gouda_acharya_fragment();
+  const RingInstance ring(p, 5);
+  const auto cycle = GlobalChecker(ring).find_livelock();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size() % 2, 0u);
+}
+
+// Corollary 5.7 context (enablement conservation, Lemma 5.5): along any
+// livelock cycle of a unidirectional ring, |E| is constant.
+TEST(PaperClaims, Lemma55EnablementConservation) {
+  const Protocol p = protocols::agreement_both();
+  for (std::size_t k : {4u, 5u, 6u}) {
+    const RingInstance ring(p, k);
+    const auto cycle = GlobalChecker(ring).find_livelock();
+    ASSERT_TRUE(cycle.has_value()) << k;
+    const std::size_t e0 = ring.num_enabled((*cycle)[0]);
+    for (GlobalStateId s : *cycle) EXPECT_EQ(ring.num_enabled(s), e0) << k;
+  }
+}
+
+// Corollary 5.7: no process is continuously enabled along a livelock — for
+// every process there is a cycle state where it is disabled (so weak
+// fairness cannot break unidirectional livelocks).
+TEST(PaperClaims, Corollary57NoContinuouslyEnabledProcess) {
+  const Protocol p = protocols::agreement_both();
+  for (std::size_t k : {4u, 5u, 6u}) {
+    const RingInstance ring(p, k);
+    const auto cycle = GlobalChecker(ring).find_livelock();
+    ASSERT_TRUE(cycle.has_value()) << k;
+    for (std::size_t i = 0; i < k; ++i) {
+      bool sometimes_disabled = false;
+      for (GlobalStateId s : *cycle)
+        if (!ring.process_enabled(s, i)) sometimes_disabled = true;
+      EXPECT_TRUE(sometimes_disabled) << "K=" << k << " process " << i;
+    }
+  }
+}
+
+// Corollary 5.6: livelock transitions never collide — each step's firing
+// process has a DISABLED successor (otherwise |E| would drop, contradicting
+// Lemma 5.5).
+TEST(PaperClaims, Corollary56NoCollisions) {
+  const Protocol p = protocols::agreement_both();
+  const RingInstance ring(p, 5);
+  const auto cycle = GlobalChecker(ring).find_livelock();
+  ASSERT_TRUE(cycle.has_value());
+  const Schedule sched = schedule_from_path(ring, *cycle, /*cyclic=*/true);
+  for (std::size_t n = 0; n < sched.size(); ++n) {
+    const GlobalStateId s = (*cycle)[n];
+    const std::size_t successor = (sched[n].process + 1) % 5;
+    EXPECT_FALSE(ring.process_enabled(s, successor))
+        << "firing P" << sched[n].process
+        << " would collide with its enabled successor";
+  }
+}
+
+// Lemma 5.2 (enablement propagation): along a livelock, a newly enabled
+// process is always the successor of the one that just fired.
+TEST(PaperClaims, Lemma52EnablementPropagation) {
+  const Protocol p = protocols::agreement_both();
+  const RingInstance ring(p, 6);
+  const auto cycle = GlobalChecker(ring).find_livelock();
+  ASSERT_TRUE(cycle.has_value());
+  const Schedule sched = schedule_from_path(ring, *cycle, /*cyclic=*/true);
+  for (std::size_t n = 0; n < sched.size(); ++n) {
+    const GlobalStateId before = (*cycle)[n];
+    const GlobalStateId after = (*cycle)[(n + 1) % cycle->size()];
+    for (std::size_t j = 0; j < 6; ++j) {
+      if (ring.process_enabled(before, j) || !ring.process_enabled(after, j))
+        continue;
+      EXPECT_EQ(j, (sched[n].process + 1) % 6)
+          << "a non-successor process became enabled";
+    }
+  }
+}
+
+// Lemma 5.8/5.9 context: every livelock state has an illegitimate process.
+TEST(PaperClaims, Lemma58LocalIllegitimacy) {
+  const Protocol p = protocols::matching_gouda_acharya_fragment();
+  const RingInstance ring(p, 5);
+  const auto cycle = GlobalChecker(ring).find_livelock();
+  ASSERT_TRUE(cycle.has_value());
+  for (GlobalStateId s : *cycle) EXPECT_FALSE(ring.in_invariant(s));
+}
+
+}  // namespace
+}  // namespace ringstab

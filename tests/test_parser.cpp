@@ -1,0 +1,165 @@
+#include "core/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lexer.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/sum_not_two.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(Lexer, TokenizesOperators) {
+  const auto toks = lex("x[0] := (a != 1) && b || !c;");
+  std::vector<TokenKind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  const std::vector<TokenKind> expected{
+      TokenKind::kIdent, TokenKind::kLBracket, TokenKind::kInt,
+      TokenKind::kRBracket, TokenKind::kAssign, TokenKind::kLParen,
+      TokenKind::kIdent, TokenKind::kNe, TokenKind::kInt, TokenKind::kRParen,
+      TokenKind::kAndAnd, TokenKind::kIdent, TokenKind::kOrOr,
+      TokenKind::kNot, TokenKind::kIdent, TokenKind::kSemi, TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lex("a\n  bb");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, SkipsComments) {
+  const auto toks = lex("a # comment with -> symbols\nb");
+  EXPECT_EQ(toks.size(), 3u);  // a, b, EOF
+}
+
+TEST(Lexer, RejectsGarbage) { EXPECT_THROW(lex("a @ b"), ParseError); }
+
+TEST(Lexer, RejectsHugeIntegers) {
+  EXPECT_THROW(lex("99999999999999999999"), ParseError);
+}
+
+constexpr const char* kAgreement = R"(
+# binary agreement on a unidirectional ring
+protocol agreement_both;
+domain 2;
+reads -1 .. 0;
+legit: x[-1] == x[0];
+action t01: x[-1] == 1 && x[0] == 0 -> x[0] := 1;
+action t10: x[-1] == 0 && x[0] == 1 -> x[0] := 0;
+)";
+
+TEST(Parser, AgreementMatchesBuiltin) {
+  const Protocol parsed = parse_protocol(kAgreement);
+  const Protocol built = protocols::agreement_both();
+  EXPECT_EQ(parsed.delta(), built.delta());
+  EXPECT_EQ(parsed.legit_mask(), built.legit_mask());
+  EXPECT_EQ(parsed.name(), "agreement_both");
+}
+
+TEST(Parser, NamedDomainAndValueNames) {
+  const Protocol p = parse_protocol(R"(
+protocol m;
+domain left, right, self;
+reads -1 .. 1;
+legit: (x[0] == right && x[1] == left)
+    || (x[-1] == right && x[0] == left)
+    || (x[-1] == left && x[0] == self && x[1] == right);
+)");
+  EXPECT_EQ(p.domain().size(), 3u);
+  EXPECT_EQ(p.num_states(), 27u);
+  EXPECT_EQ(p.num_legit(), 7u);  // matches the matching skeleton LC count
+}
+
+TEST(Parser, ArithmeticAndModulo) {
+  const Protocol p = parse_protocol(R"(
+protocol snt;
+domain 3;
+reads -1 .. 0;
+legit: x[-1] + x[0] != 2;
+action: x[-1] + x[0] == 2 && x[0] != 2 -> x[0] := (x[0] + 1) % 3;
+action: x[-1] + x[0] == 2 && x[0] == 2 -> x[0] := (x[0] - 1) % 3;
+)");
+  const Protocol built = protocols::sum_not_two_solution();
+  EXPECT_EQ(p.delta(), built.delta());
+  EXPECT_EQ(p.legit_mask(), built.legit_mask());
+}
+
+TEST(Parser, NondeterministicAssignment) {
+  const Protocol p = parse_protocol(R"(
+protocol nd;
+domain 3;
+reads -1 .. 0;
+legit: x[0] != 0;
+action: x[0] == 0 && x[-1] == 0 -> x[0] := 1 | x[0] := 2;
+)");
+  EXPECT_EQ(p.delta().size(), 2u);
+}
+
+TEST(Parser, AnonymousActionsGetLabels) {
+  EXPECT_NO_THROW(parse_protocol(R"(
+protocol a; domain 2; reads -1 .. 0; legit: 1;
+action: x[0] == 0 && x[-1] == 1 -> x[0] := 1;
+)"));
+}
+
+TEST(Parser, MissingDeclarationsThrow) {
+  EXPECT_THROW(parse_protocol("protocol p; domain 2; reads -1 .. 0;"),
+               ParseError);
+  EXPECT_THROW(parse_protocol("domain 2; reads -1 .. 0; legit: 1;"),
+               ParseError);
+  EXPECT_THROW(parse_protocol("protocol p; reads -1 .. 0; legit: 1;"),
+               ParseError);
+}
+
+TEST(Parser, ReadRangeMustIncludeZero) {
+  EXPECT_THROW(parse_protocol("protocol p; domain 2; reads 1 .. 2; legit: 1;"),
+               ParseError);
+}
+
+TEST(Parser, OnlySelfIsWritable) {
+  EXPECT_THROW(parse_protocol(R"(
+protocol p; domain 2; reads -1 .. 0; legit: 1;
+action: x[0] == 0 -> x[-1] := 1;
+)"),
+               ParseError);
+}
+
+TEST(Parser, UnknownDomainValueThrowsAtBuild) {
+  EXPECT_THROW(parse_protocol(R"(
+protocol p; domain left, right; reads -1 .. 0;
+legit: x[0] == wat;
+)"),
+               ParseError);
+}
+
+TEST(Parser, AssignmentOutsideDomainThrows) {
+  EXPECT_THROW(parse_protocol(R"(
+protocol p; domain 2; reads -1 .. 0; legit: 1;
+action: x[0] == 0 && x[-1] == 0 -> x[0] := 5;
+)"),
+               ParseError);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // 1 + 2 * 2 == 5 must parse as 1 + (2*2); guard true everywhere → all
+  // states with x0=0 fire.
+  const Protocol p = parse_protocol(R"(
+protocol p; domain 2; reads -1 .. 0; legit: 0;
+action: 1 + 2 * 2 == 5 && x[0] == 0 -> x[0] := 1;
+)");
+  EXPECT_EQ(p.delta().size(), 2u);
+}
+
+TEST(Parser, ComparisonOfExpressions) {
+  const Protocol p = parse_protocol(R"(
+protocol p; domain 3; reads -1 .. 0; legit: x[-1] <= x[0];
+)");
+  // pairs with x[-1] <= x[0]: 6 of 9.
+  EXPECT_EQ(p.num_legit(), 6u);
+}
+
+}  // namespace
+}  // namespace ringstab

@@ -1,0 +1,65 @@
+#include "core/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.hpp"
+
+namespace ringstab {
+namespace {
+
+// Expanding the printed guarded commands must reproduce δ_r exactly — the
+// printer is a lossless re-encoding, not a lossy summary.
+class PrinterZooTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrinterZooTest, GuardedCommandsAreExact) {
+  const Protocol p = testing::protocol_zoo()[GetParam()];
+  const auto& space = p.space();
+
+  std::set<LocalTransition> expanded;
+  for (const auto& act : to_guarded_commands(p)) {
+    // Enumerate the cube.
+    std::vector<std::size_t> idx(act.allowed.size(), 0);
+    while (true) {
+      std::vector<Value> vals(act.allowed.size());
+      for (std::size_t i = 0; i < act.allowed.size(); ++i)
+        vals[i] = act.allowed[i][idx[i]];
+      const LocalStateId from = space.encode(vals);
+      EXPECT_EQ(space.self(from), act.write_from);
+      expanded.insert({from, space.with_self(from, act.write_to)});
+      std::size_t i = 0;
+      for (; i < act.allowed.size(); ++i) {
+        if (++idx[i] < act.allowed[i].size()) break;
+        idx[i] = 0;
+      }
+      if (i == act.allowed.size()) break;
+    }
+  }
+  const std::set<LocalTransition> want(p.delta().begin(), p.delta().end());
+  EXPECT_EQ(expanded, want) << p.name();
+}
+
+TEST_P(PrinterZooTest, DescribeMentionsNameAndCounts) {
+  const Protocol p = testing::protocol_zoo()[GetParam()];
+  const std::string text = describe(p);
+  EXPECT_NE(text.find(p.name()), std::string::npos);
+  EXPECT_NE(text.find(std::to_string(p.delta().size())), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PrinterZooTest,
+                         ::testing::Range<std::size_t>(
+                             0, testing::protocol_zoo().size()));
+
+TEST(Printer, DescribeTransitionShowsWritePair) {
+  const auto space = LocalStateSpace(Domain::range(2), {1, 0});
+  const Protocol p("t", space,
+                   {{space.encode(std::vector<Value>{1, 0}),
+                     space.encode(std::vector<Value>{1, 1})}},
+                   std::vector<bool>(4, true));
+  const std::string s = describe_transition(p, p.delta()[0]);
+  EXPECT_NE(s.find("0→1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringstab

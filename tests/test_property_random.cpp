@@ -1,0 +1,120 @@
+// Property-based cross-validation: the local theorems vs. exhaustive global
+// model checking on randomly generated protocols.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+#include "local/closure.hpp"
+#include "local/deadlock.hpp"
+#include "local/livelock.hpp"
+#include "local/rcg.hpp"
+
+namespace ringstab {
+namespace {
+
+class RandomProtocolTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Theorem 4.2 is an iff: the walk spectrum must agree exactly with global
+// deadlock checking at every sampled K.
+TEST_P(RandomProtocolTest, DeadlockSpectrumMatchesGlobal) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 8; ++i) {
+    const Protocol p = testing::random_protocol(rng);
+    const auto res = analyze_deadlocks(p, 7);
+    for (std::size_t k = 2; k <= 7; ++k)
+      EXPECT_EQ(res.size_spectrum.at(k), testing::global_has_deadlock(p, k))
+          << p.name() << " K=" << k << " (domain " << p.domain().size()
+          << ", " << p.delta().size() << " transitions)";
+  }
+}
+
+// Theorem 5.14 soundness: if the trail search certifies livelock-freedom,
+// the global checker must find no livelock at any sampled K.
+TEST_P(RandomProtocolTest, LivelockFreeVerdictIsSound) {
+  std::mt19937_64 rng(GetParam() ^ 0x9e3779b97f4a7c15ull);
+  for (int i = 0; i < 8; ++i) {
+    const Protocol p = testing::random_protocol(rng);
+    const auto res = check_livelock_freedom(p);
+    if (res.verdict != LivelockAnalysis::Verdict::kLivelockFree) continue;
+    for (std::size_t k = 2; k <= 7; ++k)
+      EXPECT_FALSE(testing::global_has_livelock(p, k))
+          << p.name() << " K=" << k;
+  }
+}
+
+// Completeness direction (empirical, unidirectional): when a global livelock
+// exists at some K ≤ 6, the trail search must find a qualifying trail.
+// This validates the formalization of Lemma 5.12's trail shape.
+TEST_P(RandomProtocolTest, GlobalLivelockImpliesTrailFound) {
+  std::mt19937_64 rng(GetParam() ^ 0xdeadbeefcafef00dull);
+  for (int i = 0; i < 8; ++i) {
+    const Protocol p = testing::random_protocol(rng);
+    bool livelocks = false;
+    for (std::size_t k = 2; k <= 6 && !livelocks; ++k)
+      livelocks = testing::global_has_livelock(p, k);
+    if (!livelocks) continue;
+    const auto res = check_livelock_freedom(p);
+    EXPECT_NE(res.verdict, LivelockAnalysis::Verdict::kLivelockFree)
+        << p.name() << " has a real livelock but was certified free";
+  }
+}
+
+// Closure-check soundness: local kClosed ⇒ global closure at sampled K.
+TEST_P(RandomProtocolTest, ClosureCheckIsSound) {
+  std::mt19937_64 rng(GetParam() ^ 0x12345678ull);
+  for (int i = 0; i < 8; ++i) {
+    const Protocol p = testing::random_protocol(rng);
+    if (check_invariant_closure(p).verdict != ClosureCheck::Verdict::kClosed)
+      continue;
+    for (std::size_t k = 3; k <= 6; ++k) {
+      const RingInstance ring(p, k);
+      EXPECT_TRUE(GlobalChecker(ring).check_closure())
+          << p.name() << " K=" << k;
+    }
+  }
+}
+
+// Witness construction: whenever the spectrum says K is deadlocked, the
+// constructed witness ring must check out globally.
+TEST_P(RandomProtocolTest, DeadlockWitnessesVerify) {
+  std::mt19937_64 rng(GetParam() ^ 0x5555aaaaull);
+  for (int i = 0; i < 8; ++i) {
+    const Protocol p = testing::random_protocol(rng);
+    const auto res = analyze_deadlocks(p, 6);
+    for (std::size_t k = 2; k <= 6; ++k) {
+      if (!res.size_spectrum.at(k)) continue;
+      if (k < static_cast<std::size_t>(p.locality().window())) continue;
+      const auto ring = deadlock_witness_ring(p, k);
+      ASSERT_TRUE(ring.has_value()) << p.name() << " K=" << k;
+      const RingInstance inst(p, k);
+      const GlobalStateId s = inst.encode(*ring);
+      EXPECT_TRUE(inst.is_deadlock(s));
+      EXPECT_FALSE(inst.in_invariant(s));
+    }
+  }
+}
+
+// Random bidirectional protocols: Theorem 4.2 (deadlock) still exact.
+TEST_P(RandomProtocolTest, BidirectionalDeadlockSpectrumMatchesGlobal) {
+  std::mt19937_64 rng(GetParam() ^ 0xabcdefull);
+  testing::RandomProtocolOptions opts;
+  opts.allow_bidirectional = true;
+  opts.max_domain = 2;  // keep the global spaces small
+  for (int i = 0; i < 6; ++i) {
+    const Protocol p = testing::random_protocol(rng, opts);
+    const auto res = analyze_deadlocks(p, 7);
+    const std::size_t kmin =
+        static_cast<std::size_t>(p.locality().window());
+    for (std::size_t k = std::max<std::size_t>(3, kmin); k <= 7; ++k)
+      EXPECT_EQ(res.size_spectrum.at(k), testing::global_has_deadlock(p, k))
+          << p.name() << " K=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProtocolTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+}  // namespace
+}  // namespace ringstab

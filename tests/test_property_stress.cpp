@@ -1,0 +1,107 @@
+// Heavier randomized cross-validation: larger domains, denser transition
+// sets, and metric-level agreement between the checker and the simulator.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+#include "local/deadlock.hpp"
+#include "local/livelock.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/sum_not_two.hpp"
+#include "sim/simulator.hpp"
+
+namespace ringstab {
+namespace {
+
+class StressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Domain-4 protocols: Theorem 4.2's spectrum still matches global checking.
+TEST_P(StressTest, LargeDomainDeadlockSpectrum) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  testing::RandomProtocolOptions opts;
+  opts.max_domain = 4;
+  opts.transition_density = 0.45;
+  for (int i = 0; i < 6; ++i) {
+    const Protocol p = testing::random_protocol(rng, opts);
+    const auto res = analyze_deadlocks(p, 6);
+    for (std::size_t k = 2; k <= 6; ++k)
+      EXPECT_EQ(res.size_spectrum.at(k), testing::global_has_deadlock(p, k))
+          << p.name() << " K=" << k;
+  }
+}
+
+// Dense transition sets: the livelock verdicts stay sound.
+TEST_P(StressTest, DenseProtocolLivelockSoundness) {
+  std::mt19937_64 rng(GetParam() * 104729);
+  testing::RandomProtocolOptions opts;
+  opts.transition_density = 0.8;
+  for (int i = 0; i < 6; ++i) {
+    const Protocol p = testing::random_protocol(rng, opts);
+    const auto res = check_livelock_freedom(p);
+    if (res.verdict != LivelockAnalysis::Verdict::kLivelockFree) continue;
+    for (std::size_t k = 2; k <= 6; ++k)
+      EXPECT_FALSE(testing::global_has_livelock(p, k))
+          << p.name() << " K=" << k;
+  }
+}
+
+// And completeness on the same dense family.
+TEST_P(StressTest, DenseProtocolLivelockCompleteness) {
+  std::mt19937_64 rng(GetParam() * 1299709);
+  testing::RandomProtocolOptions opts;
+  opts.transition_density = 0.8;
+  for (int i = 0; i < 6; ++i) {
+    const Protocol p = testing::random_protocol(rng, opts);
+    bool livelocks = false;
+    for (std::size_t k = 2; k <= 6 && !livelocks; ++k)
+      livelocks = testing::global_has_livelock(p, k);
+    if (!livelocks) continue;
+    EXPECT_NE(check_livelock_freedom(p).verdict,
+              LivelockAnalysis::Verdict::kLivelockFree)
+        << p.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+// The checker's worst-case recovery bound dominates every simulated run.
+TEST(Metrics, SimulatedStepsNeverExceedCheckerBound) {
+  for (const Protocol& p :
+       {protocols::agreement_one_sided(true),
+        protocols::sum_not_two_solution()}) {
+    for (std::size_t k = 4; k <= 8; ++k) {
+      const RingInstance ring(p, k);
+      const std::size_t bound = GlobalChecker(ring).max_recovery_steps();
+      Simulator sim(p, k, /*seed=*/k * 131);
+      for (int trial = 0; trial < 100; ++trial) {
+        sim.randomize();
+        const auto run = sim.run_to_convergence();
+        ASSERT_TRUE(run.converged);
+        EXPECT_LE(run.steps, bound) << p.name() << " K=" << k;
+      }
+    }
+  }
+}
+
+// The bound is tight: some simulated or constructed run attains it for
+// one-sided agreement (worst case = K-1 from one dissenting value).
+TEST(Metrics, RecoveryBoundIsTightForAgreement) {
+  const Protocol p = protocols::agreement_one_sided(true);
+  for (std::size_t k = 3; k <= 8; ++k) {
+    const RingInstance ring(p, k);
+    EXPECT_EQ(GlobalChecker(ring).max_recovery_steps(), k - 1);
+    // The state 1,0,0,...,0 needs exactly K-1 copy steps.
+    Simulator sim(p, k, 1);
+    std::vector<Value> worst(k, 0);
+    worst[0] = 1;
+    sim.set_state(worst);
+    const auto run = sim.run_to_convergence();
+    EXPECT_TRUE(run.converged);
+    EXPECT_EQ(run.steps, k - 1);
+  }
+}
+
+}  // namespace
+}  // namespace ringstab

@@ -1,0 +1,120 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace ringstab {
+namespace {
+
+LocalStateSpace small_space() {
+  return LocalStateSpace(Domain::range(2), {1, 0});
+}
+
+std::vector<bool> half_legit() { return {true, false, true, false}; }
+
+TEST(Protocol, SortsAndDeduplicatesDelta) {
+  const auto space = small_space();
+  // States (x[-1], x[0]): id = x[-1] + 2*x[0].
+  const LocalStateId s01 = space.encode(std::vector<Value>{0, 1});
+  const LocalStateId s00 = space.encode(std::vector<Value>{0, 0});
+  const Protocol p("t", space, {{s01, s00}, {s01, s00}}, half_legit());
+  EXPECT_EQ(p.delta().size(), 1u);
+}
+
+TEST(Protocol, RejectsWrongMaskSize) {
+  EXPECT_THROW(Protocol("t", small_space(), {}, {true}), ModelError);
+}
+
+TEST(Protocol, RejectsStutter) {
+  EXPECT_THROW(Protocol("t", small_space(), {{0, 0}}, half_legit()),
+               ModelError);
+}
+
+TEST(Protocol, RejectsNonSelfWrite) {
+  const auto space = small_space();
+  const LocalStateId a = space.encode(std::vector<Value>{0, 0});
+  const LocalStateId b = space.encode(std::vector<Value>{1, 0});  // x[-1] flip
+  EXPECT_THROW(Protocol("t", space, {{a, b}}, half_legit()), ModelError);
+}
+
+TEST(Protocol, RejectsOutOfRangeState) {
+  EXPECT_THROW(Protocol("t", small_space(), {{0, 99}}, half_legit()),
+               ModelError);
+}
+
+TEST(Protocol, EnabledAndDeadlock) {
+  const auto space = small_space();
+  const LocalStateId s01 = space.encode(std::vector<Value>{0, 1});
+  const LocalStateId s00 = space.encode(std::vector<Value>{0, 0});
+  const Protocol p("t", space, {{s01, s00}}, half_legit());
+  EXPECT_TRUE(p.is_enabled(s01));
+  EXPECT_TRUE(p.is_deadlock(s00));
+  EXPECT_EQ(p.local_deadlocks().size(), 3u);
+}
+
+TEST(Protocol, TransitionsFromIsContiguous) {
+  const auto space = LocalStateSpace(Domain::range(3), {1, 0});
+  const LocalStateId s = space.encode(std::vector<Value>{0, 0});
+  std::vector<LocalTransition> delta{{s, space.with_self(s, 1)},
+                                     {s, space.with_self(s, 2)}};
+  const Protocol p("t", space, delta, std::vector<bool>(space.size(), false));
+  const auto from = p.transitions_from(s);
+  EXPECT_EQ(from.size(), 2u);
+  EXPECT_EQ(p.index_of(from[0]), 0u);
+  EXPECT_EQ(p.index_of(from[1]), 1u);
+}
+
+TEST(Protocol, IllegitimateDeadlocks) {
+  const auto space = small_space();
+  const Protocol p("t", space, {}, half_legit());
+  EXPECT_EQ(p.illegitimate_deadlocks().size(), 2u);
+  EXPECT_EQ(p.local_deadlocks().size(), 4u);
+  EXPECT_EQ(p.num_legit(), 2u);
+}
+
+TEST(Protocol, WithAddedExtendsDelta) {
+  const auto space = small_space();
+  const LocalStateId s01 = space.encode(std::vector<Value>{0, 1});
+  const LocalStateId s00 = space.encode(std::vector<Value>{0, 0});
+  const Protocol p("t", space, {}, half_legit());
+  const Protocol q = p.with_added("t2", {{s01, s00}});
+  EXPECT_EQ(q.delta().size(), 1u);
+  EXPECT_EQ(q.name(), "t2");
+  EXPECT_EQ(p.delta().size(), 0u) << "original must be untouched";
+  EXPECT_EQ(q.legit_mask(), p.legit_mask());
+}
+
+// Zoo-wide invariants.
+class ProtocolZooTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProtocolZooTest, DeltaIsSortedUniqueAndSelfWriting) {
+  const Protocol p = testing::protocol_zoo()[GetParam()];
+  const auto& d = p.delta();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(d[i - 1], d[i]);
+    }
+    EXPECT_NE(d[i].from, d[i].to);
+    EXPECT_EQ(p.space().with_self(d[i].from, p.space().self(d[i].to)),
+              d[i].to);
+    EXPECT_EQ(p.index_of(d[i]), i);
+  }
+}
+
+TEST_P(ProtocolZooTest, DeadlockPartition) {
+  const Protocol p = testing::protocol_zoo()[GetParam()];
+  std::size_t enabled = 0;
+  for (LocalStateId s = 0; s < p.num_states(); ++s) {
+    EXPECT_NE(p.is_enabled(s), p.is_deadlock(s));
+    if (p.is_enabled(s)) ++enabled;
+  }
+  EXPECT_EQ(enabled + p.local_deadlocks().size(), p.num_states());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ProtocolZooTest,
+                         ::testing::Range<std::size_t>(
+                             0, testing::protocol_zoo().size()));
+
+}  // namespace
+}  // namespace ringstab

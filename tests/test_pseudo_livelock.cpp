@@ -1,0 +1,106 @@
+#include "local/pseudo_livelock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/agreement.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/sum_not_two.hpp"
+
+namespace ringstab {
+namespace {
+
+// The 3-coloring rotation {t01, t12, t20} projects onto the value cycle
+// 0→1→2→0: a pseudo-livelock (paper, Section 6.1).
+TEST(PseudoLivelock, ThreeColoringRotationIsCycle) {
+  const Protocol p = protocols::three_coloring_rotation();
+  const WriteProjection proj(p, {});
+  EXPECT_TRUE(proj.forms_pseudo_livelocks());
+  EXPECT_TRUE(proj.has_pseudo_livelock());
+}
+
+// Agreement with both transitions: 0→1 and 1→0 form the 2-cycle.
+TEST(PseudoLivelock, AgreementBothIsCycle) {
+  const WriteProjection proj(protocols::agreement_both(), {});
+  EXPECT_TRUE(proj.forms_pseudo_livelocks());
+}
+
+// One-sided agreement projects to a single arc: no cycle at all (NPL).
+TEST(PseudoLivelock, OneSidedAgreementHasNone) {
+  const WriteProjection proj(protocols::agreement_one_sided(true), {});
+  EXPECT_FALSE(proj.has_pseudo_livelock());
+  EXPECT_FALSE(proj.forms_pseudo_livelocks());
+}
+
+// The sum-not-two solution {t21, t12, t01}: writes {2→1, 1→2, 0→1}. The
+// subset {t21, t12} is a pseudo-livelock but the full set is not a union of
+// cycles (0→1 hangs off) — the paper's Section 6.2 analysis.
+TEST(PseudoLivelock, SumNotTwoSolutionIsMixed) {
+  const Protocol p = protocols::sum_not_two_solution();
+  const WriteProjection proj(p, {});
+  EXPECT_TRUE(proj.has_pseudo_livelock());
+  EXPECT_FALSE(proj.forms_pseudo_livelocks());
+
+  const auto minimal = minimal_pseudo_livelocks(p, {});
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0].size(), 2u);  // {t12, t21} as delta indices
+  // The two transitions in the minimal pseudo-livelock swap 1 and 2.
+  const auto& t_a = p.delta()[minimal[0][0]];
+  const auto& t_b = p.delta()[minimal[0][1]];
+  const Value a0 = p.space().self(t_a.from), a1 = p.space().self(t_a.to);
+  const Value b0 = p.space().self(t_b.from), b1 = p.space().self(t_b.to);
+  EXPECT_EQ(a0, b1);
+  EXPECT_EQ(a1, b0);
+}
+
+TEST(PseudoLivelock, SubsetRestrictionWorks) {
+  const Protocol p = protocols::agreement_both();
+  // Only the first transition: a single arc, no cycle.
+  const std::vector<std::size_t> one{0};
+  const WriteProjection proj(p, one);
+  EXPECT_FALSE(proj.has_pseudo_livelock());
+}
+
+TEST(PseudoLivelock, ReachesRequiresRealPath) {
+  const Protocol p = protocols::agreement_one_sided(true);
+  const WriteProjection proj(p, {});
+  // Single arc 0→1.
+  EXPECT_TRUE(proj.reaches(0, 1));
+  EXPECT_FALSE(proj.reaches(1, 0));
+  EXPECT_FALSE(proj.reaches(0, 0)) << "no empty-path cycles";
+}
+
+// Minimal pseudo-livelocks of the rotation candidate: one 3-cycle.
+TEST(PseudoLivelock, MinimalSetsOfRotation) {
+  const Protocol p = protocols::three_coloring_rotation();
+  const auto minimal = minimal_pseudo_livelocks(p, {});
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0].size(), 3u);
+}
+
+// Cartesian expansion: two parallel transitions per value arc yield all
+// combinations.
+TEST(PseudoLivelock, MinimalSetsExpandParallelArcs) {
+  const auto sp = LocalStateSpace(Domain::range(2), {1, 0});
+  auto st = [&](Value a, Value b) {
+    return sp.encode(std::vector<Value>{a, b});
+  };
+  // Two distinct t-arcs writing 0→1 (different contexts) and one 1→0.
+  std::vector<LocalTransition> delta{{st(0, 0), st(0, 1)},
+                                     {st(1, 0), st(1, 1)},
+                                     {st(0, 1), st(0, 0)}};
+  const Protocol p("par", sp, delta, std::vector<bool>(sp.size(), false));
+  const auto minimal = minimal_pseudo_livelocks(p, {});
+  EXPECT_EQ(minimal.size(), 2u);  // {0,2} and {1,2} as index sets
+  for (const auto& s : minimal) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(PseudoLivelock, DescribeSummarizes) {
+  const Protocol p = protocols::agreement_both();
+  const WriteProjection proj(p, {});
+  const std::string text = proj.describe(p);
+  EXPECT_NE(text.find("0→1"), std::string::npos);
+  EXPECT_NE(text.find("union of value cycles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringstab

@@ -1,0 +1,69 @@
+#include "local/rcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/matching.hpp"
+
+namespace ringstab {
+namespace {
+
+// Figure 1: the matching RCG has 27 vertices and 27·|D| = 81 s-arcs.
+TEST(Rcg, MatchingFigureOneInventory) {
+  const Protocol p = protocols::matching_skeleton();
+  const Digraph rcg = build_rcg(p.space());
+  EXPECT_EQ(rcg.num_vertices(), 27u);
+  EXPECT_EQ(rcg.num_arcs(), 81u);
+}
+
+// Every vertex of a full RCG has exactly |D| successors and predecessors.
+TEST(Rcg, DeBruijnDegrees) {
+  for (const auto& p : testing::protocol_zoo()) {
+    const Digraph rcg = build_rcg(p.space());
+    const auto in = rcg.in_degrees();
+    for (VertexId v = 0; v < rcg.num_vertices(); ++v) {
+      EXPECT_EQ(rcg.out_degree(v), p.domain().size()) << p.name();
+      EXPECT_EQ(in[v], p.domain().size()) << p.name();
+    }
+  }
+}
+
+// Arcs agree with the definitional shared-offset test.
+TEST(Rcg, ArcsMatchContinuationRelation) {
+  const Protocol p = protocols::agreement_empty();
+  const Digraph rcg = build_rcg(p.space());
+  for (LocalStateId u = 0; u < p.num_states(); ++u)
+    for (LocalStateId v = 0; v < p.num_states(); ++v)
+      EXPECT_EQ(rcg.has_arc(u, v), p.space().right_continues(u, v));
+}
+
+TEST(Rcg, DeadlockRcgDropsEnabledStates) {
+  const Protocol p = protocols::agreement_both();
+  const Digraph g = deadlock_rcg(p);
+  // Enabled states 01 and 10 must be isolated.
+  const auto& space = p.space();
+  const LocalStateId s01 = space.encode(std::vector<Value>{0, 1});
+  const LocalStateId s10 = space.encode(std::vector<Value>{1, 0});
+  EXPECT_TRUE(g.out(s01).empty());
+  EXPECT_TRUE(g.out(s10).empty());
+  // Deadlocks 00 and 11 keep their self-loops.
+  const LocalStateId s00 = space.encode(std::vector<Value>{0, 0});
+  const LocalStateId s11 = space.encode(std::vector<Value>{1, 1});
+  EXPECT_TRUE(g.has_arc(s00, s00));
+  EXPECT_TRUE(g.has_arc(s11, s11));
+  EXPECT_FALSE(g.has_arc(s00, s01));
+}
+
+TEST(Rcg, ExclusionMaskRemovesVertices) {
+  const Protocol p = protocols::agreement_empty();  // all states deadlocked
+  std::vector<bool> excl(p.num_states(), false);
+  excl[0] = true;
+  const Digraph g = deadlock_rcg_excluding(p, excl);
+  EXPECT_TRUE(g.out(0).empty());
+  const auto in = g.in_degrees();
+  EXPECT_EQ(in[0], 0u);
+}
+
+}  // namespace
+}  // namespace ringstab

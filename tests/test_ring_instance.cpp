@@ -1,0 +1,98 @@
+#include "global/ring_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/matching.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(RingInstance, StateCountAndCapacity) {
+  const RingInstance r(protocols::agreement_both(), 10);
+  EXPECT_EQ(r.num_states(), 1024u);
+  EXPECT_THROW(RingInstance(protocols::agreement_both(), 60), CapacityError);
+  EXPECT_THROW(RingInstance(protocols::agreement_both(), 1), ModelError);
+}
+
+TEST(RingInstance, EncodeDecodeRoundTrip) {
+  const RingInstance r(protocols::matching_skeleton(), 4);
+  for (GlobalStateId s = 0; s < r.num_states(); ++s)
+    EXPECT_EQ(r.encode(r.decode(s)), s);
+}
+
+TEST(RingInstance, LocalStateMatchesHelper) {
+  const RingInstance r(protocols::matching_generalizable(), 5);
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const GlobalStateId s = rng() % r.num_states();
+    const auto ring = r.decode(s);
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_EQ(r.local_state(s, i),
+                local_state_of(r.protocol(), ring, i));
+  }
+}
+
+TEST(RingInstance, InvariantIsConjunctionOfLocals) {
+  const RingInstance r(protocols::agreement_both(), 4);
+  for (GlobalStateId s = 0; s < r.num_states(); ++s) {
+    bool all = true;
+    for (std::size_t i = 0; i < 4; ++i)
+      all = all && r.protocol().is_legit(r.local_state(s, i));
+    EXPECT_EQ(r.in_invariant(s), all);
+  }
+  // Agreement: exactly the two constant states are legitimate.
+  std::size_t legit = 0;
+  for (GlobalStateId s = 0; s < r.num_states(); ++s)
+    if (r.in_invariant(s)) ++legit;
+  EXPECT_EQ(legit, 2u);
+}
+
+TEST(RingInstance, SuccessorsMatchScheduleApplication) {
+  const RingInstance r(protocols::agreement_both(), 5);
+  std::vector<RingInstance::Step> succ;
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const GlobalStateId s = rng() % r.num_states();
+    r.successors(s, succ);
+    for (const auto& step : succ) {
+      auto ring = r.decode(s);
+      EXPECT_TRUE(apply_step(r.protocol(), ring,
+                             {step.process, step.transition}));
+      EXPECT_EQ(r.encode(ring), step.target);
+    }
+    // Count must equal the number of enabled (process, transition) pairs.
+    std::size_t expect = 0;
+    for (std::size_t i = 0; i < 5; ++i)
+      expect += r.protocol().transitions_from(r.local_state(s, i)).size();
+    EXPECT_EQ(succ.size(), expect);
+  }
+}
+
+TEST(RingInstance, DeadlockAndEnabledCount) {
+  const RingInstance r(protocols::agreement_both(), 3);
+  const GlobalStateId all_zero = r.encode(std::vector<Value>{0, 0, 0});
+  EXPECT_TRUE(r.is_deadlock(all_zero));
+  EXPECT_EQ(r.num_enabled(all_zero), 0u);
+  const GlobalStateId mixed = r.encode(std::vector<Value>{0, 1, 0});
+  EXPECT_FALSE(r.is_deadlock(mixed));
+  EXPECT_EQ(r.num_enabled(mixed), 2u);  // P1 (01) and P2 (10)
+}
+
+TEST(RingInstance, BriefUsesAbbrevs) {
+  const RingInstance r(protocols::matching_skeleton(), 3);
+  const GlobalStateId s = r.encode(std::vector<Value>{0, 1, 2});
+  EXPECT_EQ(r.brief(s), "lrs");
+}
+
+TEST(RingInstance, ScheduleFromPathRejectsNonComputations) {
+  const RingInstance r(protocols::agreement_both(), 3);
+  const GlobalStateId a = r.encode(std::vector<Value>{0, 0, 0});
+  const GlobalStateId b = r.encode(std::vector<Value>{1, 1, 1});
+  const std::vector<GlobalStateId> path{a, b};
+  EXPECT_THROW(schedule_from_path(r, path), ModelError);
+}
+
+}  // namespace
+}  // namespace ringstab

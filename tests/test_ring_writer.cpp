@@ -1,0 +1,75 @@
+#include "core/ring_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.hpp"
+#include "helpers.hpp"
+
+namespace ringstab {
+namespace {
+
+// The central property: writing and re-parsing reproduces the protocol
+// exactly (same domain, locality, δ_r, LC_r) for every zoo member.
+class RingWriterZooTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingWriterZooTest, RoundTripIsExact) {
+  const Protocol p = testing::protocol_zoo()[GetParam()];
+  const std::string src = to_ring_source(p);
+  const Protocol q = parse_protocol(src);
+  EXPECT_EQ(q.domain().size(), p.domain().size()) << src;
+  EXPECT_EQ(q.locality(), p.locality()) << src;
+  EXPECT_EQ(q.delta(), p.delta()) << src;
+  EXPECT_EQ(q.legit_mask(), p.legit_mask()) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, RingWriterZooTest,
+                         ::testing::Range<std::size_t>(
+                             0, testing::protocol_zoo().size()));
+
+Protocol zoo_by_name(const std::string& name) {
+  for (const auto& p : testing::protocol_zoo())
+    if (p.name() == name) return p;
+  throw std::runtime_error("no such zoo protocol: " + name);
+}
+
+TEST(RingWriter, SanitizesNonIdentifierNames) {
+  // "3coloring" starts with a digit; the writer must emit a valid name.
+  const Protocol p = zoo_by_name("3coloring");
+  EXPECT_NO_THROW(parse_protocol(to_ring_source(p)));
+}
+
+TEST(RingWriter, SymbolicDomainsUseNames) {
+  const Protocol p = zoo_by_name("matching_gen");
+  const std::string src = to_ring_source(p);
+  EXPECT_NE(src.find("domain left, right, self;"), std::string::npos);
+  EXPECT_NE(src.find("reads -1 .. 1;"), std::string::npos);
+}
+
+TEST(RingWriter, NumericDomainsStayNumeric) {
+  const Protocol p = zoo_by_name("agreement_both");
+  const std::string src = to_ring_source(p);
+  EXPECT_NE(src.find("domain 2;"), std::string::npos);
+}
+
+TEST(RingWriter, AllLegitAndNoLegitEdgeCases) {
+  const auto sp = LocalStateSpace(Domain::range(2), {1, 0});
+  const Protocol all("all", sp, {}, std::vector<bool>(4, true));
+  EXPECT_EQ(parse_protocol(to_ring_source(all)).num_legit(), 4u);
+  const Protocol none("none", sp, {}, std::vector<bool>(4, false));
+  EXPECT_EQ(parse_protocol(to_ring_source(none)).num_legit(), 0u);
+}
+
+// Round-trip also holds for random protocols (legitimacy masks with no
+// structure stress the cube cover).
+TEST(RingWriter, RoundTripRandomProtocols) {
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const Protocol p = testing::random_protocol(rng);
+    const Protocol q = parse_protocol(to_ring_source(p));
+    EXPECT_EQ(q.delta(), p.delta());
+    EXPECT_EQ(q.legit_mask(), p.legit_mask());
+  }
+}
+
+}  // namespace
+}  // namespace ringstab

@@ -1,0 +1,84 @@
+#include "local/self_disabling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace ringstab {
+namespace {
+
+LocalStateSpace space3() {
+  return LocalStateSpace(Domain::range(3), {1, 0});
+}
+
+// Convenience: encode (x[-1], x[0]).
+LocalStateId st(const LocalStateSpace& sp, Value a, Value b) {
+  return sp.encode(std::vector<Value>{a, b});
+}
+
+TEST(SelfDisabling, DetectsChains) {
+  const auto sp = space3();
+  // 00 → 01 → 02 (a chain through enabled state 01).
+  std::vector<LocalTransition> delta{{st(sp, 0, 0), st(sp, 0, 1)},
+                                     {st(sp, 0, 1), st(sp, 0, 2)}};
+  const Protocol p("chain", sp, delta, std::vector<bool>(sp.size(), false));
+  EXPECT_FALSE(is_self_disabling(p));
+  EXPECT_TRUE(is_self_terminating(p));
+
+  const Protocol q = make_self_disabling(p);
+  EXPECT_TRUE(is_self_disabling(q));
+  // 00 now jumps directly to the terminal 02; 01 still goes to 02.
+  EXPECT_EQ(q.delta(),
+            (std::vector<LocalTransition>{{st(sp, 0, 0), st(sp, 0, 2)},
+                                          {st(sp, 0, 1), st(sp, 0, 2)}}));
+}
+
+TEST(SelfDisabling, NondeterministicChainsCollectAllTerminals) {
+  const auto sp = space3();
+  // 00 → 01; 01 → 02 and 01 → 00?? no: targets must differ in self only.
+  // 01 → {00, 02}: both terminal... make 00 terminal by not firing it:
+  std::vector<LocalTransition> delta{{st(sp, 1, 0), st(sp, 1, 1)},
+                                     {st(sp, 1, 1), st(sp, 1, 0)},
+                                     {st(sp, 1, 1), st(sp, 1, 2)}};
+  // 10 → 11, 11 → {10, 12}: 10 is enabled, so this has a t-cycle 10→11→10.
+  const Protocol p("cyc", sp, delta, std::vector<bool>(sp.size(), false));
+  EXPECT_FALSE(is_self_terminating(p));
+  EXPECT_THROW(make_self_disabling(p), ModelError);
+}
+
+TEST(SelfDisabling, IdempotentOnAlreadySelfDisabling) {
+  for (const auto& p : testing::protocol_zoo()) {
+    if (!is_self_disabling(p)) continue;
+    const Protocol q = make_self_disabling(p);
+    EXPECT_EQ(q.delta(), p.delta()) << p.name();
+  }
+}
+
+// The transform must preserve the deadlock set and terminal reachability.
+TEST(SelfDisabling, PreservesDeadlocksAndTerminals) {
+  const auto sp = space3();
+  std::vector<LocalTransition> delta{{st(sp, 2, 0), st(sp, 2, 1)},
+                                     {st(sp, 2, 1), st(sp, 2, 2)}};
+  const Protocol p("chain2", sp, delta, std::vector<bool>(sp.size(), false));
+  const Protocol q = make_self_disabling(p);
+  for (LocalStateId s = 0; s < sp.size(); ++s)
+    EXPECT_EQ(p.is_deadlock(s), q.is_deadlock(s));
+  // Every transformed target is a deadlock of the original protocol.
+  for (const auto& t : q.delta()) EXPECT_TRUE(p.is_deadlock(t.to));
+}
+
+TEST(SelfDisabling, UnidirectionalZooProtocolsAreSelfDisabling) {
+  // All the paper's *unidirectional* protocols satisfy Assumption 2 out of
+  // the box (Section 5 assumes it). The bidirectional matching variants may
+  // legitimately violate it; the transform must still apply cleanly.
+  for (const auto& p : testing::protocol_zoo()) {
+    if (p.locality().is_unidirectional()) {
+      EXPECT_TRUE(is_self_disabling(p)) << p.name();
+    }
+    ASSERT_TRUE(is_self_terminating(p)) << p.name();
+    EXPECT_TRUE(is_self_disabling(make_self_disabling(p))) << p.name();
+  }
+}
+
+}  // namespace
+}  // namespace ringstab

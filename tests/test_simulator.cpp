@@ -1,0 +1,111 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/sum_not_two.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(Simulator, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(protocols::agreement_one_sided(true), 8, seed);
+    sim.randomize();
+    std::vector<Value> initial = sim.state();
+    auto result = sim.run_to_convergence();
+    return std::make_tuple(initial, sim.state(), result.steps);
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(std::get<0>(run(5)), std::get<0>(run(6)));
+}
+
+TEST(Simulator, SetStateValidates) {
+  Simulator sim(protocols::agreement_both(), 4);
+  EXPECT_THROW(sim.set_state({0, 1}), ModelError);
+  EXPECT_THROW(sim.set_state({0, 1, 2, 3}), ModelError);
+  EXPECT_NO_THROW(sim.set_state({0, 1, 0, 1}));
+  EXPECT_EQ(sim.state(), (std::vector<Value>{0, 1, 0, 1}));
+}
+
+TEST(Simulator, InvariantAndDeadlockQueries) {
+  Simulator sim(protocols::agreement_one_sided(true), 3);
+  sim.set_state({1, 1, 1});
+  EXPECT_TRUE(sim.in_invariant());
+  EXPECT_TRUE(sim.deadlocked());
+  sim.set_state({1, 0, 0});
+  EXPECT_FALSE(sim.in_invariant());
+  EXPECT_FALSE(sim.deadlocked());
+}
+
+TEST(Simulator, StepFollowsProtocol) {
+  Simulator sim(protocols::agreement_one_sided(true), 3);
+  sim.set_state({1, 0, 0});
+  const auto step = sim.step();
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->process, 1u);  // the only enabled process
+  EXPECT_EQ(sim.state(), (std::vector<Value>{1, 1, 0}));
+  EXPECT_FALSE(Simulator(protocols::agreement_empty(), 3).step().has_value());
+}
+
+TEST(Simulator, ConvergesOnStabilizingProtocols) {
+  for (std::size_t k : {3u, 6u, 12u, 25u}) {
+    Simulator sim(protocols::sum_not_two_solution(), k, 11);
+    for (int trial = 0; trial < 20; ++trial) {
+      sim.randomize();
+      const auto run = sim.run_to_convergence(100000);
+      EXPECT_TRUE(run.converged) << "K=" << k;
+      EXPECT_TRUE(sim.in_invariant());
+    }
+  }
+}
+
+TEST(Simulator, ReportsDeadlockOutsideI) {
+  Simulator sim(protocols::agreement_empty(), 4);
+  sim.set_state({0, 1, 0, 1});
+  const auto run = sim.run_to_convergence(100);
+  EXPECT_FALSE(run.converged);
+  EXPECT_TRUE(run.deadlocked_outside_i);
+}
+
+TEST(Simulator, FaultInjectionPerturbsAtMostCount) {
+  Simulator sim(protocols::agreement_one_sided(true), 10, 3);
+  sim.set_state(std::vector<Value>(10, 1));
+  sim.inject_faults(3);
+  std::size_t changed = 0;
+  for (Value v : sim.state())
+    if (v != 1) ++changed;
+  EXPECT_LE(changed, 3u);
+}
+
+TEST(Simulator, RecoversFromInjectedFaults) {
+  Simulator sim(protocols::sum_not_two_solution(), 15, 9);
+  sim.set_state(std::vector<Value>(15, 0));
+  ASSERT_TRUE(sim.in_invariant());
+  for (int round = 0; round < 10; ++round) {
+    sim.inject_faults(4);
+    const auto run = sim.run_to_convergence(100000);
+    EXPECT_TRUE(run.converged);
+  }
+}
+
+TEST(Simulator, MeasureConvergenceAggregates) {
+  const auto stats =
+      measure_convergence(protocols::agreement_one_sided(true), 8, 50, 21);
+  EXPECT_EQ(stats.trials, 50u);
+  EXPECT_EQ(stats.converged + stats.failed, 50u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_LE(stats.mean_steps, static_cast<double>(stats.max_steps));
+  EXPECT_LE(stats.max_steps, 7u);  // worst case K-1
+}
+
+TEST(Simulator, NonConvergingProtocolCanFail) {
+  // Empty coloring deadlocks outside I immediately from a bad state.
+  const auto stats = measure_convergence(protocols::agreement_empty(), 6, 50, 2,
+                                         1000);
+  EXPECT_GT(stats.failed, 0u);
+}
+
+}  // namespace
+}  // namespace ringstab

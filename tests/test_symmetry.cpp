@@ -1,0 +1,101 @@
+// Rotation-symmetry reduction: must agree exactly with the plain checker.
+#include "global/symmetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/matching.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(Symmetry, CanonicalIsMinimalRotationInvariant) {
+  const RingInstance ring(protocols::agreement_both(), 6);
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    const GlobalStateId s = rng() % ring.num_states();
+    const GlobalStateId c = canonical_rotation(ring, s);
+    EXPECT_LE(c, s);
+    // Canonical of any rotation equals canonical of s.
+    auto vals = ring.decode(s);
+    std::rotate(vals.begin(), vals.begin() + 1, vals.end());
+    EXPECT_EQ(canonical_rotation(ring, ring.encode(vals)), c);
+    // Idempotent.
+    EXPECT_EQ(canonical_rotation(ring, c), c);
+  }
+}
+
+TEST(Symmetry, OrbitSizesDivideK) {
+  const RingInstance ring(protocols::matching_skeleton(), 6);
+  GlobalStateId canonical = 0, total = 0;
+  for (GlobalStateId s = 0; s < ring.num_states(); ++s) {
+    if (canonical_rotation(ring, s) != s) continue;
+    const std::size_t orbit = rotation_orbit_size(ring, s);
+    EXPECT_EQ(6 % orbit, 0u);
+    ++canonical;
+    total += orbit;
+  }
+  // Orbits partition the state space.
+  EXPECT_EQ(total, ring.num_states());
+  // Burnside sanity: far fewer representatives than states.
+  EXPECT_LT(canonical, ring.num_states() / 4);
+}
+
+// The symmetric checker's verdicts equal the plain checker's, at a fraction
+// of the visited states — across the zoo.
+class SymmetryZooTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SymmetryZooTest, AgreesWithPlainChecker) {
+  const Protocol p = testing::protocol_zoo()[GetParam()];
+  for (std::size_t k : {4u, 5u, 6u}) {
+    const RingInstance ring(p, k);
+    const GlobalChecker plain(ring);
+    const auto sym = check_symmetric(ring);
+    EXPECT_EQ(sym.num_deadlocks_outside_i,
+              plain.count_deadlocks_outside_invariant())
+        << p.name() << " K=" << k;
+    EXPECT_EQ(sym.has_livelock, plain.find_livelock().has_value())
+        << p.name() << " K=" << k;
+    EXPECT_LT(sym.canonical_states_visited, ring.num_states())
+        << p.name() << " K=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, SymmetryZooTest,
+                         ::testing::Range<std::size_t>(
+                             0, testing::protocol_zoo().size()));
+
+// And on random protocols.
+TEST(Symmetry, AgreesOnRandomProtocols) {
+  std::mt19937_64 rng(2024);
+  for (int i = 0; i < 12; ++i) {
+    const Protocol p = testing::random_protocol(rng);
+    for (std::size_t k : {4u, 6u}) {
+      const RingInstance ring(p, k);
+      const GlobalChecker plain(ring);
+      const auto sym = check_symmetric(ring);
+      EXPECT_EQ(sym.num_deadlocks_outside_i,
+                plain.count_deadlocks_outside_invariant())
+          << p.name() << " K=" << k;
+      EXPECT_EQ(sym.has_livelock, plain.find_livelock().has_value())
+          << p.name() << " K=" << k;
+    }
+  }
+}
+
+TEST(Symmetry, DeadlockRepsAreCanonicalDeadlocks) {
+  const RingInstance ring(protocols::matching_nongeneralizable(), 6);
+  const auto sym = check_symmetric(ring);
+  ASSERT_FALSE(sym.deadlock_orbit_reps.empty());
+  for (GlobalStateId s : sym.deadlock_orbit_reps) {
+    EXPECT_EQ(canonical_rotation(ring, s), s);
+    EXPECT_TRUE(ring.is_deadlock(s));
+    EXPECT_FALSE(ring.in_invariant(s));
+  }
+}
+
+}  // namespace
+}  // namespace ringstab

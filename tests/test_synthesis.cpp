@@ -1,0 +1,173 @@
+#include "synthesis/local_synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/misc.hpp"
+#include "protocols/sum_not_two.hpp"
+
+namespace ringstab {
+namespace {
+
+// Section 6.2 agreement: Resolve = {01} or {10}; two single-transition
+// solutions, both on the NPL fast path.
+TEST(Synthesis, AgreementYieldsTwoOneSidedSolutions) {
+  const Protocol input = protocols::agreement_empty();
+  const auto res = synthesize_convergence(input);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.resolve_sets.size(), 2u);
+  for (const auto& rs : res.resolve_sets) EXPECT_EQ(rs.size(), 1u);
+  ASSERT_EQ(res.solutions.size(), 2u);
+  for (const auto& sol : res.solutions) {
+    EXPECT_TRUE(sol.via_npl);
+    EXPECT_EQ(sol.added.size(), 1u);
+  }
+  // The two solutions are exactly the one-sided protocols.
+  EXPECT_EQ(res.solutions[0].protocol.delta(),
+            protocols::agreement_one_sided(true).delta());
+  EXPECT_EQ(res.solutions[1].protocol.delta(),
+            protocols::agreement_one_sided(false).delta());
+}
+
+// Section 6.1: 3-coloring fails — all 8 candidate sets form pseudo-livelocks
+// participating in contiguous trails.
+TEST(Synthesis, ThreeColoringFails) {
+  const auto res = synthesize_convergence(protocols::coloring_empty(3));
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.resolve_sets.size(), 1u);
+  EXPECT_EQ(res.resolve_sets[0].size(), 3u);  // {00, 11, 22}
+  EXPECT_EQ(res.candidates_examined, 8u);
+  for (const auto& r : res.reports) {
+    EXPECT_EQ(r.status, CandidateReport::Status::kRejectedTrail);
+    ASSERT_TRUE(r.trail.has_value());
+  }
+}
+
+// Section 6.2: 2-coloring fails with the single candidate rejected.
+TEST(Synthesis, TwoColoringFails) {
+  const auto res = synthesize_convergence(protocols::coloring_empty(2));
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.candidates_examined, 1u);
+  ASSERT_EQ(res.reports.size(), 1u);
+  EXPECT_EQ(res.reports[0].status, CandidateReport::Status::kRejectedTrail);
+}
+
+// Section 6.2: sum-not-two succeeds; the paper's published solution is among
+// the accepted candidates and both rotations are rejected.
+TEST(Synthesis, SumNotTwoSucceedsWithPaperSolution) {
+  const Protocol input = protocols::sum_not_two_empty();
+  const auto res = synthesize_convergence(input);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.candidates_examined, 8u);
+  EXPECT_EQ(res.solutions.size(), 4u);
+
+  const auto paper = protocols::sum_not_two_solution().delta();
+  const bool has_paper_solution =
+      std::any_of(res.solutions.begin(), res.solutions.end(),
+                  [&](const auto& s) { return s.protocol.delta() == paper; });
+  EXPECT_TRUE(has_paper_solution);
+
+  for (bool up : {true, false}) {
+    const auto rot = protocols::sum_not_two_rotation(up).delta();
+    EXPECT_FALSE(std::any_of(
+        res.solutions.begin(), res.solutions.end(),
+        [&](const auto& s) { return s.protocol.delta() == rot; }))
+        << "rotation must be rejected";
+  }
+}
+
+// Every accepted solution must actually stabilize (global cross-check) —
+// including the two candidates the paper's own hand analysis would have
+// accepted but which really livelock (caught by the trail search).
+TEST(Synthesis, SumNotTwoAcceptedSolutionsVerifyGlobally) {
+  const auto res = synthesize_convergence(protocols::sum_not_two_empty());
+  for (const auto& sol : res.solutions)
+    for (std::size_t k = 2; k <= 7; ++k)
+      EXPECT_TRUE(strongly_stabilizing(RingInstance(sol.protocol, k)))
+          << "K=" << k;
+}
+
+TEST(Synthesis, SumNotTwoRejectionsSplitRealAndSpurious) {
+  const auto res = synthesize_convergence(protocols::sum_not_two_empty());
+  std::size_t real = 0, spurious = 0;
+  for (const auto& r : res.reports) {
+    if (r.status != CandidateReport::Status::kRejectedTrail) continue;
+    const Protocol pss =
+        protocols::sum_not_two_empty().with_added("chk", r.added);
+    bool livelocks = false;
+    for (std::size_t k = 3; k <= 6 && !livelocks; ++k)
+      livelocks = testing::global_has_livelock(pss, k);
+    livelocks ? ++real : ++spurious;
+  }
+  EXPECT_EQ(real, 2u) << "two rejected candidates truly livelock";
+  EXPECT_EQ(spurious, 2u) << "the paper's two rotations are spurious trails";
+}
+
+// NPL fast path: the no-adjacent-ones protocol synthesizes via NPL.
+TEST(Synthesis, NoAdjacentOnesUsesNplFastPath) {
+  const auto res = synthesize_convergence(protocols::no_adjacent_ones_empty());
+  ASSERT_TRUE(res.success);
+  ASSERT_EQ(res.solutions.size(), 1u);
+  EXPECT_TRUE(res.solutions[0].via_npl);
+  EXPECT_EQ(res.solutions[0].protocol.delta(),
+            protocols::no_adjacent_ones_solution().delta());
+}
+
+// Problem 3.1 constraint: synthesis only ADDS transitions sourced at
+// illegitimate local deadlocks; behavior inside I is untouched.
+TEST(Synthesis, SolutionsPreserveBehaviorInsideI) {
+  const Protocol input = protocols::sum_not_two_empty();
+  const auto res = synthesize_convergence(input);
+  for (const auto& sol : res.solutions) {
+    for (const auto& t : sol.added) {
+      EXPECT_FALSE(input.is_legit(t.from));
+      EXPECT_TRUE(input.is_deadlock(t.from));
+    }
+    // Original transitions all survive.
+    for (const auto& t : input.delta())
+      EXPECT_TRUE(std::binary_search(sol.protocol.delta().begin(),
+                                     sol.protocol.delta().end(), t));
+  }
+}
+
+TEST(Synthesis, ClosureValidationRejectsBadInput) {
+  // A protocol whose transitions break closure of I.
+  const auto sp = LocalStateSpace(Domain::range(2), {1, 0});
+  const LocalStateId s00 = sp.encode(std::vector<Value>{0, 0});
+  const Protocol bad("bad", sp, {{s00, sp.with_self(s00, 1)}},
+                     {true, true, false, false});  // legit: x0 == 0
+  EXPECT_THROW(synthesize_convergence(bad), ModelError);
+  SynthesisOptions opts;
+  opts.require_closed_invariant = false;
+  EXPECT_NO_THROW(synthesize_convergence(bad, opts));
+}
+
+TEST(Synthesis, MaxSolutionsStopsEarly) {
+  SynthesisOptions opts;
+  opts.max_solutions = 1;
+  const auto res =
+      synthesize_convergence(protocols::sum_not_two_empty(), opts);
+  EXPECT_EQ(res.solutions.size(), 1u);
+}
+
+TEST(Synthesis, SummaryMentionsOutcome) {
+  const Protocol input = protocols::agreement_empty();
+  const auto res = synthesize_convergence(input);
+  EXPECT_NE(res.summary(input).find("SUCCESS"), std::string::npos);
+  const Protocol c2 = protocols::coloring_empty(2);
+  EXPECT_NE(synthesize_convergence(c2).summary(c2).find("FAILURE"),
+            std::string::npos);
+}
+
+// Already-converging input: empty Resolve, the empty addition is returned.
+TEST(Synthesis, AlreadyConvergingInputYieldsItself) {
+  const auto res =
+      synthesize_convergence(protocols::no_adjacent_ones_solution());
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.solutions[0].added.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ringstab

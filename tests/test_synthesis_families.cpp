@@ -1,0 +1,121 @@
+// Synthesis across protocol families (beyond the paper's worked examples):
+// pins the sweep outcomes and cross-validates every accepted solution.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/misc.hpp"
+#include "protocols/sum_not_two.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace ringstab {
+namespace {
+
+// Coloring: failure for every palette size, matching the impossibility of
+// deterministic symmetric unidirectional ring coloring (paper ref [25]).
+class ColoringFamilyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ColoringFamilyTest, SynthesisFails) {
+  const std::size_t c = GetParam();
+  const auto res = synthesize_convergence(protocols::coloring_empty(c));
+  EXPECT_FALSE(res.success) << c;
+  // Candidate count: each of the c monochromatic deadlocks picks one of
+  // (c-1) targets.
+  std::size_t expect = 1;
+  for (std::size_t i = 0; i < c; ++i) expect *= (c - 1);
+  EXPECT_EQ(res.candidates_examined, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Palettes, ColoringFamilyTest,
+                         ::testing::Values(2, 3, 4, 5));
+
+// Sum-not-q: success across the (|D|, q) grid; every accepted solution
+// stabilizes globally.
+struct SumNotQCase {
+  std::size_t d;
+  int q;
+};
+
+class SumNotQTest : public ::testing::TestWithParam<SumNotQCase> {};
+
+TEST_P(SumNotQTest, SynthesisSucceedsAndVerifies) {
+  const auto [d, q] = GetParam();
+  const auto res = synthesize_convergence(protocols::sum_not_q_empty(d, q));
+  ASSERT_TRUE(res.success) << "d=" << d << " q=" << q;
+  // Check up to 3 solutions globally to bound test time.
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, res.solutions.size());
+       ++i)
+    for (std::size_t k = 2; k <= 6; ++k)
+      EXPECT_TRUE(
+          strongly_stabilizing(RingInstance(res.solutions[i].protocol, k)))
+          << "d=" << d << " q=" << q << " sol=" << i << " K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SumNotQTest,
+                         ::testing::Values(SumNotQCase{3, 1}, SumNotQCase{3, 2},
+                                           SumNotQCase{3, 3}, SumNotQCase{4, 2},
+                                           SumNotQCase{4, 3},
+                                           SumNotQCase{4, 5}));
+
+// The symmetric acceptance structure: sum-not-q and sum-not-(2(d-1)-q) are
+// value-mirror images, so their solution counts coincide.
+TEST(SumNotQ, MirrorSymmetryOfSolutionCounts) {
+  for (std::size_t d : {3u, 4u}) {
+    const int top = static_cast<int>(2 * (d - 1));
+    for (int q = 1; q < top; ++q) {
+      const auto a = synthesize_convergence(protocols::sum_not_q_empty(d, q));
+      const auto b =
+          synthesize_convergence(protocols::sum_not_q_empty(d, top - q));
+      EXPECT_EQ(a.solutions.size(), b.solutions.size())
+          << "d=" << d << " q=" << q;
+    }
+  }
+}
+
+// Monotone rings: success; the invariant is the same all-equal set as
+// agreement, reached through a different local conjunct.
+class MonotoneTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MonotoneTest, SynthesisSucceedsAndVerifies) {
+  const std::size_t d = GetParam();
+  const auto res = synthesize_convergence(protocols::monotone_empty(d));
+  ASSERT_TRUE(res.success) << d;
+  for (std::size_t k = 2; k <= 6; ++k)
+    EXPECT_TRUE(
+        strongly_stabilizing(RingInstance(res.solutions[0].protocol, k)))
+        << d << " K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, MonotoneTest, ::testing::Values(2, 3, 4));
+
+TEST(Monotone, InvariantIsAllEqualRings) {
+  const Protocol p = protocols::monotone_empty(3);
+  for (std::size_t k = 3; k <= 5; ++k) {
+    const RingInstance ring(p, k);
+    std::size_t legit = 0;
+    for (GlobalStateId s = 0; s < ring.num_states(); ++s)
+      if (ring.in_invariant(s)) ++legit;
+    EXPECT_EQ(legit, 3u) << "x_r ≥ x_{r-1} around a ring forces all equal";
+  }
+}
+
+// Trail realization annotations: sum-not-two's rejections split 2 real /
+// 2 spurious (see EXP-F12).
+TEST(SynthesisFamilies, SumNotTwoRealizationAnnotations) {
+  const auto res = synthesize_convergence(protocols::sum_not_two_empty());
+  std::size_t realized = 0, spurious = 0;
+  for (const auto& r : res.reports) {
+    if (!r.realization) continue;
+    if (*r.realization == TrailRealization::kRealized ||
+        *r.realization == TrailRealization::kOtherLivelock)
+      ++realized;
+    if (*r.realization == TrailRealization::kSpurious ||
+        *r.realization == TrailRealization::kNotInstantiable)
+      ++spurious;
+  }
+  EXPECT_EQ(realized, 2u);
+  EXPECT_EQ(spurious, 2u);
+}
+
+}  // namespace
+}  // namespace ringstab

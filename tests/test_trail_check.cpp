@@ -1,0 +1,94 @@
+#include "global/trail_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "local/livelock.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/sum_not_two.hpp"
+
+namespace ringstab {
+namespace {
+
+// Agreement with both actions: the trail realizes a genuine K=3 livelock.
+TEST(TrailCheck, AgreementTrailIsRealized) {
+  const Protocol p = protocols::agreement_both();
+  const auto live = check_livelock_freedom(p);
+  ASSERT_TRUE(live.trail().has_value());
+  const auto real = realize_trail(p, *live.trail());
+  EXPECT_EQ(real.ring_size, 3u);
+  EXPECT_EQ(real.verdict, TrailRealization::kRealized);
+  ASSERT_TRUE(real.start_state.has_value());
+  // The reconstructed state has the segment of 2 adjacent enablements.
+  const RingInstance ring(p, 3);
+  const GlobalStateId s = ring.encode(*real.start_state);
+  EXPECT_EQ(ring.num_enabled(s), 2u);
+  EXPECT_FALSE(ring.in_invariant(s));
+}
+
+// Sum-not-two rotation: the paper's reconstruction FAILS at K=3 — either
+// the trail's windows are inconsistent around the ring (kNotInstantiable,
+// the paper's literal "we fail to reconstruct") or the state exists but no
+// livelock does (kSpurious). Both demonstrate non-necessity.
+TEST(TrailCheck, SumNotTwoRotationTrailFailsToRealize) {
+  for (bool up : {true, false}) {
+    const Protocol p = protocols::sum_not_two_rotation(up);
+    const auto live = check_livelock_freedom(p);
+    ASSERT_TRUE(live.trail().has_value()) << up;
+    const auto real = realize_trail(p, *live.trail());
+    EXPECT_TRUE(real.verdict == TrailRealization::kSpurious ||
+                real.verdict == TrailRealization::kNotInstantiable)
+        << up << " got " << to_string(real.verdict);
+    // Ground truth: no livelock at the implied K=3 either way.
+    EXPECT_FALSE(testing::global_has_livelock(p, 3)) << up;
+  }
+}
+
+// 3-coloring rotation: the trail's implied K has no livelock (K=3 is clean)
+// but larger rings do — so this one classifies as spurious at its K even
+// though the candidate is genuinely bad. Realization is per-K evidence, not
+// a certification.
+TEST(TrailCheck, ThreeColoringRealizationIsPerK) {
+  const Protocol p = protocols::three_coloring_rotation();
+  const auto live = check_livelock_freedom(p);
+  ASSERT_TRUE(live.trail().has_value());
+  const auto real = realize_trail(p, *live.trail());
+  if (real.verdict == TrailRealization::kSpurious) {
+    EXPECT_TRUE(testing::global_has_livelock(p, 4))
+        << "spurious at the implied K, yet real livelocks exist at K=4";
+  }
+}
+
+// Realization classifications agree with direct global checking at K.
+TEST(TrailCheck, VerdictConsistentWithGlobalChecker) {
+  const std::vector<Protocol> cases = {
+      protocols::agreement_both(),
+      protocols::sum_not_two_rotation(true),
+      protocols::three_coloring_rotation(),
+      protocols::coloring_with_choices(2, {1, 0}),
+  };
+  for (const auto& p : cases) {
+    const auto live = check_livelock_freedom(p);
+    if (!live.trail()) continue;
+    const auto real = realize_trail(p, *live.trail());
+    if (real.verdict == TrailRealization::kNotInstantiable) continue;
+    const bool global = testing::global_has_livelock(p, real.ring_size);
+    if (real.verdict == TrailRealization::kSpurious)
+      EXPECT_FALSE(global) << p.name();
+    else
+      EXPECT_TRUE(global) << p.name();
+  }
+}
+
+TEST(TrailCheck, ToStringCoversAllVerdicts) {
+  EXPECT_STREQ(to_string(TrailRealization::kRealized), "realized");
+  EXPECT_STREQ(to_string(TrailRealization::kSpurious), "spurious");
+  EXPECT_STREQ(to_string(TrailRealization::kOtherLivelock),
+               "other-livelock-at-K");
+  EXPECT_STREQ(to_string(TrailRealization::kNotInstantiable),
+               "not-instantiable");
+}
+
+}  // namespace
+}  // namespace ringstab

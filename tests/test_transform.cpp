@@ -1,0 +1,249 @@
+// Transformations as metamorphic oracles: analyses must be invariant under
+// mirroring and value renaming, and layering preserves convergence of
+// silent protocols.
+#include "transform/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+#include "local/convergence.hpp"
+#include "local/deadlock.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/misc.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/sum_not_two.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace ringstab {
+namespace {
+
+TEST(Reverse, SwapsLocality) {
+  const Protocol p = testing::protocol_zoo()[1];  // bidirectional matching
+  const Protocol r = reverse_orientation(p);
+  EXPECT_EQ(r.locality().left, p.locality().right);
+  EXPECT_EQ(r.locality().right, p.locality().left);
+  EXPECT_EQ(r.delta().size(), p.delta().size());
+  EXPECT_EQ(r.num_legit(), p.num_legit());
+}
+
+TEST(Reverse, IsAnInvolution) {
+  for (const auto& p : testing::protocol_zoo()) {
+    const Protocol rr = reverse_orientation(reverse_orientation(p));
+    EXPECT_EQ(rr.delta(), p.delta()) << p.name();
+    EXPECT_EQ(rr.legit_mask(), p.legit_mask()) << p.name();
+  }
+}
+
+// Mirroring the ring preserves the deadlock size spectrum exactly.
+class ReverseZooTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReverseZooTest, DeadlockSpectrumIsInvariant) {
+  const Protocol p = testing::protocol_zoo()[GetParam()];
+  const Protocol r = reverse_orientation(p);
+  const auto a = analyze_deadlocks(p, 12);
+  const auto b = analyze_deadlocks(r, 12);
+  EXPECT_EQ(a.deadlock_free_all_k, b.deadlock_free_all_k) << p.name();
+  EXPECT_EQ(a.size_spectrum.feasible, b.size_spectrum.feasible) << p.name();
+  EXPECT_EQ(a.local_deadlocks.size(), b.local_deadlocks.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ReverseZooTest,
+                         ::testing::Range<std::size_t>(
+                             0, testing::protocol_zoo().size()));
+
+TEST(Reverse, GlobalBehaviorMatches) {
+  // p on a clockwise ring ≡ reverse(p) counter-clockwise: global verdicts
+  // coincide at every size.
+  for (const Protocol& p :
+       {protocols::agreement_both(), protocols::sum_not_two_solution()}) {
+    const Protocol r = reverse_orientation(p);
+    for (std::size_t k = 3; k <= 6; ++k) {
+      EXPECT_EQ(testing::global_has_deadlock(p, k),
+                testing::global_has_deadlock(r, k))
+          << p.name() << " K=" << k;
+      EXPECT_EQ(testing::global_has_livelock(p, k),
+                testing::global_has_livelock(r, k))
+          << p.name() << " K=" << k;
+    }
+  }
+}
+
+TEST(Rename, RejectsNonBijections) {
+  const Protocol p = protocols::agreement_both();
+  EXPECT_THROW(rename_values(p, {0, 0}), ModelError);
+  EXPECT_THROW(rename_values(p, {0}), ModelError);
+  EXPECT_THROW(rename_values(p, {0, 7}), ModelError);
+}
+
+TEST(Rename, IdentityIsNoop) {
+  const Protocol p = protocols::sum_not_two_solution();
+  const Protocol q = rename_values(p, {0, 1, 2});
+  EXPECT_EQ(q.delta(), p.delta());
+  EXPECT_EQ(q.legit_mask(), p.legit_mask());
+}
+
+// Every analysis verdict is invariant under value permutation.
+TEST(Rename, VerdictsAreInvariantUnderPermutations) {
+  std::mt19937_64 rng(5);
+  for (const auto& p : testing::protocol_zoo()) {
+    std::vector<Value> perm(p.domain().size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+      perm[i] = static_cast<Value>(i);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    const Protocol q = rename_values(p, perm);
+
+    const auto da = analyze_deadlocks(p, 10);
+    const auto db = analyze_deadlocks(q, 10);
+    EXPECT_EQ(da.size_spectrum.feasible, db.size_spectrum.feasible)
+        << p.name();
+
+    if (p.locality().is_unidirectional()) {
+      const auto la = check_livelock_freedom(p);
+      const auto lb = check_livelock_freedom(q);
+      EXPECT_EQ(la.verdict, lb.verdict) << p.name();
+    }
+  }
+}
+
+TEST(Product, RequiresMatchingLocalities) {
+  EXPECT_THROW(layer_product(protocols::agreement_both(),
+                             testing::protocol_zoo()[0]),
+               ModelError);
+}
+
+TEST(Product, InvariantAndDeadlocksAreConjunctions) {
+  const Protocol p1 = protocols::agreement_one_sided(true);
+  const Protocol p2 = protocols::no_adjacent_ones_solution();
+  const Protocol prod = layer_product(p1, p2);
+  EXPECT_EQ(prod.domain().size(), 4u);
+  for (LocalStateId s = 0; s < prod.num_states(); ++s) {
+    const LocalStateId a = product_layer1(prod, p1, p2, s);
+    const LocalStateId b = product_layer2(prod, p1, p2, s);
+    EXPECT_EQ(prod.is_legit(s), p1.is_legit(a) && p2.is_legit(b));
+    EXPECT_EQ(prod.is_deadlock(s), p1.is_deadlock(a) && p2.is_deadlock(b));
+  }
+}
+
+// Layering two silent converging protocols converges — locally certified
+// and globally confirmed.
+TEST(Product, SilentConvergingLayersCompose) {
+  const Protocol p1 = protocols::agreement_one_sided(true);
+  const Protocol p2 = protocols::no_adjacent_ones_solution();
+  const Protocol prod = layer_product(p1, p2);
+  EXPECT_TRUE(analyze_deadlocks(prod).deadlock_free_all_k);
+  EXPECT_EQ(check_convergence(prod).verdict,
+            ConvergenceAnalysis::Verdict::kConverges);
+  for (std::size_t k = 3; k <= 6; ++k)
+    EXPECT_TRUE(strongly_stabilizing(RingInstance(prod, k))) << k;
+}
+
+TEST(Product, BrokenLayerBreaksTheProduct) {
+  const Protocol good = protocols::no_adjacent_ones_solution();
+  const Protocol bad = protocols::agreement_both();  // livelocks
+  const Protocol prod = layer_product(bad, good);
+  EXPECT_NE(check_convergence(prod).verdict,
+            ConvergenceAnalysis::Verdict::kConverges);
+  EXPECT_TRUE(testing::global_has_livelock(prod, 4));
+}
+
+// The bidirectional check catches the orientation blind spot: the mirrored
+// Gouda–Acharya fragment has REAL (leftward-circulating) livelocks that the
+// rightward-only trail search misses; the combined check flags them.
+TEST(Bidirectional, MirroredGoudaAcharyaIsCaught) {
+  const Protocol ga = protocols::matching_gouda_acharya_fragment();
+  const Protocol rev = reverse_orientation(ga);
+
+  // The mirrored protocol really livelocks (mirror images of GA's K=5
+  // livelock).
+  EXPECT_TRUE(testing::global_has_livelock(rev, 5));
+
+  // One-orientation search: blind to it.
+  EXPECT_EQ(check_livelock_freedom(rev).verdict,
+            LivelockAnalysis::Verdict::kLivelockFree)
+      << "(this is the documented blind spot, not a certification)";
+
+  // Combined search: caught via the mirror.
+  const auto combo = check_livelock_freedom_bidirectional(rev);
+  EXPECT_EQ(combo.verdict,
+            BidirectionalLivelockAnalysis::Verdict::kTrailFound);
+  EXPECT_TRUE(combo.forward_free);
+  EXPECT_FALSE(combo.backward_free);
+}
+
+// Soundness of the combined verdict over bidirectional zoo protocols.
+TEST(Bidirectional, CombinedFreeVerdictIsGloballySound) {
+  for (const auto& p : testing::protocol_zoo()) {
+    if (p.locality().is_unidirectional()) continue;
+    const auto combo = check_livelock_freedom_bidirectional(p);
+    if (combo.verdict !=
+        BidirectionalLivelockAnalysis::Verdict::kLivelockFree)
+      continue;
+    for (std::size_t k = 3; k <= 6; ++k)
+      EXPECT_FALSE(testing::global_has_livelock(p, k))
+          << p.name() << " K=" << k;
+  }
+}
+
+// On unidirectional protocols both orientations agree (the mirror of a
+// unidirectional protocol reads successors, but the search is exact there
+// too), so the combined verdict matches the single check.
+TEST(Bidirectional, AgreesWithSingleCheckOnUnidirectional) {
+  for (const Protocol& p :
+       {protocols::agreement_one_sided(true), protocols::agreement_both(),
+        protocols::sum_not_two_solution()}) {
+    const auto single = check_livelock_freedom(p);
+    const auto combo = check_livelock_freedom_bidirectional(p);
+    const bool single_free =
+        single.verdict == LivelockAnalysis::Verdict::kLivelockFree;
+    const bool combo_free =
+        combo.verdict == BidirectionalLivelockAnalysis::Verdict::kLivelockFree;
+    EXPECT_EQ(single_free, combo_free) << p.name();
+  }
+}
+
+// Canonicalization: equal keys iff value-renamings of each other.
+TEST(Canonical, RenamedProtocolsShareAKey) {
+  const Protocol p = protocols::sum_not_two_solution();
+  const Protocol q = rename_values(p, {2, 1, 0});
+  EXPECT_EQ(value_canonical_key(p), value_canonical_key(q));
+  // A genuinely different protocol gets a different key.
+  EXPECT_FALSE(value_canonical_key(p) ==
+               value_canonical_key(protocols::sum_not_two_rotation(true)));
+}
+
+// Agreement's two synthesis solutions are one orbit: swapping 0↔1 maps
+// copy-up onto copy-down.
+TEST(Canonical, AgreementSolutionsAreOneOrbit) {
+  const auto res = synthesize_convergence(protocols::agreement_empty());
+  std::vector<Protocol> sols;
+  for (const auto& s : res.solutions) sols.push_back(s.protocol);
+  EXPECT_EQ(value_symmetry_orbits(sols).size(), 1u);
+}
+
+// Sum-not-two's four solutions fall into two orbits under the 0↔2 symmetry
+// of the invariant.
+TEST(Canonical, SumNotTwoSolutionsFormTwoOrbits) {
+  const auto res = synthesize_convergence(protocols::sum_not_two_empty());
+  std::vector<Protocol> sols;
+  for (const auto& s : res.solutions) sols.push_back(s.protocol);
+  const auto orbits = value_symmetry_orbits(sols);
+  EXPECT_EQ(orbits.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& o : orbits) total += o.size();
+  EXPECT_EQ(total, sols.size());
+}
+
+TEST(Product, SumNotTwoWithAgreement) {
+  const Protocol prod = layer_product(protocols::sum_not_two_solution(),
+                                      protocols::agreement_one_sided(false));
+  EXPECT_EQ(prod.domain().size(), 6u);
+  EXPECT_EQ(check_convergence(prod).verdict,
+            ConvergenceAnalysis::Verdict::kConverges);
+  for (std::size_t k = 3; k <= 5; ++k)
+    EXPECT_TRUE(strongly_stabilizing(RingInstance(prod, k))) << k;
+}
+
+}  // namespace
+}  // namespace ringstab
