@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_arrays.dir/bench_ext_arrays.cpp.o"
+  "CMakeFiles/bench_ext_arrays.dir/bench_ext_arrays.cpp.o.d"
+  "bench_ext_arrays"
+  "bench_ext_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_composition.dir/bench_ext_composition.cpp.o"
+  "CMakeFiles/bench_ext_composition.dir/bench_ext_composition.cpp.o.d"
+  "bench_ext_composition"
+  "bench_ext_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_two_coloring.dir/bench_fig11_two_coloring.cpp.o"
+  "CMakeFiles/bench_fig11_two_coloring.dir/bench_fig11_two_coloring.cpp.o.d"
+  "bench_fig11_two_coloring"
+  "bench_fig11_two_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_two_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

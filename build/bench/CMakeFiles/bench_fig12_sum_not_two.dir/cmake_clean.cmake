@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sum_not_two.dir/bench_fig12_sum_not_two.cpp.o"
+  "CMakeFiles/bench_fig12_sum_not_two.dir/bench_fig12_sum_not_two.cpp.o.d"
+  "bench_fig12_sum_not_two"
+  "bench_fig12_sum_not_two.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sum_not_two.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_matching_rcg.dir/bench_fig1_matching_rcg.cpp.o"
+  "CMakeFiles/bench_fig1_matching_rcg.dir/bench_fig1_matching_rcg.cpp.o.d"
+  "bench_fig1_matching_rcg"
+  "bench_fig1_matching_rcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_matching_rcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

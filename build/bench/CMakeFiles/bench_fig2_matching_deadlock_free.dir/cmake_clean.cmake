@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_matching_deadlock_free.dir/bench_fig2_matching_deadlock_free.cpp.o"
+  "CMakeFiles/bench_fig2_matching_deadlock_free.dir/bench_fig2_matching_deadlock_free.cpp.o.d"
+  "bench_fig2_matching_deadlock_free"
+  "bench_fig2_matching_deadlock_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_matching_deadlock_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

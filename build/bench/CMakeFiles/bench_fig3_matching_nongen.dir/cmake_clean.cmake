@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_matching_nongen.dir/bench_fig3_matching_nongen.cpp.o"
+  "CMakeFiles/bench_fig3_matching_nongen.dir/bench_fig3_matching_nongen.cpp.o.d"
+  "bench_fig3_matching_nongen"
+  "bench_fig3_matching_nongen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_matching_nongen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

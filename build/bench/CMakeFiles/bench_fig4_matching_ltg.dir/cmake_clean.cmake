@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_matching_ltg.dir/bench_fig4_matching_ltg.cpp.o"
+  "CMakeFiles/bench_fig4_matching_ltg.dir/bench_fig4_matching_ltg.cpp.o.d"
+  "bench_fig4_matching_ltg"
+  "bench_fig4_matching_ltg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_matching_ltg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_precedence.dir/bench_fig5_precedence.cpp.o"
+  "CMakeFiles/bench_fig5_precedence.dir/bench_fig5_precedence.cpp.o.d"
+  "bench_fig5_precedence"
+  "bench_fig5_precedence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_precedence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_permuted_livelocks.dir/bench_fig6_permuted_livelocks.cpp.o"
+  "CMakeFiles/bench_fig6_permuted_livelocks.dir/bench_fig6_permuted_livelocks.cpp.o.d"
+  "bench_fig6_permuted_livelocks"
+  "bench_fig6_permuted_livelocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_permuted_livelocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_contiguous.dir/bench_fig7_contiguous.cpp.o"
+  "CMakeFiles/bench_fig7_contiguous.dir/bench_fig7_contiguous.cpp.o.d"
+  "bench_fig7_contiguous"
+  "bench_fig7_contiguous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_contiguous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

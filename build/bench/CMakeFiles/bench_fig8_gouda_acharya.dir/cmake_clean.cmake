@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gouda_acharya.dir/bench_fig8_gouda_acharya.cpp.o"
+  "CMakeFiles/bench_fig8_gouda_acharya.dir/bench_fig8_gouda_acharya.cpp.o.d"
+  "bench_fig8_gouda_acharya"
+  "bench_fig8_gouda_acharya.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gouda_acharya.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_convergence.dir/bench_sim_convergence.cpp.o"
+  "CMakeFiles/bench_sim_convergence.dir/bench_sim_convergence.cpp.o.d"
+  "bench_sim_convergence"
+  "bench_sim_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_explorer.dir/matching_explorer.cpp.o"
+  "CMakeFiles/matching_explorer.dir/matching_explorer.cpp.o.d"
+  "matching_explorer"
+  "matching_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

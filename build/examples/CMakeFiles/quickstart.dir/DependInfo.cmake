@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/ringstab_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthesis/CMakeFiles/ringstab_synthesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ringstab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/global/CMakeFiles/ringstab_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/local/CMakeFiles/ringstab_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ringstab_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ringstab_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ringstab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ringstab_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_batch.dir/ringstab_batch.cpp.o"
+  "CMakeFiles/ringstab_batch.dir/ringstab_batch.cpp.o.d"
+  "ringstab-batch"
+  "ringstab-batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

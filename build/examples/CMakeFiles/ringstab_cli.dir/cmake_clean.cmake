@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_cli.dir/ringstab_cli.cpp.o"
+  "CMakeFiles/ringstab_cli.dir/ringstab_cli.cpp.o.d"
+  "ringstab"
+  "ringstab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

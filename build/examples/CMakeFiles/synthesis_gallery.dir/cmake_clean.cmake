@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_gallery.dir/synthesis_gallery.cpp.o"
+  "CMakeFiles/synthesis_gallery.dir/synthesis_gallery.cpp.o.d"
+  "synthesis_gallery"
+  "synthesis_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

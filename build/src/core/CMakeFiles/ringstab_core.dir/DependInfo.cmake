@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ast.cpp" "src/core/CMakeFiles/ringstab_core.dir/ast.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/ast.cpp.o.d"
+  "/root/repo/src/core/builder.cpp" "src/core/CMakeFiles/ringstab_core.dir/builder.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/builder.cpp.o.d"
+  "/root/repo/src/core/domain.cpp" "src/core/CMakeFiles/ringstab_core.dir/domain.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/domain.cpp.o.d"
+  "/root/repo/src/core/lexer.cpp" "src/core/CMakeFiles/ringstab_core.dir/lexer.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/lexer.cpp.o.d"
+  "/root/repo/src/core/local_state.cpp" "src/core/CMakeFiles/ringstab_core.dir/local_state.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/local_state.cpp.o.d"
+  "/root/repo/src/core/parser.cpp" "src/core/CMakeFiles/ringstab_core.dir/parser.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/parser.cpp.o.d"
+  "/root/repo/src/core/printer.cpp" "src/core/CMakeFiles/ringstab_core.dir/printer.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/printer.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/ringstab_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/ring_writer.cpp" "src/core/CMakeFiles/ringstab_core.dir/ring_writer.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/ring_writer.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/ringstab_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/ringstab_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_core.dir/ast.cpp.o"
+  "CMakeFiles/ringstab_core.dir/ast.cpp.o.d"
+  "CMakeFiles/ringstab_core.dir/builder.cpp.o"
+  "CMakeFiles/ringstab_core.dir/builder.cpp.o.d"
+  "CMakeFiles/ringstab_core.dir/domain.cpp.o"
+  "CMakeFiles/ringstab_core.dir/domain.cpp.o.d"
+  "CMakeFiles/ringstab_core.dir/lexer.cpp.o"
+  "CMakeFiles/ringstab_core.dir/lexer.cpp.o.d"
+  "CMakeFiles/ringstab_core.dir/local_state.cpp.o"
+  "CMakeFiles/ringstab_core.dir/local_state.cpp.o.d"
+  "CMakeFiles/ringstab_core.dir/parser.cpp.o"
+  "CMakeFiles/ringstab_core.dir/parser.cpp.o.d"
+  "CMakeFiles/ringstab_core.dir/printer.cpp.o"
+  "CMakeFiles/ringstab_core.dir/printer.cpp.o.d"
+  "CMakeFiles/ringstab_core.dir/protocol.cpp.o"
+  "CMakeFiles/ringstab_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/ringstab_core.dir/ring_writer.cpp.o"
+  "CMakeFiles/ringstab_core.dir/ring_writer.cpp.o.d"
+  "CMakeFiles/ringstab_core.dir/types.cpp.o"
+  "CMakeFiles/ringstab_core.dir/types.cpp.o.d"
+  "libringstab_core.a"
+  "libringstab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

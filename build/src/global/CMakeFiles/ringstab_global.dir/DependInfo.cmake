@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/global/array_instance.cpp" "src/global/CMakeFiles/ringstab_global.dir/array_instance.cpp.o" "gcc" "src/global/CMakeFiles/ringstab_global.dir/array_instance.cpp.o.d"
+  "/root/repo/src/global/checker.cpp" "src/global/CMakeFiles/ringstab_global.dir/checker.cpp.o" "gcc" "src/global/CMakeFiles/ringstab_global.dir/checker.cpp.o.d"
+  "/root/repo/src/global/cutoff.cpp" "src/global/CMakeFiles/ringstab_global.dir/cutoff.cpp.o" "gcc" "src/global/CMakeFiles/ringstab_global.dir/cutoff.cpp.o.d"
+  "/root/repo/src/global/ring_instance.cpp" "src/global/CMakeFiles/ringstab_global.dir/ring_instance.cpp.o" "gcc" "src/global/CMakeFiles/ringstab_global.dir/ring_instance.cpp.o.d"
+  "/root/repo/src/global/symmetry.cpp" "src/global/CMakeFiles/ringstab_global.dir/symmetry.cpp.o" "gcc" "src/global/CMakeFiles/ringstab_global.dir/symmetry.cpp.o.d"
+  "/root/repo/src/global/trail_check.cpp" "src/global/CMakeFiles/ringstab_global.dir/trail_check.cpp.o" "gcc" "src/global/CMakeFiles/ringstab_global.dir/trail_check.cpp.o.d"
+  "/root/repo/src/global/tree_instance.cpp" "src/global/CMakeFiles/ringstab_global.dir/tree_instance.cpp.o" "gcc" "src/global/CMakeFiles/ringstab_global.dir/tree_instance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ringstab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/local/CMakeFiles/ringstab_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ringstab_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

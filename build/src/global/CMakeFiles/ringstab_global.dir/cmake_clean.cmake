@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_global.dir/array_instance.cpp.o"
+  "CMakeFiles/ringstab_global.dir/array_instance.cpp.o.d"
+  "CMakeFiles/ringstab_global.dir/checker.cpp.o"
+  "CMakeFiles/ringstab_global.dir/checker.cpp.o.d"
+  "CMakeFiles/ringstab_global.dir/cutoff.cpp.o"
+  "CMakeFiles/ringstab_global.dir/cutoff.cpp.o.d"
+  "CMakeFiles/ringstab_global.dir/ring_instance.cpp.o"
+  "CMakeFiles/ringstab_global.dir/ring_instance.cpp.o.d"
+  "CMakeFiles/ringstab_global.dir/symmetry.cpp.o"
+  "CMakeFiles/ringstab_global.dir/symmetry.cpp.o.d"
+  "CMakeFiles/ringstab_global.dir/trail_check.cpp.o"
+  "CMakeFiles/ringstab_global.dir/trail_check.cpp.o.d"
+  "CMakeFiles/ringstab_global.dir/tree_instance.cpp.o"
+  "CMakeFiles/ringstab_global.dir/tree_instance.cpp.o.d"
+  "libringstab_global.a"
+  "libringstab_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libringstab_global.a"
+)

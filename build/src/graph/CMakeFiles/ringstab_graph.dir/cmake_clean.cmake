@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_graph.dir/cycles.cpp.o"
+  "CMakeFiles/ringstab_graph.dir/cycles.cpp.o.d"
+  "CMakeFiles/ringstab_graph.dir/digraph.cpp.o"
+  "CMakeFiles/ringstab_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/ringstab_graph.dir/dot.cpp.o"
+  "CMakeFiles/ringstab_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/ringstab_graph.dir/feedback.cpp.o"
+  "CMakeFiles/ringstab_graph.dir/feedback.cpp.o.d"
+  "CMakeFiles/ringstab_graph.dir/scc.cpp.o"
+  "CMakeFiles/ringstab_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/ringstab_graph.dir/walks.cpp.o"
+  "CMakeFiles/ringstab_graph.dir/walks.cpp.o.d"
+  "libringstab_graph.a"
+  "libringstab_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

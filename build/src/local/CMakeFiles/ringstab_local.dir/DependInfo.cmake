@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/local/array.cpp" "src/local/CMakeFiles/ringstab_local.dir/array.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/array.cpp.o.d"
+  "/root/repo/src/local/closure.cpp" "src/local/CMakeFiles/ringstab_local.dir/closure.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/closure.cpp.o.d"
+  "/root/repo/src/local/convergence.cpp" "src/local/CMakeFiles/ringstab_local.dir/convergence.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/convergence.cpp.o.d"
+  "/root/repo/src/local/deadlock.cpp" "src/local/CMakeFiles/ringstab_local.dir/deadlock.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/deadlock.cpp.o.d"
+  "/root/repo/src/local/livelock.cpp" "src/local/CMakeFiles/ringstab_local.dir/livelock.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/livelock.cpp.o.d"
+  "/root/repo/src/local/ltg.cpp" "src/local/CMakeFiles/ringstab_local.dir/ltg.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/ltg.cpp.o.d"
+  "/root/repo/src/local/precedence.cpp" "src/local/CMakeFiles/ringstab_local.dir/precedence.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/precedence.cpp.o.d"
+  "/root/repo/src/local/pseudo_livelock.cpp" "src/local/CMakeFiles/ringstab_local.dir/pseudo_livelock.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/pseudo_livelock.cpp.o.d"
+  "/root/repo/src/local/rcg.cpp" "src/local/CMakeFiles/ringstab_local.dir/rcg.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/rcg.cpp.o.d"
+  "/root/repo/src/local/self_disabling.cpp" "src/local/CMakeFiles/ringstab_local.dir/self_disabling.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/self_disabling.cpp.o.d"
+  "/root/repo/src/local/trail.cpp" "src/local/CMakeFiles/ringstab_local.dir/trail.cpp.o" "gcc" "src/local/CMakeFiles/ringstab_local.dir/trail.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ringstab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ringstab_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_local.dir/array.cpp.o"
+  "CMakeFiles/ringstab_local.dir/array.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/closure.cpp.o"
+  "CMakeFiles/ringstab_local.dir/closure.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/convergence.cpp.o"
+  "CMakeFiles/ringstab_local.dir/convergence.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/deadlock.cpp.o"
+  "CMakeFiles/ringstab_local.dir/deadlock.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/livelock.cpp.o"
+  "CMakeFiles/ringstab_local.dir/livelock.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/ltg.cpp.o"
+  "CMakeFiles/ringstab_local.dir/ltg.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/precedence.cpp.o"
+  "CMakeFiles/ringstab_local.dir/precedence.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/pseudo_livelock.cpp.o"
+  "CMakeFiles/ringstab_local.dir/pseudo_livelock.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/rcg.cpp.o"
+  "CMakeFiles/ringstab_local.dir/rcg.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/self_disabling.cpp.o"
+  "CMakeFiles/ringstab_local.dir/self_disabling.cpp.o.d"
+  "CMakeFiles/ringstab_local.dir/trail.cpp.o"
+  "CMakeFiles/ringstab_local.dir/trail.cpp.o.d"
+  "libringstab_local.a"
+  "libringstab_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

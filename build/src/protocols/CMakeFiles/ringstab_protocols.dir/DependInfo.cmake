@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/agreement.cpp" "src/protocols/CMakeFiles/ringstab_protocols.dir/agreement.cpp.o" "gcc" "src/protocols/CMakeFiles/ringstab_protocols.dir/agreement.cpp.o.d"
+  "/root/repo/src/protocols/arrays.cpp" "src/protocols/CMakeFiles/ringstab_protocols.dir/arrays.cpp.o" "gcc" "src/protocols/CMakeFiles/ringstab_protocols.dir/arrays.cpp.o.d"
+  "/root/repo/src/protocols/coloring.cpp" "src/protocols/CMakeFiles/ringstab_protocols.dir/coloring.cpp.o" "gcc" "src/protocols/CMakeFiles/ringstab_protocols.dir/coloring.cpp.o.d"
+  "/root/repo/src/protocols/matching.cpp" "src/protocols/CMakeFiles/ringstab_protocols.dir/matching.cpp.o" "gcc" "src/protocols/CMakeFiles/ringstab_protocols.dir/matching.cpp.o.d"
+  "/root/repo/src/protocols/misc.cpp" "src/protocols/CMakeFiles/ringstab_protocols.dir/misc.cpp.o" "gcc" "src/protocols/CMakeFiles/ringstab_protocols.dir/misc.cpp.o.d"
+  "/root/repo/src/protocols/sum_not_two.cpp" "src/protocols/CMakeFiles/ringstab_protocols.dir/sum_not_two.cpp.o" "gcc" "src/protocols/CMakeFiles/ringstab_protocols.dir/sum_not_two.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ringstab_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

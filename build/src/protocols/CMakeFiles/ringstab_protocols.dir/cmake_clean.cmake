@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_protocols.dir/agreement.cpp.o"
+  "CMakeFiles/ringstab_protocols.dir/agreement.cpp.o.d"
+  "CMakeFiles/ringstab_protocols.dir/arrays.cpp.o"
+  "CMakeFiles/ringstab_protocols.dir/arrays.cpp.o.d"
+  "CMakeFiles/ringstab_protocols.dir/coloring.cpp.o"
+  "CMakeFiles/ringstab_protocols.dir/coloring.cpp.o.d"
+  "CMakeFiles/ringstab_protocols.dir/matching.cpp.o"
+  "CMakeFiles/ringstab_protocols.dir/matching.cpp.o.d"
+  "CMakeFiles/ringstab_protocols.dir/misc.cpp.o"
+  "CMakeFiles/ringstab_protocols.dir/misc.cpp.o.d"
+  "CMakeFiles/ringstab_protocols.dir/sum_not_two.cpp.o"
+  "CMakeFiles/ringstab_protocols.dir/sum_not_two.cpp.o.d"
+  "libringstab_protocols.a"
+  "libringstab_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

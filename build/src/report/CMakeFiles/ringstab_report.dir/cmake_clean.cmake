@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_report.dir/report.cpp.o"
+  "CMakeFiles/ringstab_report.dir/report.cpp.o.d"
+  "libringstab_report.a"
+  "libringstab_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ringstab_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ringstab_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ringstab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/local/CMakeFiles/ringstab_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ringstab_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ringstab_sim.dir/simulator.cpp.o.d"
+  "libringstab_sim.a"
+  "libringstab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

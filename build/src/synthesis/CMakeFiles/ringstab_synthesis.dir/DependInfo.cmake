@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synthesis/array_synthesizer.cpp" "src/synthesis/CMakeFiles/ringstab_synthesis.dir/array_synthesizer.cpp.o" "gcc" "src/synthesis/CMakeFiles/ringstab_synthesis.dir/array_synthesizer.cpp.o.d"
+  "/root/repo/src/synthesis/candidates.cpp" "src/synthesis/CMakeFiles/ringstab_synthesis.dir/candidates.cpp.o" "gcc" "src/synthesis/CMakeFiles/ringstab_synthesis.dir/candidates.cpp.o.d"
+  "/root/repo/src/synthesis/global_synthesizer.cpp" "src/synthesis/CMakeFiles/ringstab_synthesis.dir/global_synthesizer.cpp.o" "gcc" "src/synthesis/CMakeFiles/ringstab_synthesis.dir/global_synthesizer.cpp.o.d"
+  "/root/repo/src/synthesis/local_synthesizer.cpp" "src/synthesis/CMakeFiles/ringstab_synthesis.dir/local_synthesizer.cpp.o" "gcc" "src/synthesis/CMakeFiles/ringstab_synthesis.dir/local_synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/local/CMakeFiles/ringstab_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/global/CMakeFiles/ringstab_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ringstab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ringstab_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_synthesis.dir/array_synthesizer.cpp.o"
+  "CMakeFiles/ringstab_synthesis.dir/array_synthesizer.cpp.o.d"
+  "CMakeFiles/ringstab_synthesis.dir/candidates.cpp.o"
+  "CMakeFiles/ringstab_synthesis.dir/candidates.cpp.o.d"
+  "CMakeFiles/ringstab_synthesis.dir/global_synthesizer.cpp.o"
+  "CMakeFiles/ringstab_synthesis.dir/global_synthesizer.cpp.o.d"
+  "CMakeFiles/ringstab_synthesis.dir/local_synthesizer.cpp.o"
+  "CMakeFiles/ringstab_synthesis.dir/local_synthesizer.cpp.o.d"
+  "libringstab_synthesis.a"
+  "libringstab_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

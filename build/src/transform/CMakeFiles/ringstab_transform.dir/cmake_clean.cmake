@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_transform.dir/transform.cpp.o"
+  "CMakeFiles/ringstab_transform.dir/transform.cpp.o.d"
+  "libringstab_transform.a"
+  "libringstab_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

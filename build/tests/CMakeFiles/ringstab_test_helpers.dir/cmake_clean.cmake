@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringstab_test_helpers.dir/helpers.cpp.o"
+  "CMakeFiles/ringstab_test_helpers.dir/helpers.cpp.o.d"
+  "libringstab_test_helpers.a"
+  "libringstab_test_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringstab_test_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libringstab_test_helpers.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_array_synthesis.dir/test_array_synthesis.cpp.o"
+  "CMakeFiles/test_array_synthesis.dir/test_array_synthesis.cpp.o.d"
+  "test_array_synthesis"
+  "test_array_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_array_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

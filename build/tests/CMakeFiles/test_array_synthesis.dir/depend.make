@@ -1,0 +1,2 @@
+# Empty dependencies file for test_array_synthesis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_parser.dir/test_fuzz_parser.cpp.o"
+  "CMakeFiles/test_fuzz_parser.dir/test_fuzz_parser.cpp.o.d"
+  "test_fuzz_parser"
+  "test_fuzz_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

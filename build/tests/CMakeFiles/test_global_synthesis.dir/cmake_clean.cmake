@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global_synthesis.dir/test_global_synthesis.cpp.o"
+  "CMakeFiles/test_global_synthesis.dir/test_global_synthesis.cpp.o.d"
+  "test_global_synthesis"
+  "test_global_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_livelock.dir/test_livelock.cpp.o"
+  "CMakeFiles/test_livelock.dir/test_livelock.cpp.o.d"
+  "test_livelock"
+  "test_livelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_livelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

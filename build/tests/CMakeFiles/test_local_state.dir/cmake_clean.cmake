@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_state.dir/test_local_state.cpp.o"
+  "CMakeFiles/test_local_state.dir/test_local_state.cpp.o.d"
+  "test_local_state"
+  "test_local_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

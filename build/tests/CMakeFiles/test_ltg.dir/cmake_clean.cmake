@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ltg.dir/test_ltg.cpp.o"
+  "CMakeFiles/test_ltg.dir/test_ltg.cpp.o.d"
+  "test_ltg"
+  "test_ltg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ltg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precedence.dir/test_precedence.cpp.o"
+  "CMakeFiles/test_precedence.dir/test_precedence.cpp.o.d"
+  "test_precedence"
+  "test_precedence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precedence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

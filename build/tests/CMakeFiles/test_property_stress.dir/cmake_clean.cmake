@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_stress.dir/test_property_stress.cpp.o"
+  "CMakeFiles/test_property_stress.dir/test_property_stress.cpp.o.d"
+  "test_property_stress"
+  "test_property_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pseudo_livelock.dir/test_pseudo_livelock.cpp.o"
+  "CMakeFiles/test_pseudo_livelock.dir/test_pseudo_livelock.cpp.o.d"
+  "test_pseudo_livelock"
+  "test_pseudo_livelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pseudo_livelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

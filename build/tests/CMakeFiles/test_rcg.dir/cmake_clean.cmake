@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcg.dir/test_rcg.cpp.o"
+  "CMakeFiles/test_rcg.dir/test_rcg.cpp.o.d"
+  "test_rcg"
+  "test_rcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

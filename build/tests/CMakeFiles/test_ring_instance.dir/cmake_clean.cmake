@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_instance.dir/test_ring_instance.cpp.o"
+  "CMakeFiles/test_ring_instance.dir/test_ring_instance.cpp.o.d"
+  "test_ring_instance"
+  "test_ring_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

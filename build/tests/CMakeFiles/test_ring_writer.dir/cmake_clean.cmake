@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_writer.dir/test_ring_writer.cpp.o"
+  "CMakeFiles/test_ring_writer.dir/test_ring_writer.cpp.o.d"
+  "test_ring_writer"
+  "test_ring_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_disabling.dir/test_self_disabling.cpp.o"
+  "CMakeFiles/test_self_disabling.dir/test_self_disabling.cpp.o.d"
+  "test_self_disabling"
+  "test_self_disabling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_disabling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthesis_families.dir/test_synthesis_families.cpp.o"
+  "CMakeFiles/test_synthesis_families.dir/test_synthesis_families.cpp.o.d"
+  "test_synthesis_families"
+  "test_synthesis_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthesis_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trail.dir/test_trail.cpp.o"
+  "CMakeFiles/test_trail.dir/test_trail.cpp.o.d"
+  "test_trail"
+  "test_trail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trail_check.dir/test_trail_check.cpp.o"
+  "CMakeFiles/test_trail_check.dir/test_trail_check.cpp.o.d"
+  "test_trail_check"
+  "test_trail_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trail_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
