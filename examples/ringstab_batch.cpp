@@ -7,6 +7,10 @@
 //   # expect: converges          → must be certified convergent
 //   # expect: fails              → synthesis-input / must NOT be certified
 // Unannotated files are analyzed and reported, never failed on.
+//
+// `--check K` additionally cross-validates every ring protocol against the
+// exhaustive global checker at size K; `--jobs N` runs those checks on N
+// worker threads (0 = all cores).
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
@@ -16,8 +20,10 @@
 #include <sstream>
 
 #include "core/parser.hpp"
+#include "global/checker.hpp"
 #include "local/array.hpp"
 #include "local/convergence.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace {
 
@@ -42,7 +48,8 @@ bool has_marker(const std::string& text, const std::string& marker) {
   return text.find(marker) != std::string::npos;
 }
 
-FileOutcome process(const std::filesystem::path& path) {
+FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
+                    std::size_t jobs) {
   FileOutcome out;
   out.file = path.filename().string();
   const std::string text = slurp(path);
@@ -76,9 +83,16 @@ FileOutcome process(const std::filesystem::path& path) {
           out.verdict = "inconclusive";
           break;
       }
+      if (check_k >= 2) {
+        const RingInstance ring(p, check_k);
+        const bool global_ok = strongly_stabilizing(ring, jobs);
+        out.verdict += global_ok ? " [global@K ok]" : " [global@K FAILS]";
+        // A local certificate must never contradict the exhaustive check.
+        if (certified && !global_ok) out.ok = false;
+      }
     }
-    if (out.expectation == "converges") out.ok = certified;
-    if (out.expectation == "fails") out.ok = !certified;
+    if (out.expectation == "converges") out.ok = out.ok && certified;
+    if (out.expectation == "fails") out.ok = out.ok && !certified;
   } catch (const Error& e) {
     out.verdict = std::string("ERROR: ") + e.what();
     out.ok = out.expectation.empty();
@@ -90,11 +104,26 @@ FileOutcome process(const std::filesystem::path& path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: ringstab-batch <directory> [--strict]\n";
+    std::cerr << "usage: ringstab-batch <directory> [--strict] [--check K] "
+                 "[--jobs N]\n";
     return 2;
   }
-  const bool strict =
-      argc > 2 && std::strcmp(argv[2], "--strict") == 0;
+  bool strict = false;
+  std::size_t check_k = 0;  // 0 = local analysis only
+  std::size_t jobs = 1;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_k = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = ringstab::resolve_threads(
+          static_cast<std::size_t>(std::atoll(argv[++i])));
+    } else {
+      std::cerr << "unknown option: " << argv[i] << "\n";
+      return 2;
+    }
+  }
 
   std::vector<std::filesystem::path> files;
   for (const auto& entry : std::filesystem::directory_iterator(argv[1]))
@@ -105,15 +134,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const int verdict_w = check_k >= 2 ? 52 : 36;
   std::size_t failures = 0;
   std::cout << std::left << std::setw(28) << "file" << std::setw(22)
-            << "protocol" << std::setw(36) << "verdict"
+            << "protocol" << std::setw(verdict_w) << "verdict"
             << "expectation\n"
-            << std::string(96, '-') << "\n";
+            << std::string(60 + verdict_w, '-') << "\n";
   for (const auto& path : files) {
-    const FileOutcome out = process(path);
+    const FileOutcome out = process(path, check_k, jobs);
     std::cout << std::left << std::setw(28) << out.file << std::setw(22)
-              << out.name << std::setw(36) << out.verdict
+              << out.name << std::setw(verdict_w) << out.verdict
               << (out.expectation.empty()
                       ? "-"
                       : out.expectation + (out.ok ? " ✓" : " ✗ MISMATCH"))

@@ -23,6 +23,7 @@
 #include "graph/dot.hpp"
 #include "local/convergence.hpp"
 #include "local/rcg.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sim/simulator.hpp"
 #include "synthesis/array_synthesizer.hpp"
 #include "synthesis/local_synthesizer.hpp"
@@ -36,13 +37,16 @@ int usage() {
       "usage: ringstab <command> <file.ring> [options]\n"
       "  analyze    local convergence analysis (valid for every ring size)\n"
       "  synthesize add convergence (Problem 3.1); --all prints every solution\n"
-      "  check      exhaustive model check at one size: -k <K>\n"
+      "  check      exhaustive model check at one size: -k <K> [--jobs N]\n"
       "  sweep      cutoff verification: [--min K] [--max K]\n"
       "  dot        emit graphviz: --rcg (default), --ltg, --deadlock-rcg\n"
       "  simulate   random-scheduler runs: -k <K> [--trials N] [--seed S]\n"
+      "             [--jobs N]\n"
       "  emit       print the protocol back as .ring source\n"
       "  report     full markdown analysis report [--array] [--max K]\n"
-      "  trace      step-by-step run: -k <K> [--from v,v,...] [--seed S]\n";
+      "  trace      step-by-step run: -k <K> [--from v,v,...] [--seed S]\n"
+      "  --jobs N   worker threads for the global checker / simulator\n"
+      "             sweeps (default 1 = the serial engine; 0 = all cores)\n";
   return 2;
 }
 
@@ -111,9 +115,9 @@ int cmd_synthesize(const Protocol& p, bool all) {
   return res.success ? 0 : 1;
 }
 
-int cmd_check(const Protocol& p, std::size_t k) {
+int cmd_check(const Protocol& p, std::size_t k, std::size_t jobs) {
   const RingInstance ring(p, k);
-  const auto res = GlobalChecker(ring).check_all();
+  const auto res = GlobalChecker(ring, jobs).check_all();
   std::cout << p.name() << " at K=" << k << " (" << res.num_states
             << " states):\n"
             << "  closure of I:            " << (res.closure_ok ? "ok" : "VIOLATED")
@@ -217,8 +221,9 @@ int cmd_trace(const Protocol& p, std::size_t k, std::uint64_t seed,
 }
 
 int cmd_simulate(const Protocol& p, std::size_t k, std::size_t trials,
-                 std::uint64_t seed) {
-  const auto stats = measure_convergence(p, k, trials, seed);
+                 std::uint64_t seed, std::size_t jobs) {
+  const auto stats = measure_convergence(p, k, trials, seed, 1'000'000,
+                                         Scheduler::kUniformRandom, jobs);
   std::cout << p.name() << " at K=" << k << ", " << trials
             << " random starts (seed " << seed << "):\n"
             << "  converged: " << stats.converged << "/" << stats.trials
@@ -246,9 +251,12 @@ int main(int argc, char** argv) {
       }
       return cmd_synthesize(p, has_flag(argc, argv, "--all"));
     }
+    const std::size_t jobs = resolve_threads(
+        static_cast<std::size_t>(arg_value(argc, argv, "--jobs", 1)));
     if (command == "check")
       return cmd_check(p, static_cast<std::size_t>(
-                              arg_value(argc, argv, "-k", 5)));
+                              arg_value(argc, argv, "-k", 5)),
+                       jobs);
     if (command == "sweep") {
       const auto rep = verify_up_to_cutoff(
           p, static_cast<std::size_t>(arg_value(argc, argv, "--min", 2)),
@@ -282,7 +290,8 @@ int main(int argc, char** argv) {
       return cmd_simulate(
           p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8)),
           static_cast<std::size_t>(arg_value(argc, argv, "--trials", 100)),
-          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1)));
+          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1)),
+          jobs);
     return usage();
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,31 +1,26 @@
 #include "global/checker.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "core/fmt.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace ringstab {
 namespace {
 
 constexpr std::uint32_t kUnvisited = 0xffffffffu;
 
-// One pass over the state space; repeated in_invariant() calls during SCC
-// exploration would re-derive K local states each time.
-std::vector<bool> invariant_mask(const RingInstance& ring) {
-  std::vector<bool> mask(ring.num_states());
-  for (GlobalStateId s = 0; s < ring.num_states(); ++s)
-    mask[s] = ring.in_invariant(s);
-  return mask;
-}
-
 // Iterative Tarjan over the implicit global transition graph restricted to
 // states outside I. Stops early when a nontrivial SCC is found (if
-// `first_only`), otherwise collects all states on ¬I cycles.
+// `first_only`), otherwise collects all states on ¬I cycles. Serial; the
+// precomputed invariant mask is supplied by the checker.
 class OutsideInvariantScc {
  public:
-  OutsideInvariantScc(const RingInstance& ring, bool first_only)
-      : ring_(ring), first_only_(first_only), in_inv_(invariant_mask(ring)) {
+  OutsideInvariantScc(const RingInstance& ring, const PackedBitset& in_inv,
+                      bool first_only)
+      : ring_(ring), first_only_(first_only), in_inv_(in_inv) {
     index_.assign(ring.num_states(), kUnvisited);
     low_.assign(ring.num_states(), 0);
     on_stack_.assign(ring.num_states(), false);
@@ -35,7 +30,7 @@ class OutsideInvariantScc {
     for (GlobalStateId root = 0; root < ring_.num_states(); ++root) {
       if (done_) return;
       if (index_[root] != kUnvisited) continue;
-      if (in_inv_[root]) continue;
+      if (in_inv_.test(root)) continue;
       visit(root);
     }
   }
@@ -55,7 +50,7 @@ class OutsideInvariantScc {
     static thread_local std::vector<RingInstance::Step> succ;
     ring_.successors(v, succ);
     for (const auto& s : succ)
-      if (!in_inv_[s.target]) out.push_back(s.target);
+      if (!in_inv_.test(s.target)) out.push_back(s.target);
   }
 
   void visit(GlobalStateId root) {
@@ -150,7 +145,7 @@ class OutsideInvariantScc {
 
   const RingInstance& ring_;
   bool first_only_;
-  std::vector<bool> in_inv_;
+  const PackedBitset& in_inv_;
   bool done_ = false;
   std::uint32_t next_index_ = 0;
   std::vector<std::uint32_t> index_, low_;
@@ -160,28 +155,59 @@ class OutsideInvariantScc {
 
 }  // namespace
 
+const PackedBitset& GlobalChecker::invariant_mask() const {
+  const GlobalStateId n = ring_->num_states();
+  if (inv_mask_.size() == n) return inv_mask_;  // already built (n > 0)
+  PackedBitset mask(n);
+  // Chunks start on multiples of a 64-aligned grain, so each chunk's bits
+  // live in chunk-private words: plain set() is race-free.
+  parallel_for(n, num_threads_, 0, [&](const ChunkRange& chunk, std::size_t) {
+    auto cur = ring_->cursor(chunk.begin);
+    for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance())
+      if (cur.in_invariant()) mask.set(s);
+  });
+  inv_mask_ = std::move(mask);
+  return inv_mask_;
+}
+
 std::size_t GlobalChecker::count_deadlocks_outside_invariant(
     std::vector<GlobalStateId>* samples, std::size_t max_samples) const {
+  const GlobalStateId n = ring_->num_states();
+  const PackedBitset& in_inv = invariant_mask();
+  const std::uint64_t chunks = num_chunks(n, 0);
+  std::vector<std::size_t> counts(chunks, 0);
+  std::vector<std::vector<GlobalStateId>> found(samples ? chunks : 0);
+  parallel_for(n, num_threads_, 0, [&](const ChunkRange& chunk, std::size_t) {
+    auto cur = ring_->cursor(chunk.begin);
+    std::size_t count = 0;
+    for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
+      if (in_inv.test(s)) continue;
+      if (!cur.is_deadlock()) continue;
+      ++count;
+      if (samples && found[chunk.index].size() < max_samples)
+        found[chunk.index].push_back(s);
+    }
+    counts[chunk.index] = count;
+  });
   std::size_t count = 0;
-  std::vector<RingInstance::Step> succ;
-  for (GlobalStateId s = 0; s < ring_->num_states(); ++s) {
-    if (ring_->in_invariant(s)) continue;
-    if (!ring_->is_deadlock(s)) continue;
-    ++count;
-    if (samples && samples->size() < max_samples) samples->push_back(s);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    count += counts[c];
+    if (samples)
+      for (GlobalStateId s : found[c])
+        if (samples->size() < max_samples) samples->push_back(s);
   }
   return count;
 }
 
 std::optional<std::vector<GlobalStateId>> GlobalChecker::find_livelock()
     const {
-  OutsideInvariantScc scc(*ring_, /*first_only=*/true);
+  OutsideInvariantScc scc(*ring_, invariant_mask(), /*first_only=*/true);
   scc.run();
   return scc.witness_cycle;
 }
 
 std::vector<GlobalStateId> GlobalChecker::livelock_states() const {
-  OutsideInvariantScc scc(*ring_, /*first_only=*/false);
+  OutsideInvariantScc scc(*ring_, invariant_mask(), /*first_only=*/false);
   scc.run();
   std::sort(scc.cycle_states.begin(), scc.cycle_states.end());
   return scc.cycle_states;
@@ -189,15 +215,41 @@ std::vector<GlobalStateId> GlobalChecker::livelock_states() const {
 
 bool GlobalChecker::check_closure(
     std::optional<std::pair<GlobalStateId, GlobalStateId>>* violation) const {
-  std::vector<RingInstance::Step> succ;
-  for (GlobalStateId s = 0; s < ring_->num_states(); ++s) {
-    if (!ring_->in_invariant(s)) continue;
-    ring_->successors(s, succ);
-    for (const auto& step : succ) {
-      if (!ring_->in_invariant(step.target)) {
-        if (violation) *violation = {s, step.target};
-        return false;
+  const GlobalStateId n = ring_->num_states();
+  const PackedBitset& in_inv = invariant_mask();
+  const std::uint64_t chunks = num_chunks(n, 0);
+  using Violation = std::pair<GlobalStateId, GlobalStateId>;
+  std::vector<std::optional<Violation>> found(chunks);
+  // The serial engine reports the violation with the smallest source state.
+  // Chunks above the lowest chunk known to hold one can stop early; the
+  // merge picks the lowest chunk, so the reported pair is identical for
+  // every thread count.
+  std::atomic<std::uint64_t> first_chunk{chunks};
+  parallel_for(n, num_threads_, 0,
+               [&](const ChunkRange& chunk, std::size_t) {
+    if (chunk.index > first_chunk.load(std::memory_order_relaxed)) return;
+    auto cur = ring_->cursor(chunk.begin);
+    std::vector<RingInstance::Step> succ;
+    for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
+      if (!in_inv.test(s)) continue;
+      cur.successors(succ);
+      for (const auto& step : succ) {
+        if (!in_inv.test(step.target)) {
+          found[chunk.index] = {s, step.target};
+          std::uint64_t prev = first_chunk.load(std::memory_order_relaxed);
+          while (chunk.index < prev &&
+                 !first_chunk.compare_exchange_weak(
+                     prev, chunk.index, std::memory_order_relaxed)) {
+          }
+          return;
+        }
       }
+    }
+  });
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    if (found[c]) {
+      if (violation) *violation = *found[c];
+      return false;
     }
   }
   return true;
@@ -205,62 +257,129 @@ bool GlobalChecker::check_closure(
 
 bool GlobalChecker::check_weak_convergence() const {
   const GlobalStateId n = ring_->num_states();
-  std::vector<bool> reaches(n, false);
-  GlobalStateId remaining = 0;
-  for (GlobalStateId s = 0; s < n; ++s) {
-    reaches[s] = ring_->in_invariant(s);
-    if (!reaches[s]) ++remaining;
-  }
-  // Backward fixpoint over the implicit graph.
-  std::vector<RingInstance::Step> succ;
-  bool changed = true;
-  while (changed && remaining > 0) {
-    changed = false;
-    for (GlobalStateId s = 0; s < n; ++s) {
-      if (reaches[s]) continue;
-      ring_->successors(s, succ);
-      for (const auto& step : succ) {
-        if (reaches[step.target]) {
-          reaches[s] = true;
-          --remaining;
-          changed = true;
-          break;
+  // Backward fixpoint over the implicit graph, as synchronous (Jacobi)
+  // rounds: a round reads `reaches`, writes `next`, and the two swap. The
+  // fixpoint is the same set the seed's in-place scan computed.
+  PackedBitset reaches = invariant_mask();
+  PackedBitset next(n);
+  const std::uint64_t chunks = num_chunks(n, 0);
+  std::vector<std::uint8_t> chunk_changed(chunks, 0);
+  while (true) {
+    next = reaches;
+    std::fill(chunk_changed.begin(), chunk_changed.end(), 0);
+    parallel_for(n, num_threads_, 0,
+                 [&](const ChunkRange& chunk, std::size_t) {
+      auto cur = ring_->cursor(chunk.begin);
+      std::vector<RingInstance::Step> succ;
+      bool changed = false;
+      for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
+        if (reaches.test(s)) continue;
+        cur.successors(succ);
+        for (const auto& step : succ) {
+          if (reaches.test(step.target)) {
+            next.set(s);
+            changed = true;
+            break;
+          }
         }
       }
-    }
+      chunk_changed[chunk.index] = changed;
+    });
+    if (std::find(chunk_changed.begin(), chunk_changed.end(), 1) ==
+        chunk_changed.end())
+      break;
+    std::swap(reaches, next);
   }
-  return remaining == 0;
+  return reaches.count() == n;
 }
 
 std::size_t GlobalChecker::max_recovery_steps() const {
-  // Longest path in the ¬I subgraph, all of whose maximal paths end in I
-  // (valid when strongly converging). Memoized DFS.
   const GlobalStateId n = ring_->num_states();
-  constexpr std::uint32_t kUnknown = 0xfffffffeu;
-  constexpr std::uint32_t kInProgress = 0xfffffffdu;
-  std::vector<std::uint32_t> depth(n, kUnknown);
-  const std::vector<bool> in_inv = invariant_mask(*ring_);
+  const PackedBitset& in_inv = invariant_mask();
+  if (num_threads_ <= 1) {
+    // Longest path in the ¬I subgraph, all of whose maximal paths end in I
+    // (valid when strongly converging). Memoized DFS.
+    constexpr std::uint32_t kUnknown = 0xfffffffeu;
+    constexpr std::uint32_t kInProgress = 0xfffffffdu;
+    std::vector<std::uint32_t> depth(n, kUnknown);
 
+    std::size_t best = 0;
+    auto dfs = [&](auto&& self, GlobalStateId s) -> std::uint32_t {
+      if (in_inv.test(s)) return 0;
+      if (depth[s] == kInProgress)
+        throw ModelError("cycle outside I: not strongly converging");
+      if (depth[s] != kUnknown) return depth[s];
+      depth[s] = kInProgress;
+      std::vector<RingInstance::Step> local;
+      ring_->successors(s, local);
+      if (local.empty())
+        throw ModelError("deadlock outside I: not strongly converging");
+      std::uint32_t d = 0;
+      for (const auto& step : local)
+        d = std::max(d, 1 + self(self, step.target));
+      depth[s] = d;
+      return d;
+    };
+    for (GlobalStateId s = 0; s < n; ++s)
+      best = std::max<std::size_t>(best, dfs(dfs, s));
+    return best;
+  }
+
+  // Parallel layering: depth(s in I) = 0; a state resolves to 1 + max of
+  // its successors' depths once all of them have resolved. Depths are set
+  // at most once and never change, so in-place relaxed publication is safe
+  // and the fixpoint (the exact longest path to I) is the same as the
+  // serial DFS for every thread count and schedule.
+  constexpr std::uint32_t kUnknown = 0xffffffffu;
+  std::vector<std::uint32_t> depth(n);
+  parallel_for(n, num_threads_, 0, [&](const ChunkRange& chunk, std::size_t) {
+    for (GlobalStateId s = chunk.begin; s < chunk.end; ++s)
+      depth[s] = in_inv.test(s) ? 0 : kUnknown;
+  });
+  std::uint64_t remaining = n - in_inv.count();
+  const std::uint64_t chunks = num_chunks(n, 0);
+  std::vector<std::uint64_t> resolved(chunks);
+  std::vector<std::uint32_t> chunk_best(chunks);
   std::size_t best = 0;
-  std::vector<RingInstance::Step> succ;
-  auto dfs = [&](auto&& self, GlobalStateId s) -> std::uint32_t {
-    if (in_inv[s]) return 0;
-    if (depth[s] == kInProgress)
+  while (remaining > 0) {
+    std::fill(resolved.begin(), resolved.end(), 0);
+    std::fill(chunk_best.begin(), chunk_best.end(), 0);
+    parallel_for(n, num_threads_, 0,
+                 [&](const ChunkRange& chunk, std::size_t) {
+      auto cur = ring_->cursor(chunk.begin);
+      std::vector<RingInstance::Step> succ;
+      for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
+        std::atomic_ref<std::uint32_t> mine(depth[s]);
+        if (mine.load(std::memory_order_relaxed) != kUnknown) continue;
+        cur.successors(succ);
+        if (succ.empty())
+          throw ModelError("deadlock outside I: not strongly converging");
+        std::uint32_t d = 0;
+        bool all_known = true;
+        for (const auto& step : succ) {
+          std::atomic_ref<std::uint32_t> theirs(depth[step.target]);
+          const std::uint32_t t = theirs.load(std::memory_order_relaxed);
+          if (t == kUnknown) {
+            all_known = false;
+            break;
+          }
+          d = std::max(d, 1 + t);
+        }
+        if (!all_known) continue;
+        mine.store(d, std::memory_order_relaxed);
+        ++resolved[chunk.index];
+        chunk_best[chunk.index] = std::max(chunk_best[chunk.index], d);
+      }
+    });
+    std::uint64_t progress = 0;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      progress += resolved[c];
+      best = std::max<std::size_t>(best, chunk_best[c]);
+    }
+    if (progress == 0)
       throw ModelError("cycle outside I: not strongly converging");
-    if (depth[s] != kUnknown) return depth[s];
-    depth[s] = kInProgress;
-    std::vector<RingInstance::Step> local;
-    ring_->successors(s, local);
-    if (local.empty())
-      throw ModelError("deadlock outside I: not strongly converging");
-    std::uint32_t d = 0;
-    for (const auto& step : local)
-      d = std::max(d, 1 + self(self, step.target));
-    depth[s] = d;
-    return d;
-  };
-  for (GlobalStateId s = 0; s < n; ++s)
-    best = std::max<std::size_t>(best, dfs(dfs, s));
+    remaining -= progress;
+  }
   return best;
 }
 
@@ -279,8 +398,8 @@ GlobalCheckResult GlobalChecker::check_all() const {
   return res;
 }
 
-bool strongly_stabilizing(const RingInstance& ring) {
-  const GlobalChecker checker(ring);
+bool strongly_stabilizing(const RingInstance& ring, std::size_t num_threads) {
+  const GlobalChecker checker(ring, num_threads);
   if (!checker.check_closure()) return false;
   if (checker.count_deadlocks_outside_invariant() > 0) return false;
   return !checker.find_livelock().has_value();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "global/ring_instance.hpp"
+#include "parallel/bitset.hpp"
 
 namespace ringstab {
 
@@ -38,9 +39,25 @@ struct GlobalCheckResult {
   std::size_t max_recovery_steps = 0;
 };
 
+/// Exhaustive checker over |D|^K global states. `num_threads > 1` runs the
+/// full-space sweeps (invariant mask, deadlock census, closure, weak
+/// convergence, recovery layering) as chunked parallel scans on the shared
+/// pool; all verdicts, counts, samples, and step bounds are identical to
+/// the serial engine for every thread count — per-chunk partial results are
+/// merged in ascending chunk order over a thread-count-independent chunk
+/// partition. The Tarjan livelock search stays serial but reads the
+/// precomputed invariant mask, which is built once per checker and shared
+/// by every phase.
 class GlobalChecker {
  public:
-  explicit GlobalChecker(const RingInstance& ring) : ring_(&ring) {}
+  explicit GlobalChecker(const RingInstance& ring, std::size_t num_threads = 1)
+      : ring_(&ring), num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// The packed I(K) membership mask, built (in parallel) on first use and
+  /// cached for the checker's lifetime.
+  const PackedBitset& invariant_mask() const;
 
   /// Count (and sample up to `max_samples`) global deadlocks outside I.
   std::size_t count_deadlocks_outside_invariant(
@@ -73,9 +90,12 @@ class GlobalChecker {
 
  private:
   const RingInstance* ring_;
+  std::size_t num_threads_;
+  mutable PackedBitset inv_mask_;  // empty until first use
 };
 
 /// Convenience: does p(K) strongly self-stabilize to I(K)?
-bool strongly_stabilizing(const RingInstance& ring);
+bool strongly_stabilizing(const RingInstance& ring,
+                          std::size_t num_threads = 1);
 
 }  // namespace ringstab

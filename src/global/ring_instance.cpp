@@ -3,12 +3,24 @@
 #include "core/fmt.hpp"
 
 namespace ringstab {
+namespace {
+
+// Reused digit buffer for the single-state entry points, so callers that
+// probe arbitrary states (tests, witnesses, the CLI) pay one decode and no
+// allocation per call. Sweeps should use Cursor instead.
+std::vector<Value>& scratch_digits() {
+  static thread_local std::vector<Value> digits;
+  return digits;
+}
+
+}  // namespace
 
 RingInstance::RingInstance(Protocol protocol, std::size_t ring_size,
                            GlobalStateId max_states)
     : protocol_(std::move(protocol)),
       k_(ring_size),
-      d_(protocol_.domain().size()) {
+      d_(protocol_.domain().size()),
+      window_(static_cast<std::size_t>(protocol_.locality().window())) {
   if (k_ < 2) throw ModelError("ring size must be at least 2");
   GlobalStateId n = 1;
   pow_.reserve(k_);
@@ -20,12 +32,49 @@ RingInstance::RingInstance(Protocol protocol, std::size_t ring_size,
     n *= d_;
   }
   num_states_ = n;
+
+  lpow_.reserve(window_);
+  LocalStateId lp = 1;
+  for (std::size_t p = 0; p < window_; ++p) {
+    lpow_.push_back(lp);
+    lp *= static_cast<LocalStateId>(d_);
+  }
+
+  // widx_[i*window + p] = ring index of window offset (p - left) at
+  // process i, with full wraparound (windows wider than the ring wrap more
+  // than once).
+  const auto& loc = protocol_.locality();
+  widx_.resize(k_ * window_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    for (std::size_t p = 0; p < window_; ++p) {
+      const long long off = static_cast<long long>(p) - loc.left;
+      long long j = (static_cast<long long>(i) + off) %
+                    static_cast<long long>(k_);
+      if (j < 0) j += static_cast<long long>(k_);
+      widx_[i * window_ + p] = static_cast<std::uint32_t>(j);
+    }
+  }
+
+  local_flags_.resize(protocol_.num_states());
+  for (LocalStateId ls = 0; ls < local_flags_.size(); ++ls)
+    local_flags_[ls] =
+        static_cast<std::uint8_t>((protocol_.is_legit(ls) ? kLegit : 0) |
+                                  (protocol_.is_enabled(ls) ? kEnabled : 0));
 }
 
 std::vector<Value> RingInstance::decode(GlobalStateId s) const {
-  std::vector<Value> out(k_);
-  for (std::size_t i = 0; i < k_; ++i) out[i] = value(s, i);
+  std::vector<Value> out;
+  decode_into(s, out);
   return out;
+}
+
+void RingInstance::decode_into(GlobalStateId s,
+                               std::vector<Value>& digits) const {
+  digits.resize(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    digits[i] = static_cast<Value>(s % d_);
+    s /= d_;
+  }
 }
 
 GlobalStateId RingInstance::encode(std::span<const Value> ring) const {
@@ -39,34 +88,41 @@ GlobalStateId RingInstance::encode(std::span<const Value> ring) const {
 }
 
 LocalStateId RingInstance::local_state(GlobalStateId s, std::size_t i) const {
-  const auto& loc = protocol_.locality();
+  const std::uint32_t* idx = widx_.data() + i * window_;
   LocalStateId ls = 0;
-  LocalStateId mult = 1;
-  for (int off = -loc.left; off <= loc.right; ++off) {
-    const std::size_t j =
-        (i + static_cast<std::size_t>(off + static_cast<int>(k_))) % k_;
-    ls += static_cast<LocalStateId>(value(s, j)) * mult;
-    mult *= static_cast<LocalStateId>(d_);
-  }
+  for (std::size_t p = 0; p < window_; ++p)
+    ls += static_cast<LocalStateId>(value(s, idx[p])) * lpow_[p];
   return ls;
 }
 
 bool RingInstance::in_invariant(GlobalStateId s) const {
+  auto& digits = scratch_digits();
+  decode_into(s, digits);
   for (std::size_t i = 0; i < k_; ++i)
-    if (!protocol_.is_legit(local_state(s, i))) return false;
+    if (!legit_local(local_state_from(digits.data(), i))) return false;
   return true;
 }
 
 bool RingInstance::is_deadlock(GlobalStateId s) const {
+  auto& digits = scratch_digits();
+  decode_into(s, digits);
   for (std::size_t i = 0; i < k_; ++i)
-    if (process_enabled(s, i)) return false;
+    if (enabled_local(local_state_from(digits.data(), i))) return false;
   return true;
 }
 
 void RingInstance::successors(GlobalStateId s, std::vector<Step>& out) const {
+  auto& digits = scratch_digits();
+  decode_into(s, digits);
+  successors_from(s, digits.data(), out);
+}
+
+void RingInstance::successors_from(GlobalStateId s, const Value* digits,
+                                   std::vector<Step>& out) const {
   out.clear();
   for (std::size_t i = 0; i < k_; ++i) {
-    const LocalStateId ls = local_state(s, i);
+    const LocalStateId ls = local_state_from(digits, i);
+    if (!enabled_local(ls)) continue;
     for (const auto& t : protocol_.transitions_from(ls)) {
       const Value old_self = protocol_.space().self(t.from);
       const Value new_self = protocol_.space().self(t.to);
@@ -78,9 +134,11 @@ void RingInstance::successors(GlobalStateId s, std::vector<Step>& out) const {
 }
 
 std::size_t RingInstance::num_enabled(GlobalStateId s) const {
+  auto& digits = scratch_digits();
+  decode_into(s, digits);
   std::size_t n = 0;
   for (std::size_t i = 0; i < k_; ++i)
-    if (process_enabled(s, i)) ++n;
+    if (enabled_local(local_state_from(digits.data(), i))) ++n;
   return n;
 }
 
@@ -97,22 +155,37 @@ Schedule schedule_from_path(const RingInstance& ring,
   Schedule sched;
   if (path.size() < 2 && !cyclic) return sched;
   const std::size_t steps = cyclic ? path.size() : path.size() - 1;
-  std::vector<RingInstance::Step> succ;
+  sched.reserve(steps);
+  const auto& space = ring.protocol().space();
+  std::vector<Value> from_digits, to_digits;
   for (std::size_t n = 0; n < steps; ++n) {
     const GlobalStateId from = path[n];
     const GlobalStateId to = path[(n + 1) % path.size()];
-    ring.successors(from, succ);
+    auto bad_step = [&] {
+      return ModelError(cat("path step ", n, " (", ring.brief(from), " → ",
+                            ring.brief(to), ") is not a protocol transition"));
+    };
+    // Interleaving semantics: exactly one process's variable changes, so the
+    // mover is recoverable from the digit difference — no successor scan.
+    ring.decode_into(from, from_digits);
+    ring.decode_into(to, to_digits);
+    std::size_t mover = ring.ring_size();
+    for (std::size_t i = 0; i < ring.ring_size(); ++i) {
+      if (from_digits[i] == to_digits[i]) continue;
+      if (mover != ring.ring_size()) throw bad_step();  // two movers
+      mover = i;
+    }
+    if (mover == ring.ring_size()) throw bad_step();  // stutter
+    const LocalStateId ls = ring.local_state_from(from_digits.data(), mover);
     bool found = false;
-    for (const auto& st : succ) {
-      if (st.target == to) {
-        sched.push_back({st.process, st.transition});
+    for (const auto& t : ring.protocol().transitions_from(ls)) {
+      if (space.self(t.to) == to_digits[mover]) {
+        sched.push_back({mover, t});
         found = true;
         break;
       }
     }
-    if (!found)
-      throw ModelError(cat("path step ", n, " (", ring.brief(from), " → ",
-                           ring.brief(to), ") is not a protocol transition"));
+    if (!found) throw bad_step();
   }
   return sched;
 }

@@ -13,6 +13,17 @@ namespace ringstab {
 /// Explicit-state view of p(K): global states are mixed-radix uint64 codes
 /// of the K ring variables. This is the substrate for the "global reasoning"
 /// baseline the paper contrasts with (model checking / fixed-K synthesis).
+///
+/// Construction precomputes three tables that keep the per-state work of
+/// full-space sweeps division-free:
+///  * a per-local-state flag byte (legit? enabled?) so predicate checks are
+///    one table read instead of a Protocol query;
+///  * the window powers |D|^p, so a local state is a Horner sum over the
+///    window digits;
+///  * the wrapped ring index of every (process, window offset) pair, so no
+///    modulo is taken while scanning.
+/// Sweeps should decode a state's digits once (or roll them forward with
+/// Cursor) and reuse them for all K processes.
 class RingInstance {
  public:
   /// Throws CapacityError if |D|^K exceeds `max_states` (default 2^24) or
@@ -23,18 +34,40 @@ class RingInstance {
   const Protocol& protocol() const { return protocol_; }
   std::size_t ring_size() const { return k_; }
   GlobalStateId num_states() const { return num_states_; }
+  std::size_t domain_size() const { return d_; }
 
   Value value(GlobalStateId s, std::size_t i) const {
     return static_cast<Value>((s / pow_[i]) % d_);
   }
+  /// pow_[i] = |D|^i, the mixed-radix place values (pow_[0] = 1).
+  const std::vector<GlobalStateId>& powers() const { return pow_; }
   std::vector<Value> decode(GlobalStateId s) const;
+  /// decode() into a caller-owned buffer (resized to K); the only divisions
+  /// a sweep needs per state.
+  void decode_into(GlobalStateId s, std::vector<Value>& digits) const;
   GlobalStateId encode(std::span<const Value> ring) const;
 
   /// Local state of process i (its readable window) in global state s.
   LocalStateId local_state(GlobalStateId s, std::size_t i) const;
 
+  /// Local state of process i from predecoded digits: a division-free
+  /// Horner sum over the window (digits must have length K).
+  LocalStateId local_state_from(const Value* digits, std::size_t i) const {
+    const std::uint32_t* idx = widx_.data() + i * window_;
+    LocalStateId ls = 0;
+    for (std::size_t p = 0; p < window_; ++p)
+      ls += static_cast<LocalStateId>(digits[idx[p]]) * lpow_[p];
+    return ls;
+  }
+
+  /// Precomputed LC_r / enablement of a local state (one byte read).
+  bool legit_local(LocalStateId ls) const { return local_flags_[ls] & kLegit; }
+  bool enabled_local(LocalStateId ls) const {
+    return local_flags_[ls] & kEnabled;
+  }
+
   bool process_enabled(GlobalStateId s, std::size_t i) const {
-    return protocol_.is_enabled(local_state(s, i));
+    return enabled_local(local_state(s, i));
   }
 
   /// s ∈ I(K): every process satisfies LC_r.
@@ -53,18 +86,87 @@ class RingInstance {
   /// process moves). Appended to `out` (cleared first).
   void successors(GlobalStateId s, std::vector<Step>& out) const;
 
+  /// successors() from predecoded digits of s (division-free).
+  void successors_from(GlobalStateId s, const Value* digits,
+                       std::vector<Step>& out) const;
+
   /// Number of enabled processes in s.
   std::size_t num_enabled(GlobalStateId s) const;
 
   /// Compact dump using domain abbreviations, e.g. "lsrls".
   std::string brief(GlobalStateId s) const;
 
+  /// Rolling decoder for dense state-space sweeps: holds the digit vector
+  /// of the current state and advances by one with a mixed-radix carry —
+  /// O(1) amortized, no division. All predicates run off the digit vector
+  /// and the precomputed tables.
+  class Cursor {
+   public:
+    Cursor(const RingInstance& ring, GlobalStateId start)
+        : ring_(&ring), s_(start) {
+      ring.decode_into(start, digits_);
+    }
+
+    GlobalStateId state() const { return s_; }
+    const std::vector<Value>& digits() const { return digits_; }
+
+    /// Move to state s+1 (carry-propagating increment of the digits).
+    void advance() {
+      ++s_;
+      const Value top = static_cast<Value>(ring_->d_ - 1);
+      for (std::size_t i = 0; i < digits_.size(); ++i) {
+        if (digits_[i] != top) {
+          ++digits_[i];
+          return;
+        }
+        digits_[i] = 0;
+      }
+    }
+
+    LocalStateId local_state(std::size_t i) const {
+      return ring_->local_state_from(digits_.data(), i);
+    }
+    bool in_invariant() const {
+      for (std::size_t i = 0; i < digits_.size(); ++i)
+        if (!ring_->legit_local(local_state(i))) return false;
+      return true;
+    }
+    bool is_deadlock() const {
+      for (std::size_t i = 0; i < digits_.size(); ++i)
+        if (ring_->enabled_local(local_state(i))) return false;
+      return true;
+    }
+    std::size_t num_enabled() const {
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < digits_.size(); ++i)
+        if (ring_->enabled_local(local_state(i))) ++n;
+      return n;
+    }
+    void successors(std::vector<Step>& out) const {
+      ring_->successors_from(s_, digits_.data(), out);
+    }
+
+   private:
+    const RingInstance* ring_;
+    GlobalStateId s_;
+    std::vector<Value> digits_;
+  };
+
+  Cursor cursor(GlobalStateId start = 0) const { return Cursor(*this, start); }
+
  private:
+  static constexpr std::uint8_t kLegit = 1;
+  static constexpr std::uint8_t kEnabled = 2;
+
   Protocol protocol_;
   std::size_t k_;
   std::size_t d_;
+  std::size_t window_;
   GlobalStateId num_states_;
   std::vector<GlobalStateId> pow_;
+  std::vector<LocalStateId> lpow_;        // |D|^p over the window
+  std::vector<std::uint32_t> widx_;       // widx_[i*window + p]: ring index
+  std::vector<std::uint8_t> local_flags_; // kLegit | kEnabled per local state
 };
 
 /// Recover the interleaving schedule along a path of global states

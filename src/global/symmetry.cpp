@@ -3,50 +3,90 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "parallel/thread_pool.hpp"
+
 namespace ringstab {
 namespace {
 
-// Rotate the ring valuation left by r positions and encode.
+// Encode the ring valuation rotated left by r positions, straight off the
+// digit vector — no intermediate rotated copy.
 GlobalStateId rotate_encode(const RingInstance& ring,
-                            const std::vector<Value>& vals, std::size_t r) {
-  const std::size_t k = vals.size();
-  std::vector<Value> rot(k);
-  for (std::size_t i = 0; i < k; ++i) rot[i] = vals[(i + r) % k];
-  return ring.encode(rot);
+                            const std::vector<Value>& digits, std::size_t r) {
+  const std::size_t k = digits.size();
+  const auto& pow = ring.powers();
+  GlobalStateId s = 0;
+  for (std::size_t i = 0; i < k; ++i) s += pow[i] * digits[(i + r) % k];
+  return s;
+}
+
+GlobalStateId canonical_from_digits(const RingInstance& ring,
+                                    const std::vector<Value>& digits,
+                                    GlobalStateId s) {
+  GlobalStateId best = s;
+  for (std::size_t r = 1; r < ring.ring_size(); ++r)
+    best = std::min(best, rotate_encode(ring, digits, r));
+  return best;
+}
+
+std::size_t orbit_size_from_digits(const RingInstance& ring,
+                                   const std::vector<Value>& digits,
+                                   GlobalStateId s) {
+  // Orbit size = K / (smallest rotation period).
+  for (std::size_t r = 1; r < ring.ring_size(); ++r) {
+    if (ring.ring_size() % r != 0) continue;
+    if (rotate_encode(ring, digits, r) == s) return r;
+  }
+  return ring.ring_size();
 }
 
 }  // namespace
 
 GlobalStateId canonical_rotation(const RingInstance& ring, GlobalStateId s) {
-  const auto vals = ring.decode(s);
-  GlobalStateId best = s;
-  for (std::size_t r = 1; r < ring.ring_size(); ++r)
-    best = std::min(best, rotate_encode(ring, vals, r));
-  return best;
+  return canonical_from_digits(ring, ring.decode(s), s);
 }
 
 std::size_t rotation_orbit_size(const RingInstance& ring, GlobalStateId s) {
-  const auto vals = ring.decode(s);
-  // Orbit size = K / (smallest rotation period).
-  for (std::size_t r = 1; r < ring.ring_size(); ++r) {
-    if (ring.ring_size() % r != 0) continue;
-    if (rotate_encode(ring, vals, r) == s) return r;
-  }
-  return ring.ring_size();
+  return orbit_size_from_digits(ring, ring.decode(s), s);
 }
 
 SymmetricCheckResult check_symmetric(const RingInstance& ring,
-                                     std::size_t max_samples) {
+                                     std::size_t max_samples,
+                                     std::size_t num_threads) {
   SymmetricCheckResult res;
 
   // Pass 1: orbit-aware deadlock census over canonical representatives.
-  for (GlobalStateId s = 0; s < ring.num_states(); ++s) {
-    if (canonical_rotation(ring, s) != s) continue;  // not a representative
-    ++res.canonical_states_visited;
-    if (ring.in_invariant(s) || !ring.is_deadlock(s)) continue;
-    res.num_deadlocks_outside_i += rotation_orbit_size(ring, s);
-    if (res.deadlock_orbit_reps.size() < max_samples)
-      res.deadlock_orbit_reps.push_back(s);
+  // Chunked sweep with per-chunk partials merged in ascending chunk order,
+  // so counts and representatives match the serial scan for any thread
+  // count.
+  {
+    const GlobalStateId n = ring.num_states();
+    const std::uint64_t chunks = num_chunks(n, 0);
+    struct ChunkTally {
+      std::size_t visited = 0;
+      std::size_t deadlocks = 0;
+      std::vector<GlobalStateId> reps;
+    };
+    std::vector<ChunkTally> tally(chunks);
+    parallel_for(n, num_threads, 0,
+                 [&](const ChunkRange& chunk, std::size_t) {
+      auto cur = ring.cursor(chunk.begin);
+      ChunkTally& t = tally[chunk.index];
+      for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
+        if (canonical_from_digits(ring, cur.digits(), s) != s)
+          continue;  // not a representative
+        ++t.visited;
+        if (cur.in_invariant() || !cur.is_deadlock()) continue;
+        t.deadlocks += orbit_size_from_digits(ring, cur.digits(), s);
+        if (t.reps.size() < max_samples) t.reps.push_back(s);
+      }
+    });
+    for (const ChunkTally& t : tally) {
+      res.canonical_states_visited += t.visited;
+      res.num_deadlocks_outside_i += t.deadlocks;
+      for (GlobalStateId s : t.reps)
+        if (res.deadlock_orbit_reps.size() < max_samples)
+          res.deadlock_orbit_reps.push_back(s);
+    }
   }
 
   // Pass 2: livelock via iterative Tarjan on the ¬I quotient graph

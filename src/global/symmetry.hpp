@@ -40,7 +40,11 @@ struct SymmetricCheckResult {
   std::size_t canonical_states_visited = 0;
 };
 
+/// `num_threads > 1` parallelizes the orbit-aware deadlock census on the
+/// shared pool (counts and representatives stay identical to the serial
+/// scan); the quotient-graph Tarjan pass stays serial.
 SymmetricCheckResult check_symmetric(const RingInstance& ring,
-                                     std::size_t max_samples = 8);
+                                     std::size_t max_samples = 8,
+                                     std::size_t num_threads = 1);
 
 }  // namespace ringstab

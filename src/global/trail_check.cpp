@@ -17,7 +17,8 @@ const char* to_string(TrailRealization r) {
 }
 
 TrailRealizationResult realize_trail(const Protocol& p,
-                                     const ContiguousTrail& trail) {
+                                     const ContiguousTrail& trail,
+                                     std::size_t num_threads) {
   TrailRealizationResult res;
   const std::size_t k = static_cast<std::size_t>(trail.implied_ring_size());
   res.ring_size = k;
@@ -58,7 +59,7 @@ TrailRealizationResult realize_trail(const Protocol& p,
   res.start_state = ring;
 
   const RingInstance inst(p, k);
-  const GlobalChecker checker(inst);
+  const GlobalChecker checker(inst, num_threads);
   const auto livelock_states = checker.livelock_states();
   if (livelock_states.empty()) {
     res.verdict = TrailRealization::kSpurious;

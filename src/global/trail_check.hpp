@@ -32,8 +32,10 @@ struct TrailRealizationResult {
 /// vertices give the local states of the |E| adjacent enabled processes and
 /// the first round's w2 s-arc targets give the rest. Then decide whether
 /// that state really lies on a livelock by exhaustive checking.
+/// `num_threads` is forwarded to the global checker's sweep phases.
 TrailRealizationResult realize_trail(const Protocol& p,
-                                     const ContiguousTrail& trail);
+                                     const ContiguousTrail& trail,
+                                     std::size_t num_threads = 1);
 
 const char* to_string(TrailRealization r);
 

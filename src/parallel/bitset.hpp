@@ -1,0 +1,84 @@
+// Packed uint64 bitset shared by the serial and parallel global engines.
+//
+// std::vector<bool> is bit-packed too, but gives no access to the words
+// (needed to skip 64 states at a time in fixpoint sweeps), no popcount, and
+// no atomic writes. PackedBitset exposes all three; writers that cannot
+// guarantee word-private chunks use set_atomic() (relaxed fetch_or —
+// publication happens at the parallel region join, never through the bits).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ringstab {
+
+class PackedBitset {
+ public:
+  PackedBitset() = default;
+  explicit PackedBitset(std::uint64_t size, bool value = false) {
+    assign(size, value);
+  }
+
+  void assign(std::uint64_t size, bool value = false) {
+    size_ = size;
+    words_.assign((size + 63) / 64, value ? ~std::uint64_t{0} : 0);
+    trim();
+  }
+
+  std::uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(std::uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set(std::uint64_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::uint64_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void set(std::uint64_t i, bool value) {
+    if (value) set(i); else reset(i);
+  }
+
+  /// Concurrent set; safe against writers of the same word. Relaxed order:
+  /// the bits carry no inter-thread ordering of their own.
+  void set_atomic(std::uint64_t i) {
+    std::atomic_ref<std::uint64_t> w(words_[i >> 6]);
+    w.fetch_or(std::uint64_t{1} << (i & 63), std::memory_order_relaxed);
+  }
+
+  /// Number of set bits.
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::uint64_t>(std::popcount(w));
+    return n;
+  }
+
+  bool all() const { return count() == size_; }
+  bool none() const {
+    for (std::uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  /// Raw word access for sweeps that skip 64 states at a time.
+  std::span<const std::uint64_t> words() const { return words_; }
+  std::uint64_t word(std::uint64_t w) const { return words_[w]; }
+  std::uint64_t num_words() const { return words_.size(); }
+
+  bool operator==(const PackedBitset& other) const = default;
+
+ private:
+  void trim() {
+    // Keep bits past size() zero so count()/operator== stay exact.
+    if (size_ & 63 && !words_.empty())
+      words_.back() &= (std::uint64_t{1} << (size_ & 63)) - 1;
+  }
+
+  std::uint64_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ringstab

@@ -1,0 +1,132 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace ringstab {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t lane = 1; lane <= workers; ++lane)
+    workers_.emplace_back(
+        [this, lane](std::stop_token stop) { worker_loop(stop, lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    for (auto& w : workers_) w.request_stop();
+  }
+  work_cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+void ThreadPool::worker_loop(std::stop_token stop, std::size_t lane) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop.stop_requested() || generation_ != seen;
+      });
+      if (stop.stop_requested()) return;
+      seen = generation_;
+      if (lane >= job_lanes_) continue;  // this job uses fewer lanes
+      job = job_;
+    }
+    try {
+      (*job)(lane);
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::lock_guard lock(mu_);
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::size_t lanes,
+                     const std::function<void(std::size_t)>& job) {
+  lanes = std::clamp<std::size_t>(lanes, 1, num_threads());
+  if (lanes == 1) {
+    job(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    job_ = &job;
+    job_lanes_ = lanes;
+    active_ = lanes - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::exception_ptr caller_error;
+  try {
+    job(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  job_ = nullptr;
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(resolve_threads(0));
+  return pool;
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(2u, hw);
+}
+
+std::uint64_t default_grain(std::uint64_t n) {
+  // Aim for plenty of chunks on any realistic machine while keeping each
+  // chunk big enough that claiming it is noise. 64-alignment keeps packed
+  // bitset words chunk-private.
+  std::uint64_t g = std::max<std::uint64_t>(n / 256, 4096);
+  return (g + 63) & ~std::uint64_t{63};
+}
+
+std::uint64_t num_chunks(std::uint64_t n, std::uint64_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = default_grain(n);
+  return (n + grain - 1) / grain;
+}
+
+void parallel_for(
+    std::uint64_t n, std::size_t num_threads, std::uint64_t grain,
+    const std::function<void(const ChunkRange&, std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = default_grain(n);
+  const std::uint64_t chunks = num_chunks(n, grain);
+  auto chunk_at = [&](std::uint64_t c) {
+    return ChunkRange{c, c * grain, std::min(n, (c + 1) * grain)};
+  };
+  if (num_threads <= 1 || chunks == 1) {
+    for (std::uint64_t c = 0; c < chunks; ++c) body(chunk_at(c), 0);
+    return;
+  }
+  std::atomic<std::uint64_t> next{0};
+  ThreadPool::shared().run(num_threads, [&](std::size_t lane) {
+    while (true) {
+      const std::uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      body(chunk_at(c), lane);
+    }
+  });
+}
+
+}  // namespace ringstab

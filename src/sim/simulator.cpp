@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/fmt.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace ringstab {
 
@@ -28,6 +29,11 @@ void Simulator::randomize() {
   std::uniform_int_distribution<int> dist(
       0, static_cast<int>(protocol_.domain().size()) - 1);
   for (auto& v : state_) v = static_cast<Value>(dist(rng_));
+}
+
+void Simulator::reseed(std::uint64_t seed) {
+  rng_.seed(seed);
+  rr_cursor_ = 0;
 }
 
 void Simulator::inject_faults(std::size_t count) {
@@ -119,19 +125,50 @@ Simulator::RunResult Simulator::run_to_convergence(std::size_t max_steps) {
   return res;
 }
 
+namespace {
+
+// splitmix64: cheap, well-mixed per-trial seed derivation.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t trial) {
+  std::uint64_t z = seed + (trial + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 ConvergenceStats measure_convergence(const Protocol& p, std::size_t ring_size,
                                      std::size_t trials, std::uint64_t seed,
-                                     std::size_t step_cap,
-                                     Scheduler scheduler) {
-  Simulator sim(p, ring_size, seed, scheduler);
+                                     std::size_t step_cap, Scheduler scheduler,
+                                     std::size_t num_threads) {
   ConvergenceStats stats;
   stats.trials = trials;
+  std::vector<Simulator::RunResult> runs(trials);
+  if (num_threads <= 1) {
+    // Seed-engine behavior: one RNG stream threads through every trial.
+    Simulator sim(p, ring_size, seed, scheduler);
+    for (std::size_t t = 0; t < trials; ++t) {
+      sim.randomize();
+      runs[t] = sim.run_to_convergence(step_cap);
+    }
+  } else {
+    // One independent stream per trial, assigned by trial index — the
+    // result slots are aggregated in trial order below, so the stats are
+    // identical for every parallel thread count.
+    parallel_for(trials, num_threads, 64,
+                 [&](const ChunkRange& chunk, std::size_t) {
+      Simulator sim(p, ring_size, seed, scheduler);
+      for (std::size_t t = chunk.begin; t < chunk.end; ++t) {
+        sim.reseed(mix_seed(seed, t));
+        sim.randomize();
+        runs[t] = sim.run_to_convergence(step_cap);
+      }
+    });
+  }
   double total = 0;
   std::vector<std::size_t> steps;
   steps.reserve(trials);
-  for (std::size_t t = 0; t < trials; ++t) {
-    sim.randomize();
-    const auto run = sim.run_to_convergence(step_cap);
+  for (const auto& run : runs) {
     if (run.converged) {
       ++stats.converged;
       total += static_cast<double>(run.steps);

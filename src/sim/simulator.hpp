@@ -34,6 +34,11 @@ class Simulator {
   /// Uniformly random global state.
   void randomize();
 
+  /// Restart the RNG stream and scheduler cursor, as if freshly constructed
+  /// with `seed`. Lets batch drivers reuse one Simulator across trials with
+  /// per-trial seeds.
+  void reseed(std::uint64_t seed);
+
   /// Transient faults: corrupt `count` distinct variables to random values.
   void inject_faults(std::size_t count);
 
@@ -70,11 +75,18 @@ struct ConvergenceStats {
   std::size_t p95_steps = 0;
 };
 
+/// `num_threads <= 1` reproduces the seed engine exactly: one Simulator,
+/// one RNG stream across all trials. `num_threads > 1` distributes trials
+/// over the shared pool with an independent, splitmix-derived RNG stream
+/// per trial; those stats are deterministic for a given (seed, trials) at
+/// ANY parallel thread count, but are a different (equally valid) sample
+/// than the serial stream.
 ConvergenceStats measure_convergence(const Protocol& p, std::size_t ring_size,
                                      std::size_t trials,
                                      std::uint64_t seed = 1,
                                      std::size_t step_cap = 1'000'000,
                                      Scheduler scheduler =
-                                         Scheduler::kUniformRandom);
+                                         Scheduler::kUniformRandom,
+                                     std::size_t num_threads = 1);
 
 }  // namespace ringstab
