@@ -1,7 +1,6 @@
 // EXP-S1 — the paper's core efficiency claim: local reasoning is
 // K-independent while global model checking explodes exponentially with K.
 #include <chrono>
-#include <fstream>
 #include <functional>
 
 #include "bench_util.hpp"
@@ -149,24 +148,22 @@ void global_engine_report() {
                   "1-thread row already includes the LUT + rolling-decode "
                   "rewrite of the seed engine"));
 
-  std::ofstream json("BENCH_global_engine.json");
-  json << "{\n"
-       << "  \"experiment\": \"global_engine_sweep\",\n"
-       << "  \"protocol\": \"" << p.name() << "\",\n"
-       << "  \"ring_size\": " << k << ",\n"
-       << "  \"num_states\": " << ring.num_states() << ",\n"
-       << "  \"hardware_threads\": " << hw << ",\n"
-       << "  \"sweep\": \"invariant_mask+deadlock_census\",\n"
-       << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    json << "    {\"threads\": " << s.threads << ", \"ms\": " << s.ms
-         << ", \"states_per_sec\": " << s.states_per_sec
-         << ", \"speedup_vs_1\": " << s.speedup << "}"
-         << (i + 1 < samples.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
-  std::cout << "  wrote BENCH_global_engine.json\n";
+  std::vector<bench::Json> runs;
+  for (const Sample& s : samples)
+    runs.push_back(bench::Json()
+                       .put("threads", s.threads)
+                       .put("ms", s.ms)
+                       .put("states_per_sec", s.states_per_sec)
+                       .put("speedup_vs_1", s.speedup));
+  bench::write_bench_json("BENCH_global_engine.json",
+                          bench::Json()
+                              .put("experiment", "global_engine_sweep")
+                              .put("protocol", p.name())
+                              .put("ring_size", k)
+                              .put("num_states", ring.num_states())
+                              .put("hardware_threads", hw)
+                              .put("sweep", "invariant_mask+deadlock_census")
+                              .put("runs", runs));
   bench::footer();
 }
 

@@ -27,6 +27,7 @@ void report() {
       {"sum-not-two solution", protocols::sum_not_two_solution()},
       {"no-adjacent-ones", protocols::no_adjacent_ones_solution()},
   };
+  std::vector<bench::Json> runs;
   for (const auto& rowdef : rows) {
     std::cout << "  " << rowdef.name << " (500 random starts per K):\n";
     for (std::size_t k : {8u, 16u, 32u, 64u, 128u}) {
@@ -34,8 +35,21 @@ void report() {
       std::cout << "    K=" << k << ": converged " << stats.converged << "/"
                 << stats.trials << ", mean " << stats.mean_steps
                 << " steps, max " << stats.max_steps << "\n";
+      runs.push_back(bench::Json()
+                         .put("protocol", rowdef.name)
+                         .put("ring_size", k)
+                         .put("trials", stats.trials)
+                         .put("converged", stats.converged)
+                         .put("mean_steps", stats.mean_steps)
+                         .put("p95_steps", stats.p95_steps)
+                         .put("max_steps", stats.max_steps));
     }
   }
+  bench::write_bench_json("BENCH_sim_convergence.json",
+                          bench::Json()
+                              .put("experiment", "sim_convergence")
+                              .put("seed", 42)
+                              .put("runs", runs));
   bench::note("failures would indicate an unsound certification — none are "
               "expected (cross-checked by the test suite)");
   bench::footer();

@@ -31,6 +31,7 @@ void report() {
                 "states per candidate and its solutions need not generalize "
                 "— Example 4.3 stabilizes at K=5 yet deadlocks at K=4m/6m");
 
+  std::vector<bench::Json> runs;
   for (const Protocol& input :
        {protocols::agreement_empty(), protocols::sum_not_two_empty()}) {
     SynthesisResult local;
@@ -51,7 +52,19 @@ void report() {
               << " solutions in " << global_ms << " ms ("
               << global.states_explored
               << " global states; valid only for K ≤ 8)\n";
+    runs.push_back(bench::Json()
+                       .put("protocol", input.name())
+                       .put("local_ms", local_ms)
+                       .put("local_solutions", local.solutions.size())
+                       .put("global_ms", global_ms)
+                       .put("global_solutions", global.solutions.size())
+                       .put("global_states_explored", global.states_explored)
+                       .put("global_max_ring", gopts.max_ring));
   }
+  bench::write_bench_json("BENCH_synth_local_vs_global.json",
+                          bench::Json()
+                              .put("experiment", "synth_local_vs_global")
+                              .put("runs", runs));
 
   // The trap, concretely: Example 4.3 passes a K=5-only certification.
   const Protocol trap = protocols::matching_nongeneralizable();

@@ -7,8 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace ringstab::bench {
 
@@ -32,6 +37,74 @@ inline void note(const std::string& text) {
 
 inline void footer() {
   std::cout << "================================================================\n\n";
+}
+
+/// Insertion-ordered JSON object builder for the machine-readable
+/// BENCH_*.json artifacts (CI trend tracking). Values are rendered
+/// immediately, so the builder is just a list of pre-formatted fields.
+class Json {
+ public:
+  Json& put(const std::string& key, const std::string& v) {
+    return raw(key, '"' + escaped(v) + '"');
+  }
+  Json& put(const std::string& key, const char* v) {
+    return put(key, std::string(v));
+  }
+  Json& put(const std::string& key, double v) {
+    std::ostringstream os;
+    os << v;
+    return raw(key, os.str());
+  }
+  Json& put(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  template <typename Int,
+            typename = std::enable_if_t<std::is_integral_v<Int>>>
+  Json& put(const std::string& key, Int v) {
+    return raw(key, std::to_string(v));
+  }
+  Json& put(const std::string& key, const std::vector<Json>& objects) {
+    std::string a = "[\n";
+    for (std::size_t i = 0; i < objects.size(); ++i)
+      a += "    " + objects[i].render(/*inline_object=*/true) +
+           (i + 1 < objects.size() ? ",\n" : "\n");
+    return raw(key, a + "  ]");
+  }
+
+  std::string render(bool inline_object = false) const {
+    std::string out = inline_object ? "{" : "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (!inline_object) out += "  ";
+      out += '"' + fields_[i].first + "\": " + fields_[i].second;
+      if (i + 1 < fields_.size()) out += ",";
+      if (!inline_object) out += "\n";
+      else if (i + 1 < fields_.size()) out += " ";
+    }
+    return out + (inline_object ? "}" : "}\n");
+  }
+
+ private:
+  Json& raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write a BENCH_*.json artifact next to the binary and announce it in the
+/// report (EXPERIMENTS.md links these by name).
+inline void write_bench_json(const std::string& filename, const Json& json) {
+  std::ofstream out(filename);
+  out << json.render();
+  std::cout << "  wrote " << filename << "\n";
 }
 
 /// Custom main: print the report once, then run the timings.

@@ -12,6 +12,7 @@
 // exhaustive global checker at size K; `--jobs N` runs those checks on N
 // worker threads (0 = all cores).
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -23,6 +24,7 @@
 #include "global/checker.hpp"
 #include "local/array.hpp"
 #include "local/convergence.hpp"
+#include "obs/session.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -46,6 +48,16 @@ std::string slurp(const std::filesystem::path& path) {
 
 bool has_marker(const std::string& text, const std::string& marker) {
   return text.find(marker) != std::string::npos;
+}
+
+/// Strict non-negative integer parse for --check / --jobs values.
+std::size_t parse_count(const char* flag, const char* raw) {
+  char* end = nullptr;
+  const long long n = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || n < 0)
+    throw ModelError(std::string("invalid ") + flag + " value '" + raw +
+                     "': expected a non-negative integer");
+  return static_cast<std::size_t>(n);
 }
 
 FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
@@ -105,25 +117,36 @@ FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: ringstab-batch <directory> [--strict] [--check K] "
-                 "[--jobs N]\n";
+                 "[--jobs N] [--stats] [--trace FILE] [--jsonl FILE] "
+                 "[--progress]\n";
     return 2;
   }
   bool strict = false;
   std::size_t check_k = 0;  // 0 = local analysis only
   std::size_t jobs = 1;
+  obs::SessionOptions obs_opts;
+  try {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
     } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
-      check_k = static_cast<std::size_t>(std::atoll(argv[++i]));
+      check_k = parse_count("--check", argv[++i]);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = ringstab::resolve_threads(
-          static_cast<std::size_t>(std::atoll(argv[++i])));
+      jobs = ringstab::resolve_threads(parse_count("--jobs", argv[++i]));
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      obs_opts.stats = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      obs_opts.progress = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      obs_opts.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      obs_opts.jsonl_path = argv[++i];
     } else {
       std::cerr << "unknown option: " << argv[i] << "\n";
       return 2;
     }
   }
+  const obs::Session obs_session(obs_opts);
 
   std::vector<std::filesystem::path> files;
   for (const auto& entry : std::filesystem::directory_iterator(argv[1]))
@@ -154,4 +177,8 @@ int main(int argc, char** argv) {
             << files.size() << " protocols, " << failures
             << " expectation mismatches\n";
   return strict && failures > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }

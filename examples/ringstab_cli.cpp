@@ -7,12 +7,14 @@
 //   ringstab dot        <file.ring> [--rcg|--ltg|--deadlock-rcg]
 //   ringstab simulate   <file.ring> -k <K> [--trials N] [--seed S]
 //   ringstab emit       <file.ring>             round-trip to .ring source
+#include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
 #include <string>
 
 #include "core/fmt.hpp"
+#include "obs/session.hpp"
 #include "core/parser.hpp"
 #include "core/printer.hpp"
 #include "core/ring_writer.hpp"
@@ -46,7 +48,12 @@ int usage() {
       "  report     full markdown analysis report [--array] [--max K]\n"
       "  trace      step-by-step run: -k <K> [--from v,v,...] [--seed S]\n"
       "  --jobs N   worker threads for the global checker / simulator\n"
-      "             sweeps (default 1 = the serial engine; 0 = all cores)\n";
+      "             sweeps (default 1 = the serial engine; 0 = all cores)\n"
+      "observability (any command):\n"
+      "  --stats         phase/counter summary on stderr at exit\n"
+      "  --trace <file>  Chrome trace-event JSON (chrome://tracing, Perfetto)\n"
+      "  --jsonl <file>  JSON-lines event stream\n"
+      "  --progress      periodic states/sec heartbeat on stderr\n";
   return 2;
 }
 
@@ -56,10 +63,30 @@ long long arg_value(int argc, char** argv, const char* name, long long fallback)
   return fallback;
 }
 
+const char* arg_string(int argc, char** argv, const char* name) {
+  for (int i = 3; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return nullptr;
+}
+
 bool has_flag(int argc, char** argv, const char* name) {
   for (int i = 3; i < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return true;
   return false;
+}
+
+/// --jobs: a non-negative integer; 0 resolves to all hardware lanes.
+/// Negative or non-numeric values are rejected up front.
+std::size_t parse_jobs(int argc, char** argv) {
+  const char* raw = arg_string(argc, argv, "--jobs");
+  if (raw == nullptr) return 1;
+  char* end = nullptr;
+  const long long n = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || n < 0)
+    throw ModelError(cat("invalid --jobs value '", raw,
+                         "': expected a non-negative integer "
+                         "(0 = all hardware threads)"));
+  return resolve_threads(static_cast<std::size_t>(n));
 }
 
 int cmd_analyze_array(const Protocol& p) {
@@ -238,6 +265,13 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
   try {
+    obs::SessionOptions obs_opts;
+    obs_opts.stats = has_flag(argc, argv, "--stats");
+    obs_opts.progress = has_flag(argc, argv, "--progress");
+    if (const char* f = arg_string(argc, argv, "--trace")) obs_opts.trace_path = f;
+    if (const char* f = arg_string(argc, argv, "--jsonl")) obs_opts.jsonl_path = f;
+    const obs::Session obs_session(obs_opts);
+
     const Protocol p = parse_protocol_file(argv[2]);
     if (command == "analyze")
       return has_flag(argc, argv, "--array") ? cmd_analyze_array(p)
@@ -251,8 +285,7 @@ int main(int argc, char** argv) {
       }
       return cmd_synthesize(p, has_flag(argc, argv, "--all"));
     }
-    const std::size_t jobs = resolve_threads(
-        static_cast<std::size_t>(arg_value(argc, argv, "--jobs", 1)));
+    const std::size_t jobs = parse_jobs(argc, argv);
     if (command == "check")
       return cmd_check(p, static_cast<std::size_t>(
                               arg_value(argc, argv, "-k", 5)),
@@ -273,6 +306,7 @@ int main(int argc, char** argv) {
       opts.array_topology = has_flag(argc, argv, "--array");
       opts.max_ring =
           static_cast<std::size_t>(arg_value(argc, argv, "--max", 7));
+      opts.num_threads = jobs;
       std::cout << markdown_report(p, opts);
       return 0;
     }
@@ -294,6 +328,9 @@ int main(int argc, char** argv) {
           jobs);
     return usage();
   } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 gate + thread-sanitized concurrency tests.
+#
+#   scripts/check.sh            full: build, ctest, TSan test_parallel+test_obs
+#   scripts/check.sh --fast     tier-1 only (skip the sanitizer build)
+#
+# Run from anywhere; builds land in <repo>/build and <repo>/build-tsan.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== tier-1: configure + build =="
+cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$repo/build" -j "$jobs"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "$fast" == 1 ]]; then
+  echo "== OK (fast mode: sanitizer build skipped) =="
+  exit 0
+fi
+
+echo "== TSan: build test_parallel + test_obs =="
+cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DRINGSTAB_SANITIZE=thread
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel test_obs
+
+echo "== TSan: run =="
+"$repo/build-tsan/tests/test_parallel"
+"$repo/build-tsan/tests/test_obs"
+
+echo "== OK =="

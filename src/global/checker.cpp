@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/fmt.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ringstab {
@@ -28,11 +29,12 @@ class OutsideInvariantScc {
 
   void run() {
     for (GlobalStateId root = 0; root < ring_.num_states(); ++root) {
-      if (done_) return;
+      if (done_) break;
       if (index_[root] != kUnvisited) continue;
       if (in_inv_.test(root)) continue;
       visit(root);
     }
+    obs::counter("checker.tarjan_states_visited").add(next_index_);
   }
 
   std::optional<std::vector<GlobalStateId>> witness_cycle;
@@ -158,6 +160,8 @@ class OutsideInvariantScc {
 const PackedBitset& GlobalChecker::invariant_mask() const {
   const GlobalStateId n = ring_->num_states();
   if (inv_mask_.size() == n) return inv_mask_;  // already built (n > 0)
+  const obs::Span span("checker.invariant_mask");
+  obs::Counter& swept = obs::counter("checker.states_swept");
   PackedBitset mask(n);
   // Chunks start on multiples of a 64-aligned grain, so each chunk's bits
   // live in chunk-private words: plain set() is race-free.
@@ -165,7 +169,10 @@ const PackedBitset& GlobalChecker::invariant_mask() const {
     auto cur = ring_->cursor(chunk.begin);
     for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance())
       if (cur.in_invariant()) mask.set(s);
+    swept.add(chunk.end - chunk.begin);
   });
+  if (obs::enabled())
+    obs::counter("checker.invariant_states").add(mask.count());
   inv_mask_ = std::move(mask);
   return inv_mask_;
 }
@@ -174,6 +181,8 @@ std::size_t GlobalChecker::count_deadlocks_outside_invariant(
     std::vector<GlobalStateId>* samples, std::size_t max_samples) const {
   const GlobalStateId n = ring_->num_states();
   const PackedBitset& in_inv = invariant_mask();
+  const obs::Span span("checker.deadlock_census");
+  obs::Counter& swept = obs::counter("checker.states_swept");
   const std::uint64_t chunks = num_chunks(n, 0);
   std::vector<std::size_t> counts(chunks, 0);
   std::vector<std::vector<GlobalStateId>> found(samples ? chunks : 0);
@@ -188,6 +197,7 @@ std::size_t GlobalChecker::count_deadlocks_outside_invariant(
         found[chunk.index].push_back(s);
     }
     counts[chunk.index] = count;
+    swept.add(chunk.end - chunk.begin);
   });
   std::size_t count = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -196,18 +206,21 @@ std::size_t GlobalChecker::count_deadlocks_outside_invariant(
       for (GlobalStateId s : found[c])
         if (samples->size() < max_samples) samples->push_back(s);
   }
+  obs::counter("checker.deadlocks_found").add(count);
   return count;
 }
 
 std::optional<std::vector<GlobalStateId>> GlobalChecker::find_livelock()
     const {
   OutsideInvariantScc scc(*ring_, invariant_mask(), /*first_only=*/true);
+  const obs::Span span("checker.tarjan_livelock");
   scc.run();
   return scc.witness_cycle;
 }
 
 std::vector<GlobalStateId> GlobalChecker::livelock_states() const {
   OutsideInvariantScc scc(*ring_, invariant_mask(), /*first_only=*/false);
+  const obs::Span span("checker.tarjan_livelock");
   scc.run();
   std::sort(scc.cycle_states.begin(), scc.cycle_states.end());
   return scc.cycle_states;
@@ -217,6 +230,11 @@ bool GlobalChecker::check_closure(
     std::optional<std::pair<GlobalStateId, GlobalStateId>>* violation) const {
   const GlobalStateId n = ring_->num_states();
   const PackedBitset& in_inv = invariant_mask();
+  const obs::Span span("checker.closure");
+  // Own counter, not states_swept: the early exit on a violation makes the
+  // closure scan's coverage depend on chunk timing, while states_swept is
+  // kept exact and thread-count-invariant.
+  obs::Counter& swept = obs::counter("checker.closure_states_scanned");
   const std::uint64_t chunks = num_chunks(n, 0);
   using Violation = std::pair<GlobalStateId, GlobalStateId>;
   std::vector<std::optional<Violation>> found(chunks);
@@ -230,6 +248,7 @@ bool GlobalChecker::check_closure(
     if (chunk.index > first_chunk.load(std::memory_order_relaxed)) return;
     auto cur = ring_->cursor(chunk.begin);
     std::vector<RingInstance::Step> succ;
+    swept.add(chunk.end - chunk.begin);
     for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
       if (!in_inv.test(s)) continue;
       cur.successors(succ);
@@ -261,10 +280,14 @@ bool GlobalChecker::check_weak_convergence() const {
   // rounds: a round reads `reaches`, writes `next`, and the two swap. The
   // fixpoint is the same set the seed's in-place scan computed.
   PackedBitset reaches = invariant_mask();
+  const obs::Span span("checker.weak_convergence");
+  obs::Counter& rounds = obs::counter("checker.fixpoint_rounds");
+  obs::Counter& frontier = obs::counter("checker.frontier_states");
   PackedBitset next(n);
   const std::uint64_t chunks = num_chunks(n, 0);
   std::vector<std::uint8_t> chunk_changed(chunks, 0);
   while (true) {
+    rounds.add(1);
     next = reaches;
     std::fill(chunk_changed.begin(), chunk_changed.end(), 0);
     parallel_for(n, num_threads_, 0,
@@ -272,6 +295,7 @@ bool GlobalChecker::check_weak_convergence() const {
       auto cur = ring_->cursor(chunk.begin);
       std::vector<RingInstance::Step> succ;
       bool changed = false;
+      std::uint64_t grew = 0;
       for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
         if (reaches.test(s)) continue;
         cur.successors(succ);
@@ -279,11 +303,13 @@ bool GlobalChecker::check_weak_convergence() const {
           if (reaches.test(step.target)) {
             next.set(s);
             changed = true;
+            ++grew;
             break;
           }
         }
       }
       chunk_changed[chunk.index] = changed;
+      frontier.add(grew);
     });
     if (std::find(chunk_changed.begin(), chunk_changed.end(), 1) ==
         chunk_changed.end())
@@ -296,6 +322,10 @@ bool GlobalChecker::check_weak_convergence() const {
 std::size_t GlobalChecker::max_recovery_steps() const {
   const GlobalStateId n = ring_->num_states();
   const PackedBitset& in_inv = invariant_mask();
+  const obs::Span span("checker.recovery_layering");
+  // Each ¬I state resolves its depth exactly once in both engines, so the
+  // total is thread-count-invariant: |¬I| states.
+  obs::Counter& resolved_ctr = obs::counter("checker.recovery_resolved");
   if (num_threads_ <= 1) {
     // Longest path in the ¬I subgraph, all of whose maximal paths end in I
     // (valid when strongly converging). Memoized DFS.
@@ -304,6 +334,7 @@ std::size_t GlobalChecker::max_recovery_steps() const {
     std::vector<std::uint32_t> depth(n, kUnknown);
 
     std::size_t best = 0;
+    std::uint64_t serial_resolved = 0;
     auto dfs = [&](auto&& self, GlobalStateId s) -> std::uint32_t {
       if (in_inv.test(s)) return 0;
       if (depth[s] == kInProgress)
@@ -318,10 +349,12 @@ std::size_t GlobalChecker::max_recovery_steps() const {
       for (const auto& step : local)
         d = std::max(d, 1 + self(self, step.target));
       depth[s] = d;
+      ++serial_resolved;
       return d;
     };
     for (GlobalStateId s = 0; s < n; ++s)
       best = std::max<std::size_t>(best, dfs(dfs, s));
+    resolved_ctr.add(serial_resolved);
     return best;
   }
 
@@ -378,12 +411,14 @@ std::size_t GlobalChecker::max_recovery_steps() const {
     }
     if (progress == 0)
       throw ModelError("cycle outside I: not strongly converging");
+    resolved_ctr.add(progress);
     remaining -= progress;
   }
   return best;
 }
 
 GlobalCheckResult GlobalChecker::check_all() const {
+  const obs::Span span("checker.check_all");
   GlobalCheckResult res;
   res.ring_size = ring_->ring_size();
   res.num_states = ring_->num_states();

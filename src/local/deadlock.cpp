@@ -4,6 +4,7 @@
 
 #include "graph/scc.hpp"
 #include "local/rcg.hpp"
+#include "obs/obs.hpp"
 
 namespace ringstab {
 
@@ -17,6 +18,7 @@ std::vector<std::size_t> DeadlockAnalysis::deadlocked_sizes() const {
 DeadlockAnalysis analyze_deadlocks(const Protocol& p,
                                    std::size_t spectrum_max_k,
                                    std::size_t max_cycles) {
+  const obs::Span span("local.deadlock_analysis");
   DeadlockAnalysis res;
   res.local_deadlocks = p.local_deadlocks();
   res.illegitimate_deadlocks = p.illegitimate_deadlocks();
@@ -32,6 +34,7 @@ DeadlockAnalysis analyze_deadlocks(const Protocol& p,
     return res;
   }
   res.bad_cycles = simple_cycles_through(g, marked, max_cycles);
+  obs::counter("deadlock.bad_cycles").add(res.bad_cycles.size());
   res.size_spectrum = closed_walk_lengths(g, marked, spectrum_max_k);
   return res;
 }

@@ -1,9 +1,12 @@
 #include "local/livelock.hpp"
 
+#include "obs/obs.hpp"
+
 namespace ringstab {
 
 LivelockAnalysis check_livelock_freedom(const Protocol& p,
                                         const TrailQuery& query) {
+  const obs::Span span("local.livelock_analysis");
   LivelockAnalysis res;
   res.was_self_disabling = is_self_disabling(p);
   res.covers_all_livelocks = p.locality().is_unidirectional();
@@ -11,6 +14,8 @@ LivelockAnalysis check_livelock_freedom(const Protocol& p,
   const Protocol analyzed = res.was_self_disabling ? p : make_self_disabling(p);
   const Ltg ltg(analyzed);
   res.search = find_contiguous_trail(ltg, query);
+  obs::counter("livelock.trail_nodes_explored").add(res.search.nodes_explored);
+  if (res.search.trail) obs::counter("livelock.trails_found").add(1);
   switch (res.search.status) {
     case TrailSearchStatus::kNoTrail:
       res.verdict = LivelockAnalysis::Verdict::kLivelockFree;

@@ -4,11 +4,14 @@
 
 #include "core/fmt.hpp"
 #include "local/rcg.hpp"
+#include "obs/obs.hpp"
 
 namespace ringstab {
 
 Ltg::Ltg(Protocol protocol)
-    : protocol_(std::move(protocol)), s_arcs_(build_rcg(protocol_.space())) {}
+    : protocol_(std::move(protocol)), s_arcs_(build_rcg(protocol_.space())) {
+  obs::counter("ltg.t_arcs").add(protocol_.delta().size());
+}
 
 std::size_t Ltg::s_arc_id(LocalStateId u, LocalStateId v) const {
   RINGSTAB_ASSERT(space().right_continues(u, v), "not an s-arc");

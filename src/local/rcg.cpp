@@ -1,15 +1,24 @@
 #include "local/rcg.hpp"
 
+#include "obs/obs.hpp"
+
 namespace ringstab {
 
 Digraph build_rcg(const LocalStateSpace& space) {
+  const obs::Span span("local.build_rcg");
   Digraph g(space.size());
+  std::uint64_t arcs = 0;
   for (LocalStateId u = 0; u < space.size(); ++u)
-    for (LocalStateId v : space.right_continuations(u)) g.add_arc(u, v);
+    for (LocalStateId v : space.right_continuations(u)) {
+      g.add_arc(u, v);
+      ++arcs;
+    }
+  obs::counter("rcg.arcs").add(arcs);
   return g;
 }
 
 Digraph deadlock_rcg(const Protocol& p) {
+  const obs::Span span("local.deadlock_rcg");
   std::vector<bool> keep(p.num_states());
   for (LocalStateId s = 0; s < p.num_states(); ++s)
     keep[s] = p.is_deadlock(s);

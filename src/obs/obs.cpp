@@ -1,0 +1,199 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ringstab::obs {
+namespace {
+
+thread_local std::uint32_t t_tid = 0;
+thread_local std::vector<const char*> t_span_stack;
+
+std::string format_count(std::uint64_t v) {
+  char buf[32];
+  if (v >= 10'000'000'000ull)
+    std::snprintf(buf, sizeof(buf), "%.1fG", static_cast<double>(v) / 1e9);
+  else if (v >= 10'000'000ull)
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(v) / 1e6);
+  else if (v >= 100'000ull)
+    std::snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(v) / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Ticks now() {
+  return static_cast<Ticks>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t Counter::shard_index() {
+  // Distinct threads land on distinct shards until kShards threads exist;
+  // beyond that they share (still lock-free, merely contended).
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return mine;
+}
+
+Registry& Registry::global() {
+  static Registry* reg = new Registry();  // leaked: outlives static dtors
+  return *reg;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  for (auto& [n, c] : counters_)
+    if (n == name) return *c;
+  counters_.emplace_back(std::string(name),
+                         std::make_unique<Counter>(std::string(name)));
+  return *counters_.back().second;
+}
+
+std::vector<CounterTotal> Registry::snapshot_counters() const {
+  std::lock_guard lock(mu_);
+  std::vector<CounterTotal> out;
+  for (const auto& [n, c] : counters_) {
+    const std::uint64_t v = c->total();
+    if (v > 0) out.push_back({n, v});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterTotal& a, const CounterTotal& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset_counters() {
+  std::lock_guard lock(mu_);
+  for (auto& [n, c] : counters_) c->reset();
+}
+
+void Registry::add_sink(std::shared_ptr<Sink> sink) {
+  std::lock_guard lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Registry::clear_sinks() {
+  std::lock_guard lock(mu_);
+  sinks_.clear();
+}
+
+void Registry::emit_span(const SpanRecord& rec) {
+  std::lock_guard lock(mu_);
+  for (auto& s : sinks_) s->on_span(rec);
+}
+
+void Registry::beat_locked(Ticks at) {
+  // Totals are a live (non-quiescent) read: safe, possibly a few adds shy
+  // of the in-flight truth. The final exact totals come from finish().
+  std::vector<CounterTotal> totals;
+  for (const auto& [n, c] : counters_) {
+    const std::uint64_t v = c->total();
+    if (v > 0) totals.push_back({n, v});
+  }
+  std::sort(totals.begin(), totals.end(),
+            [](const CounterTotal& a, const CounterTotal& b) {
+              return a.name < b.name;
+            });
+  Heartbeat hb;
+  hb.at = at;
+  hb.elapsed_sec =
+      static_cast<double>(at - heartbeat_started_) / 1e9;
+  const double interval =
+      std::max(last_beat_totals_.empty() ? hb.elapsed_sec
+                                         : last_interval_sec_,
+               1e-9);
+  for (const CounterTotal& t : totals) {
+    std::uint64_t prev = 0;
+    for (const CounterTotal& p : last_beat_totals_)
+      if (p.name == t.name) prev = p.value;
+    hb.lines.push_back(
+        {t.name, t.value, static_cast<double>(t.value - prev) / interval});
+  }
+  std::string msg = "[obs] " + std::to_string(hb.elapsed_sec);
+  msg.resize(msg.find('.') + 2);  // one decimal of elapsed seconds
+  msg += "s";
+  for (const auto& line : hb.lines) {
+    msg += "  " + line.name + "=" + format_count(line.total);
+    if (line.rate_per_sec >= 1.0)
+      msg += " (" +
+             format_count(static_cast<std::uint64_t>(line.rate_per_sec)) +
+             "/s)";
+  }
+  msg += "\n";
+  std::fputs(msg.c_str(), stderr);
+  for (auto& s : sinks_) s->on_heartbeat(hb);
+  last_beat_totals_ = std::move(totals);
+}
+
+void Registry::start_heartbeat(std::chrono::milliseconds period) {
+  std::lock_guard lock(mu_);
+  if (heartbeat_.joinable()) return;
+  heartbeat_started_ = now();
+  last_beat_totals_.clear();
+  last_interval_sec_ = static_cast<double>(period.count()) / 1e3;
+  heartbeat_ = std::jthread([this, period](std::stop_token stop) {
+    std::unique_lock lock(mu_);
+    while (!stop.stop_requested()) {
+      if (heartbeat_cv_.wait_for(lock, stop, period,
+                                 [&] { return stop.stop_requested(); }))
+        return;
+      beat_locked(now());
+    }
+  });
+}
+
+void Registry::stop_heartbeat() {
+  {
+    std::lock_guard lock(mu_);
+    if (!heartbeat_.joinable()) return;
+    heartbeat_.request_stop();
+  }
+  heartbeat_cv_.notify_all();
+  heartbeat_.join();
+  heartbeat_ = std::jthread();
+}
+
+void Registry::finish() {
+  stop_heartbeat();
+  const auto totals = snapshot_counters();
+  std::lock_guard lock(mu_);
+  for (auto& s : sinks_) s->on_counters(totals);
+  for (auto& s : sinks_) s->flush();
+}
+
+Span::Span(const char* name, bool chunk) : name_(name), chunk_(chunk) {
+  if (!enabled()) return;
+  active_ = true;
+  t_span_stack.push_back(name_);
+  start_ = now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const Ticks end = now();
+  t_span_stack.pop_back();
+  SpanRecord rec;
+  rec.name = name_;
+  rec.start = start_;
+  rec.end = end;
+  rec.tid = t_tid;
+  rec.depth = static_cast<std::uint32_t>(t_span_stack.size());
+  rec.chunk = chunk_;
+  Registry::global().emit_span(rec);
+}
+
+const char* current_span_name() {
+  return t_span_stack.empty() ? nullptr : t_span_stack.back();
+}
+
+LaneScope::LaneScope(std::uint32_t lane) : prev_(t_tid) { t_tid = lane; }
+LaneScope::~LaneScope() { t_tid = prev_; }
+
+}  // namespace ringstab::obs

@@ -1,0 +1,199 @@
+// Observability core: RAII phase spans on a monotonic clock, named
+// counters with lock-free sharded storage, and pluggable event sinks.
+//
+// Design notes:
+//  * One process-wide Registry (Registry::global()). Instrumentation sites
+//    never pass handles around; they open spans and bump counters by name.
+//  * Everything is gated on a single relaxed atomic `enabled` flag. With
+//    observability off (the default) a Span constructor and a Counter::add
+//    are one relaxed load and a predictable branch — the engines' results
+//    and throughput are those of the uninstrumented code.
+//  * Counter::add is lock-free: each thread hashes to one of kShards
+//    cache-line-padded atomic slots and does a relaxed fetch_add. Sums over
+//    the shards are exact once writers have quiesced (a parallel_for join,
+//    a Session finish) because every add lands whole in exactly one shard.
+//  * Spans nest per thread (a thread-local stack); parallel_for emits one
+//    chunk-grained span per chunk on the lane that ran it, tagged with the
+//    lane id, so trace sinks can render one track per worker thread.
+//  * Sinks (sinks.hpp) consume span records, heartbeats, and final counter
+//    totals; Registry serializes all sink calls under one mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace ringstab::obs {
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch.
+using Ticks = std::uint64_t;
+Ticks now();
+
+/// Global instrumentation switch, read on every span/counter fast path.
+inline std::atomic<bool> g_enabled{false};
+inline bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+/// One finished span. `name` must be a string with static storage duration
+/// (instrumentation sites use literals).
+struct SpanRecord {
+  const char* name = "";
+  Ticks start = 0;
+  Ticks end = 0;
+  std::uint32_t tid = 0;    // logical lane: 0 = caller, 1.. = pool workers
+  std::uint32_t depth = 0;  // nesting depth on its thread at open time
+  bool chunk = false;       // a parallel_for chunk slice (vs a phase span)
+};
+
+struct CounterTotal {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct Heartbeat {
+  Ticks at = 0;
+  double elapsed_sec = 0;
+  /// Counters with nonzero totals, plus their rate since the last beat.
+  struct Line {
+    std::string name;
+    std::uint64_t total = 0;
+    double rate_per_sec = 0;  // delta since previous beat / interval
+  };
+  std::vector<Line> lines;
+};
+
+/// Event consumer; implementations in sinks.hpp. All callbacks run under
+/// the Registry mutex (serialized, possibly from the heartbeat thread).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_span(const SpanRecord&) {}
+  virtual void on_heartbeat(const Heartbeat&) {}
+  /// Final exact totals, once, at Session end.
+  virtual void on_counters(const std::vector<CounterTotal>&) {}
+  virtual void flush() {}
+};
+
+/// A named monotonically increasing counter with sharded lock-free storage.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 32;
+
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Relaxed fetch_add on this thread's shard; no-op while disabled.
+  void add(std::uint64_t n) {
+    if (!enabled() || n == 0) return;
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over the shards: exact once all writers have joined.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t shard_index();
+
+  std::string name_;
+  Shard shards_[kShards];
+};
+
+/// The process-wide registry of counters and sinks.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Find-or-create; the reference stays valid for the process lifetime.
+  Counter& counter(std::string_view name);
+
+  /// Exact totals of every registered counter, sorted by name. Counters
+  /// that never fired (total 0) are omitted.
+  std::vector<CounterTotal> snapshot_counters() const;
+  void reset_counters();
+
+  void add_sink(std::shared_ptr<Sink> sink);
+  void clear_sinks();
+
+  void emit_span(const SpanRecord& rec);
+
+  /// Periodic heartbeat: counter totals + rates to stderr and to every
+  /// sink, on a dedicated thread, until stop_heartbeat()/finish().
+  void start_heartbeat(std::chrono::milliseconds period);
+  void stop_heartbeat();
+
+  /// Stop the heartbeat, deliver final counter totals, flush all sinks.
+  void finish();
+
+ private:
+  Registry() = default;
+  void beat_locked(Ticks at);  // requires mu_
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::shared_ptr<Sink>> sinks_;
+  std::jthread heartbeat_;
+  std::condition_variable_any heartbeat_cv_;
+  Ticks heartbeat_started_ = 0;
+  double last_interval_sec_ = 0;  // configured beat period, for rates
+  std::vector<CounterTotal> last_beat_totals_;
+};
+
+/// Shorthand: Registry::global().counter(name).
+inline Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+
+/// RAII phase span. Opens on construction (when enabled), emits one
+/// SpanRecord on destruction. `name` must outlive the program (literal).
+class Span {
+ public:
+  explicit Span(const char* name, bool chunk = false);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  Ticks start_ = 0;
+  bool active_ = false;
+  bool chunk_ = false;
+};
+
+/// Innermost open span name on this thread, or nullptr. parallel_for reads
+/// this on the calling thread to label the chunk slices it emits on lanes.
+const char* current_span_name();
+
+/// Sets this thread's logical lane id for the scope (used by the pool so
+/// spans opened inside a parallel region carry the worker's track id).
+class LaneScope {
+ public:
+  explicit LaneScope(std::uint32_t lane);
+  ~LaneScope();
+  LaneScope(const LaneScope&) = delete;
+  LaneScope& operator=(const LaneScope&) = delete;
+
+ private:
+  std::uint32_t prev_;
+};
+
+}  // namespace ringstab::obs

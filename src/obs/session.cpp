@@ -1,0 +1,50 @@
+#include "obs/session.hpp"
+
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "obs/sinks.hpp"
+
+namespace ringstab::obs {
+
+Session::Session(const SessionOptions& options) {
+  const bool wanted = options.stats || options.progress ||
+                      !options.trace_path.empty() ||
+                      !options.jsonl_path.empty();
+  if (!wanted) return;
+
+  Registry& reg = Registry::global();
+  reg.clear_sinks();
+  reg.reset_counters();
+  if (options.stats) reg.add_sink(std::make_shared<StatsSink>(std::cerr));
+  if (!options.trace_path.empty()) {
+    auto sink =
+        std::make_shared<FileSink<ChromeTraceSink>>(options.trace_path);
+    if (!sink->ok())
+      throw std::runtime_error("cannot open trace file: " +
+                               options.trace_path);
+    reg.add_sink(std::move(sink));
+  }
+  if (!options.jsonl_path.empty()) {
+    auto sink = std::make_shared<FileSink<JsonlSink>>(options.jsonl_path);
+    if (!sink->ok())
+      throw std::runtime_error("cannot open jsonl file: " +
+                               options.jsonl_path);
+    reg.add_sink(std::move(sink));
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+  if (options.progress) reg.start_heartbeat(options.heartbeat_period);
+  active_ = true;
+}
+
+Session::~Session() {
+  if (!active_) return;
+  Registry& reg = Registry::global();
+  reg.finish();
+  g_enabled.store(false, std::memory_order_relaxed);
+  reg.clear_sinks();
+}
+
+}  // namespace ringstab::obs

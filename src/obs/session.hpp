@@ -1,0 +1,36 @@
+// RAII configuration of process-wide observability from front-end flags
+// (--stats / --trace / --jsonl / --progress).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace ringstab::obs {
+
+struct SessionOptions {
+  bool stats = false;          // print a phase/counter summary at exit
+  bool progress = false;       // periodic counter heartbeat on stderr
+  std::string trace_path;      // Chrome trace-event JSON ("" = off)
+  std::string jsonl_path;      // JSON-lines event stream ("" = off)
+  std::chrono::milliseconds heartbeat_period{1000};
+};
+
+/// Enables instrumentation on construction when any output is requested
+/// (otherwise a no-op: the engines keep their uninstrumented fast path) and
+/// finishes on destruction — stops the heartbeat, delivers exact counter
+/// totals, flushes and detaches every sink, disables instrumentation.
+/// The stats summary goes to stderr so stdout stays machine-parseable.
+class Session {
+ public:
+  explicit Session(const SessionOptions& options);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace ringstab::obs

@@ -1,0 +1,107 @@
+// Pluggable observability sinks: null, human-readable stats, JSON-lines
+// event stream, and Chrome trace-event export (chrome://tracing, Perfetto).
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ringstab::obs {
+
+/// Discards everything. Exists so "instrumentation on, output off" can be
+/// tested to leave results bit-identical.
+class NullSink : public Sink {};
+
+/// Aggregates spans per phase name and prints a phase/counter summary
+/// table on flush. Chunk slices are aggregated separately from their
+/// enclosing phase spans (shown indented, as `⟨chunks⟩`).
+class StatsSink : public Sink {
+ public:
+  /// Writes to `out` on flush (not owned; must outlive the sink).
+  explicit StatsSink(std::ostream& out) : out_(&out) {}
+
+  void on_span(const SpanRecord& rec) override;
+  void on_counters(const std::vector<CounterTotal>& totals) override;
+  void flush() override;
+
+ private:
+  struct Agg {
+    std::uint64_t calls = 0;
+    Ticks total = 0;
+    Ticks min = 0;
+    Ticks max = 0;
+    std::size_t order = 0;  // first-seen rank, for stable display
+  };
+  std::ostream* out_;
+  std::map<std::string, Agg> phases_;  // key: name, '\x01'+name for chunks
+  std::vector<CounterTotal> counters_;
+  bool flushed_ = false;
+};
+
+/// One JSON object per line per event: spans, heartbeats, final counters.
+/// Machine-readable without buffering; suitable for long runs.
+class JsonlSink : public Sink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+
+  void on_span(const SpanRecord& rec) override;
+  void on_heartbeat(const Heartbeat& hb) override;
+  void on_counters(const std::vector<CounterTotal>& totals) override;
+  void flush() override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Buffers span records and writes a Chrome trace-event JSON array on
+/// flush: complete ("X") events with microsecond timestamps, one `tid`
+/// track per worker lane, plus thread_name metadata so Perfetto labels the
+/// tracks. Counter totals become one "C" event at the end of the trace.
+class ChromeTraceSink : public Sink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out) : out_(&out) {}
+
+  void on_span(const SpanRecord& rec) override;
+  void on_counters(const std::vector<CounterTotal>& totals) override;
+  void flush() override;
+
+ private:
+  std::ostream* out_;
+  std::vector<SpanRecord> spans_;
+  std::vector<CounterTotal> counters_;
+  bool flushed_ = false;
+};
+
+/// Owns an output file stream and forwards to an inner sink writing to it.
+/// Lets the CLI hand `--trace t.json` / `--jsonl ev.jsonl` to the registry
+/// without leaking stream lifetimes.
+template <typename InnerSink>
+class FileSink : public Sink {
+ public:
+  explicit FileSink(const std::string& path)
+      : file_(std::make_unique<std::ofstream>(path)), inner_(*file_) {}
+  bool ok() const { return file_->good(); }
+  void on_span(const SpanRecord& r) override { inner_.on_span(r); }
+  void on_heartbeat(const Heartbeat& h) override { inner_.on_heartbeat(h); }
+  void on_counters(const std::vector<CounterTotal>& t) override {
+    inner_.on_counters(t);
+  }
+  void flush() override {
+    inner_.flush();
+    file_->flush();
+  }
+
+ private:
+  std::unique_ptr<std::ofstream> file_;
+  InnerSink inner_;
+};
+
+/// JSON string escaping shared by the sinks (and reusable by benches).
+std::string json_escape(std::string_view s);
+
+}  // namespace ringstab::obs

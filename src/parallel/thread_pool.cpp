@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/obs.hpp"
+
 namespace ringstab {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -115,16 +117,36 @@ void parallel_for(
   auto chunk_at = [&](std::uint64_t c) {
     return ChunkRange{c, c * grain, std::min(n, (c + 1) * grain)};
   };
+  // When observability is on, each chunk becomes one span on the lane that
+  // ran it, labelled with the caller's innermost phase name — trace sinks
+  // render the sweep as one track per worker thread. The label is read on
+  // the calling thread before dispatch (span stacks are thread-local).
+  const bool traced = obs::enabled();
+  const char* region = traced ? obs::current_span_name() : nullptr;
+  if (region == nullptr) region = "parallel_for";
   if (num_threads <= 1 || chunks == 1) {
-    for (std::uint64_t c = 0; c < chunks; ++c) body(chunk_at(c), 0);
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      if (traced) {
+        obs::Span span(region, /*chunk=*/true);
+        body(chunk_at(c), 0);
+      } else {
+        body(chunk_at(c), 0);
+      }
+    }
     return;
   }
   std::atomic<std::uint64_t> next{0};
   ThreadPool::shared().run(num_threads, [&](std::size_t lane) {
+    obs::LaneScope lane_scope(static_cast<std::uint32_t>(lane));
     while (true) {
       const std::uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
-      body(chunk_at(c), lane);
+      if (traced) {
+        obs::Span span(region, /*chunk=*/true);
+        body(chunk_at(c), lane);
+      } else {
+        body(chunk_at(c), lane);
+      }
     }
   });
 }

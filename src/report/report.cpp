@@ -1,5 +1,6 @@
 #include "report/report.hpp"
 
+#include <functional>
 #include <sstream>
 
 #include "core/fmt.hpp"
@@ -11,132 +12,173 @@
 #include "local/array.hpp"
 #include "local/closure.hpp"
 #include "local/convergence.hpp"
+#include "obs/obs.hpp"
 #include "transform/transform.hpp"
 #include "sim/simulator.hpp"
 
 namespace ringstab {
 namespace {
 
+/// Wall-clock per report section, on the obs monotonic clock (always on —
+/// the timing table is part of the report, independent of --stats/--trace).
+class SectionTimer {
+ public:
+  void measure(const char* name, const std::function<void()>& section) {
+    const obs::Span span(name);  // mirrors the table into obs sinks
+    const obs::Ticks t0 = obs::now();
+    section();
+    rows_.emplace_back(name, static_cast<double>(obs::now() - t0) / 1e6);
+  }
+
+  void table(std::ostringstream& os) const {
+    os << "## Section timings\n\n| section | ms |\n|---|---|\n";
+    double total = 0;
+    for (const auto& [name, ms] : rows_) {
+      os << "| " << name << " | " << ms << " |\n";
+      total += ms;
+    }
+    os << "| **total** | " << total << " |\n\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> rows_;
+};
+
 void ring_report(const Protocol& p, const ReportOptions& opt,
-                 std::ostringstream& os) {
+                 std::ostringstream& os, SectionTimer& timer) {
   // Closure.
-  const auto closure = check_invariant_closure(p);
-  os << "## Invariant closure\n\n"
-     << (closure.verdict == ClosureCheck::Verdict::kClosed
-             ? "Locally certified closed: every action preserves I(K) for "
-               "every K.\n"
-             : cat("Local check is inconclusive (", closure.describe(p),
-                   "); see the exhaustive section below for per-size "
-                   "ground truth.\n"))
-     << "\n";
+  timer.measure("report.closure", [&] {
+    const auto closure = check_invariant_closure(p);
+    os << "## Invariant closure\n\n"
+       << (closure.verdict == ClosureCheck::Verdict::kClosed
+               ? "Locally certified closed: every action preserves I(K) for "
+                 "every K.\n"
+               : cat("Local check is inconclusive (", closure.describe(p),
+                     "); see the exhaustive section below for per-size "
+                     "ground truth.\n"))
+       << "\n";
+  });
 
   // Local convergence analysis.
-  const auto conv = check_convergence(p, {}, 64);
-  os << "## Local analysis (valid for every ring size)\n\n"
-     << conv.summary(p) << "\n\n";
-  if (!conv.deadlocks.deadlock_free_all_k) {
-    os << "Bad cycles in the deadlock RCG:\n\n";
-    for (const auto& c : conv.deadlocks.bad_cycles) {
-      os << "- `";
-      for (auto v : c) os << p.space().brief(v) << " ";
-      os << "` (length " << c.size() << ")\n";
+  timer.measure("report.local_analysis", [&] {
+    const auto conv = check_convergence(p, {}, 64);
+    os << "## Local analysis (valid for every ring size)\n\n"
+       << conv.summary(p) << "\n\n";
+    if (!conv.deadlocks.deadlock_free_all_k) {
+      os << "Bad cycles in the deadlock RCG:\n\n";
+      for (const auto& c : conv.deadlocks.bad_cycles) {
+        os << "- `";
+        for (auto v : c) os << p.space().brief(v) << " ";
+        os << "` (length " << c.size() << ")\n";
+      }
+      os << "\nDeadlocked ring sizes up to " << conv.deadlocks.spectrum_max_k
+         << ": "
+         << join(conv.deadlocks.deadlocked_sizes(), " ",
+                 [](std::size_t k) { return std::to_string(k); })
+         << "\n\n";
     }
-    os << "\nDeadlocked ring sizes up to " << conv.deadlocks.spectrum_max_k
-       << ": "
-       << join(conv.deadlocks.deadlocked_sizes(), " ",
-               [](std::size_t k) { return std::to_string(k); })
-       << "\n\n";
-  }
-  if (conv.livelocks.trail()) {
-    os << "Witness trail: `" << conv.livelocks.trail()->to_string(p)
-       << "`\n\n";
-    const auto real = realize_trail(p, *conv.livelocks.trail());
-    os << "Trail realization at K=" << real.ring_size << ": **"
-       << to_string(real.verdict) << "**\n\n";
-  }
-  if (!conv.livelocks.covers_all_livelocks) {
-    const auto combo = check_livelock_freedom_bidirectional(p);
-    os << "_Bidirectional ring: the single-orientation verdict covers "
-          "rightward contiguous livelocks only. Combined two-orientation "
-          "check: "
-       << (combo.verdict ==
-                   BidirectionalLivelockAnalysis::Verdict::kLivelockFree
-               ? "no contiguous livelocks in either direction."
-               : "a qualifying trail exists in at least one orientation.")
-       << "_\n\n";
-  }
+    if (conv.livelocks.trail()) {
+      os << "Witness trail: `" << conv.livelocks.trail()->to_string(p)
+         << "`\n\n";
+      const auto real = realize_trail(p, *conv.livelocks.trail());
+      os << "Trail realization at K=" << real.ring_size << ": **"
+         << to_string(real.verdict) << "**\n\n";
+    }
+    if (!conv.livelocks.covers_all_livelocks) {
+      const auto combo = check_livelock_freedom_bidirectional(p);
+      os << "_Bidirectional ring: the single-orientation verdict covers "
+            "rightward contiguous livelocks only. Combined two-orientation "
+            "check: "
+         << (combo.verdict ==
+                     BidirectionalLivelockAnalysis::Verdict::kLivelockFree
+                 ? "no contiguous livelocks in either direction."
+                 : "a qualifying trail exists in at least one orientation.")
+         << "_\n\n";
+    }
+  });
 
   // Exhaustive cross-checks.
-  os << "## Exhaustive spot checks\n\n"
-     << "| K | states | deadlocks outside I | livelock | strong "
-        "self-stabilization |\n|---|---|---|---|---|\n";
-  for (std::size_t k = opt.min_ring; k <= opt.max_ring; ++k) {
-    try {
-      const RingInstance ring(p, k, opt.max_states);
-      const auto res = GlobalChecker(ring).check_all();
-      os << "| " << k << " | " << res.num_states << " | "
-         << res.num_deadlocks_outside_i << " | "
-         << (res.has_livelock ? "yes" : "no") << " | "
-         << (res.strongly_converges()
-                 ? cat("yes (worst recovery ", res.max_recovery_steps,
-                       " steps)")
-                 : "no")
-         << " |\n";
-    } catch (const CapacityError&) {
-      os << "| " << k << " | over budget | — | — | — |\n";
+  timer.measure("report.exhaustive_checks", [&] {
+    os << "## Exhaustive spot checks\n\n"
+       << "| K | states | deadlocks outside I | livelock | strong "
+          "self-stabilization |\n|---|---|---|---|---|\n";
+    for (std::size_t k = opt.min_ring; k <= opt.max_ring; ++k) {
+      try {
+        const RingInstance ring(p, k, opt.max_states);
+        const auto res = GlobalChecker(ring, opt.num_threads).check_all();
+        os << "| " << k << " | " << res.num_states << " | "
+           << res.num_deadlocks_outside_i << " | "
+           << (res.has_livelock ? "yes" : "no") << " | "
+           << (res.strongly_converges()
+                   ? cat("yes (worst recovery ", res.max_recovery_steps,
+                         " steps)")
+                   : "no")
+           << " |\n";
+      } catch (const CapacityError&) {
+        os << "| " << k << " | over budget | — | — | — |\n";
+      }
     }
-  }
-  os << "\n";
+    os << "\n";
+  });
 
   // Simulation.
   if (opt.sim_trials > 0) {
-    const auto stats =
-        measure_convergence(p, opt.sim_ring, opt.sim_trials, opt.sim_seed);
-    os << "## Simulated recovery (K=" << opt.sim_ring << ", "
-       << opt.sim_trials << " random starts)\n\n"
-       << "converged " << stats.converged << "/" << stats.trials
-       << ", steps: mean " << stats.mean_steps << ", p50 " << stats.p50_steps
-       << ", p95 " << stats.p95_steps << ", max " << stats.max_steps
-       << "\n\n";
+    timer.measure("report.simulation", [&] {
+      const auto stats =
+          measure_convergence(p, opt.sim_ring, opt.sim_trials, opt.sim_seed,
+                              1'000'000, Scheduler::kUniformRandom,
+                              opt.num_threads);
+      os << "## Simulated recovery (K=" << opt.sim_ring << ", "
+         << opt.sim_trials << " random starts)\n\n"
+         << "converged " << stats.converged << "/" << stats.trials
+         << ", steps: mean " << stats.mean_steps << ", p50 "
+         << stats.p50_steps << ", p95 " << stats.p95_steps << ", max "
+         << stats.max_steps << "\n\n";
+    });
   }
 }
 
 void array_report(const Protocol& p, const ReportOptions& opt,
-                  std::ostringstream& os) {
-  const auto res = analyze_array_deadlocks(p, 64);
-  os << "## Array analysis (valid for every length)\n\n"
-     << (res.deadlock_free_all_n
-             ? "Deadlock-free outside I for every array length.\n"
-             : cat("Deadlocked lengths up to ", res.spectrum_max_n, ": ",
-                   join(res.deadlocked_sizes(), " ",
-                        [](std::size_t n) { return std::to_string(n); }),
-                   "\n"))
-     << "\nTermination: "
-     << (array_terminates_always(p)
-             ? "guaranteed under every schedule (unidirectional, "
-               "self-disabling).\n"
-             : "not guaranteed by the local argument.\n")
-     << "\n## Exhaustive spot checks\n\n"
-     << "| n | states | deadlocks outside I | livelock | terminates "
-        "|\n|---|---|---|---|---|\n";
-  for (std::size_t n = opt.min_ring; n <= opt.max_ring; ++n) {
-    try {
-      const ArrayInstance inst(p, n, opt.max_states);
-      const auto check = check_array(inst);
-      os << "| " << n << " | " << inst.num_states() << " | "
-         << check.num_deadlocks_outside_i << " | "
-         << (check.has_livelock ? "yes" : "no") << " | "
-         << (check.terminates ? "yes" : "no") << " |\n";
-    } catch (const CapacityError&) {
-      os << "| " << n << " | over budget | — | — | — |\n";
+                  std::ostringstream& os, SectionTimer& timer) {
+  timer.measure("report.array_analysis", [&] {
+    const auto res = analyze_array_deadlocks(p, 64);
+    os << "## Array analysis (valid for every length)\n\n"
+       << (res.deadlock_free_all_n
+               ? "Deadlock-free outside I for every array length.\n"
+               : cat("Deadlocked lengths up to ", res.spectrum_max_n, ": ",
+                     join(res.deadlocked_sizes(), " ",
+                          [](std::size_t n) { return std::to_string(n); }),
+                     "\n"))
+       << "\nTermination: "
+       << (array_terminates_always(p)
+               ? "guaranteed under every schedule (unidirectional, "
+                 "self-disabling).\n"
+               : "not guaranteed by the local argument.\n");
+  });
+  timer.measure("report.exhaustive_checks", [&] {
+    os << "\n## Exhaustive spot checks\n\n"
+       << "| n | states | deadlocks outside I | livelock | terminates "
+          "|\n|---|---|---|---|---|\n";
+    for (std::size_t n = opt.min_ring; n <= opt.max_ring; ++n) {
+      try {
+        const ArrayInstance inst(p, n, opt.max_states);
+        const auto check = check_array(inst);
+        os << "| " << n << " | " << inst.num_states() << " | "
+           << check.num_deadlocks_outside_i << " | "
+           << (check.has_livelock ? "yes" : "no") << " | "
+           << (check.terminates ? "yes" : "no") << " |\n";
+      } catch (const CapacityError&) {
+        os << "| " << n << " | over budget | — | — | — |\n";
+      }
     }
-  }
-  os << "\n";
+    os << "\n";
+  });
 }
 
 }  // namespace
 
 std::string markdown_report(const Protocol& p, const ReportOptions& opt) {
+  const obs::Span span("report.markdown_report");
   std::ostringstream os;
   os << "# ringstab report: " << p.name() << "\n\n"
      << "- domain: " << p.domain().size() << " values\n"
@@ -149,10 +191,12 @@ std::string markdown_report(const Protocol& p, const ReportOptions& opt) {
   for (const auto& a : to_guarded_commands(p)) os << a.text << "\n";
   os << "```\n\n";
 
+  SectionTimer timer;
   if (opt.array_topology)
-    array_report(p, opt, os);
+    array_report(p, opt, os, timer);
   else
-    ring_report(p, opt, os);
+    ring_report(p, opt, os, timer);
+  if (opt.section_timings) timer.table(os);
   return os.str();
 }
 

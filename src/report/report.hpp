@@ -21,6 +21,13 @@ struct ReportOptions {
 
   /// Treat the protocol under the array convention instead of a ring.
   bool array_topology = false;
+
+  /// Worker threads for the exhaustive and simulation sections (1 = serial
+  /// engine, 0 = all cores).
+  std::size_t num_threads = 1;
+
+  /// Append a per-section wall-clock table ("## Section timings").
+  bool section_timings = true;
 };
 
 /// Render a complete markdown analysis report: the protocol as guarded

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/fmt.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ringstab {
@@ -143,6 +144,9 @@ ConvergenceStats measure_convergence(const Protocol& p, std::size_t ring_size,
                                      std::size_t num_threads) {
   ConvergenceStats stats;
   stats.trials = trials;
+  const obs::Span span("sim.measure_convergence");
+  obs::Counter& trials_ctr = obs::counter("sim.trials");
+  obs::Counter& steps_ctr = obs::counter("sim.steps");
   std::vector<Simulator::RunResult> runs(trials);
   if (num_threads <= 1) {
     // Seed-engine behavior: one RNG stream threads through every trial.
@@ -150,6 +154,8 @@ ConvergenceStats measure_convergence(const Protocol& p, std::size_t ring_size,
     for (std::size_t t = 0; t < trials; ++t) {
       sim.randomize();
       runs[t] = sim.run_to_convergence(step_cap);
+      trials_ctr.add(1);
+      steps_ctr.add(runs[t].steps);
     }
   } else {
     // One independent stream per trial, assigned by trial index — the
@@ -158,11 +164,15 @@ ConvergenceStats measure_convergence(const Protocol& p, std::size_t ring_size,
     parallel_for(trials, num_threads, 64,
                  [&](const ChunkRange& chunk, std::size_t) {
       Simulator sim(p, ring_size, seed, scheduler);
+      std::uint64_t chunk_steps = 0;
       for (std::size_t t = chunk.begin; t < chunk.end; ++t) {
         sim.reseed(mix_seed(seed, t));
         sim.randomize();
         runs[t] = sim.run_to_convergence(step_cap);
+        chunk_steps += runs[t].steps;
       }
+      trials_ctr.add(chunk.end - chunk.begin);
+      steps_ctr.add(chunk_steps);
     });
   }
   double total = 0;
@@ -178,6 +188,7 @@ ConvergenceStats measure_convergence(const Protocol& p, std::size_t ring_size,
       ++stats.failed;
     }
   }
+  obs::counter("sim.converged").add(stats.converged);
   stats.mean_steps = stats.converged ? total / stats.converged : 0.0;
   if (!steps.empty()) {
     std::sort(steps.begin(), steps.end());

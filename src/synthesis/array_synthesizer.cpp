@@ -9,6 +9,7 @@
 #include "local/array.hpp"
 #include "local/rcg.hpp"
 #include "local/self_disabling.hpp"
+#include "obs/obs.hpp"
 
 namespace ringstab {
 namespace {
@@ -102,6 +103,7 @@ void enumerate_resolves(const Protocol& p, const Digraph& rcg,
 
 ArraySynthesisResult synthesize_array_convergence(
     const Protocol& p, const ArraySynthesisOptions& options) {
+  const obs::Span span("synth.array");
   validate_array_protocol(p);
   if (!p.locality().is_unidirectional() || p.locality().left != 1)
     throw ModelError(
@@ -187,6 +189,7 @@ ArraySynthesisResult synthesize_array_convergence(
       for (std::size_t i = 0; i < per_state.size(); ++i)
         added.push_back(per_state[i][pick[i]]);
       ++res.candidates_examined;
+      obs::counter("synth.candidates_generated").add(1);
 
       Protocol pss = p.with_added(
           cat(p.name(), "_ass", res.candidates_examined), added);
@@ -195,6 +198,7 @@ ArraySynthesisResult synthesize_array_convergence(
       RINGSTAB_ASSERT(verify.deadlock_free_all_n,
                       "array Resolve set failed to cut all bad walks");
       res.solutions.push_back({std::move(pss), added, resolve});
+      obs::counter("synth.solutions_found").add(1);
 
       std::size_t i = 0;
       for (; i < per_state.size(); ++i) {

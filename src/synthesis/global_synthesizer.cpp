@@ -3,11 +3,15 @@
 #include "core/fmt.hpp"
 #include "core/printer.hpp"
 #include "local/deadlock.hpp"
+#include "obs/obs.hpp"
 
 namespace ringstab {
 
 GlobalSynthesisResult synthesize_convergence_global(
     const Protocol& p, const GlobalSynthesisOptions& options) {
+  const obs::Span span("synth.global");
+  obs::Counter& generated = obs::counter("synth.candidates_generated");
+  obs::Counter& pruned = obs::counter("synth.candidates_pruned");
   GlobalSynthesisResult res;
   const auto resolve_sets = enumerate_resolve_sets(p, options.max_resolve_sets);
 
@@ -17,12 +21,14 @@ GlobalSynthesisResult synthesize_convergence_global(
                                                 options.max_candidate_sets)) {
       if (res.solutions.size() >= options.max_solutions) break;
       ++res.candidates_examined;
+      generated.add(1);
       Protocol pss = p.with_added(
           cat(p.name(), "_gss", res.candidates_examined), added);
 
       if (options.prefilter_with_theorem42 &&
           !analyze_deadlocks(pss, /*spectrum=*/2).deadlock_free_all_k) {
         ++res.prefiltered_out;
+        pruned.add(1);
         continue;
       }
 
@@ -31,10 +37,15 @@ GlobalSynthesisResult synthesize_convergence_global(
            ++k) {
         const RingInstance ring(pss, k, options.max_states);
         res.states_explored += ring.num_states();
+        obs::counter("synth.global_states_explored").add(ring.num_states());
         ok = strongly_stabilizing(ring);
       }
-      if (ok)
+      if (ok) {
         res.solutions.push_back({std::move(pss), added, resolve});
+        obs::counter("synth.solutions_found").add(1);
+      } else {
+        pruned.add(1);
+      }
     }
   }
   res.success = !res.solutions.empty();

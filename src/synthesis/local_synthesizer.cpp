@@ -6,11 +6,15 @@
 #include "core/printer.hpp"
 #include "global/checker.hpp"
 #include "local/pseudo_livelock.hpp"
+#include "obs/obs.hpp"
 
 namespace ringstab {
 
 SynthesisResult synthesize_convergence(const Protocol& p,
                                        const SynthesisOptions& options) {
+  const obs::Span span("synth.local");
+  obs::Counter& generated = obs::counter("synth.candidates_generated");
+  obs::Counter& pruned = obs::counter("synth.candidates_pruned");
   SynthesisResult res;
   res.closure = check_invariant_closure(p);
   if (options.require_closed_invariant &&
@@ -34,6 +38,7 @@ SynthesisResult synthesize_convergence(const Protocol& p,
                                                 options.max_candidate_sets)) {
       if (res.solutions.size() >= options.max_solutions) break;
       ++res.candidates_examined;
+      generated.add(1);
 
       Protocol pss = p.with_added(
           cat(p.name(), "_ss", res.candidates_examined), added);
@@ -85,6 +90,9 @@ SynthesisResult synthesize_convergence(const Protocol& p,
                               report.status ==
                                   CandidateReport::Status::kAcceptedNpl};
         res.solutions.push_back(std::move(sol));
+        obs::counter("synth.solutions_found").add(1);
+      } else {
+        pruned.add(1);
       }
       if (options.keep_rejected_reports || report.accepted())
         res.reports.push_back(std::move(report));

@@ -1,0 +1,259 @@
+// The observability subsystem: sharded counter exactness under threads,
+// per-thread span nesting, Chrome trace-event export, and — the contract
+// that matters — checker results bit-identical with instrumentation on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "global/checker.hpp"
+#include "helpers.hpp"
+#include "obs/obs.hpp"
+#include "obs/sinks.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ringstab {
+namespace {
+
+/// Flips the global instrumentation switch for one test body and restores
+/// a clean registry (no sinks, zeroed counters) on the way out.
+class ObsGuard {
+ public:
+  ObsGuard() {
+    obs::Registry::global().clear_sinks();
+    obs::Registry::global().reset_counters();
+    obs::g_enabled.store(true);
+  }
+  ~ObsGuard() {
+    obs::g_enabled.store(false);
+    obs::Registry::global().clear_sinks();
+    obs::Registry::global().reset_counters();
+  }
+};
+
+/// Collects every span record delivered to it, for nesting assertions.
+class CaptureSink : public obs::Sink {
+ public:
+  void on_span(const obs::SpanRecord& rec) override {
+    spans_.push_back(rec);
+  }
+  const std::vector<obs::SpanRecord>& spans() const { return spans_; }
+
+ private:
+  std::vector<obs::SpanRecord> spans_;
+};
+
+TEST(ObsCounter, ShardedTotalsAreExactUnderThreads) {
+  const ObsGuard guard;
+  obs::Counter& ctr = obs::counter("test.sharded");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 10'000;
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t)
+      workers.emplace_back([&ctr] {
+        for (std::uint64_t i = 0; i < kAddsPerThread; ++i) ctr.add(1);
+        ctr.add(5);  // non-unit amounts must also land whole
+      });
+  }
+  EXPECT_EQ(ctr.total(), kThreads * (kAddsPerThread + 5));
+}
+
+TEST(ObsCounter, DisabledAddIsANoop) {
+  obs::Registry::global().reset_counters();
+  ASSERT_FALSE(obs::enabled());
+  obs::counter("test.disabled").add(42);
+  EXPECT_EQ(obs::counter("test.disabled").total(), 0u);
+}
+
+TEST(ObsCounter, SnapshotOmitsZeroAndSortsByName) {
+  const ObsGuard guard;
+  obs::counter("test.b").add(2);
+  obs::counter("test.a").add(1);
+  obs::counter("test.zero");  // registered but never fired
+  const auto totals = obs::Registry::global().snapshot_counters();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].name, "test.a");
+  EXPECT_EQ(totals[0].value, 1u);
+  EXPECT_EQ(totals[1].name, "test.b");
+  EXPECT_EQ(totals[1].value, 2u);
+}
+
+/// The checker counters chosen to be thread-count-invariant must agree
+/// exactly between the serial engine and the parallel sweeps, on every
+/// bundled protocol. (checker.closure_states_scanned is deliberately
+/// excluded: the closure sweep early-exits on the first violation, so its
+/// scan count depends on chunk scheduling.)
+TEST(ObsCounter, CheckerCountersMatchSerialUnderFourThreads) {
+  const ObsGuard guard;
+  const char* kInvariant[] = {
+      "checker.states_swept",     "checker.invariant_states",
+      "checker.deadlocks_found",  "checker.fixpoint_rounds",
+      "checker.frontier_states",  "checker.recovery_resolved",
+  };
+  for (const Protocol& p : testing::protocol_zoo()) {
+    RingInstance ring(p, 5);
+    obs::Registry::global().reset_counters();
+    GlobalChecker(ring, 1).check_all();
+    std::vector<std::uint64_t> serial;
+    for (const char* name : kInvariant)
+      serial.push_back(obs::counter(name).total());
+
+    obs::Registry::global().reset_counters();
+    GlobalChecker(ring, 4).check_all();
+    for (std::size_t i = 0; i < std::size(kInvariant); ++i)
+      EXPECT_EQ(obs::counter(kInvariant[i]).total(), serial[i])
+          << p.name() << ": " << kInvariant[i];
+  }
+}
+
+TEST(ObsSpan, NestingIsWellFormedPerThread) {
+  const ObsGuard guard;
+  auto capture = std::make_shared<CaptureSink>();
+  obs::Registry::global().add_sink(capture);
+
+  EXPECT_EQ(obs::current_span_name(), nullptr);
+  {
+    const obs::Span outer("test.outer");
+    EXPECT_STREQ(obs::current_span_name(), "test.outer");
+    {
+      const obs::Span inner("test.inner");
+      EXPECT_STREQ(obs::current_span_name(), "test.inner");
+    }
+    EXPECT_STREQ(obs::current_span_name(), "test.outer");
+  }
+  EXPECT_EQ(obs::current_span_name(), nullptr);
+
+  // Spans are emitted on close, so inner closes first.
+  const auto& spans = capture->spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "test.inner");
+  EXPECT_STREQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 0u);
+  // Temporal containment: inner ⊆ outer.
+  EXPECT_GE(spans[0].start, spans[1].start);
+  EXPECT_LE(spans[0].end, spans[1].end);
+  EXPECT_LE(spans[0].start, spans[0].end);
+}
+
+TEST(ObsSpan, ParallelForChunksCarryTheEnclosingPhaseName) {
+  const ObsGuard guard;
+  auto capture = std::make_shared<CaptureSink>();
+  obs::Registry::global().add_sink(capture);
+  {
+    const obs::Span phase("test.phase");
+    parallel_for(1000, 2, 64, [](const ChunkRange&, std::size_t) {});
+  }
+  std::size_t chunks = 0;
+  for (const auto& rec : capture->spans())
+    if (rec.chunk) {
+      ++chunks;
+      EXPECT_STREQ(rec.name, "test.phase");
+    }
+  EXPECT_GT(chunks, 0u);
+}
+
+/// Minimal JSON syntax scanner: strings (with escapes), balanced
+/// delimiters. Enough to catch a malformed trace without a JSON library.
+bool json_is_well_formed(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[': case '{': stack.push_back(c); break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(ObsTrace, ChromeTraceExportParsesAndRoundTrips) {
+  const ObsGuard guard;
+  std::ostringstream out;
+  obs::Registry::global().add_sink(
+      std::make_shared<obs::ChromeTraceSink>(out));
+  {
+    const obs::Span outer("trace.outer");
+    const obs::Span inner("trace.inner");
+  }
+  obs::counter("trace.counter").add(7);
+  obs::Registry::global().finish();
+
+  const std::string trace = out.str();
+  EXPECT_TRUE(json_is_well_formed(trace)) << trace;
+  // A JSON array of events with the spans, thread metadata, and counters.
+  EXPECT_EQ(trace.front(), '[');
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("trace.outer"), std::string::npos);
+  EXPECT_NE(trace.find("trace.inner"), std::string::npos);
+  EXPECT_NE(trace.find("thread_name"), std::string::npos);
+  EXPECT_NE(trace.find("trace.counter"), std::string::npos);
+
+  // Round-trip: the event names survive json_escape unchanged, and a second
+  // flush must not duplicate the buffer.
+  const std::string again = out.str();
+  obs::Registry::global().finish();
+  EXPECT_EQ(out.str(), again);
+}
+
+TEST(ObsTrace, JsonlSinkEmitsOneObjectPerLine) {
+  const ObsGuard guard;
+  std::ostringstream out;
+  obs::Registry::global().add_sink(std::make_shared<obs::JsonlSink>(out));
+  {
+    const obs::Span s("jsonl.span");
+  }
+  obs::counter("jsonl.counter").add(3);
+  obs::Registry::global().finish();
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_TRUE(json_is_well_formed(line)) << line;
+    EXPECT_EQ(line.front(), '{');
+  }
+  EXPECT_GE(n, 2u);  // the span event + the final counter totals
+}
+
+TEST(ObsOverhead, NullSinkLeavesCheckerResultsBitIdentical) {
+  const Protocol p = testing::protocol_zoo().front();
+  RingInstance ring(p, 6);
+  const GlobalCheckResult plain = GlobalChecker(ring, 2).check_all();
+
+  const ObsGuard guard;
+  obs::Registry::global().add_sink(std::make_shared<obs::NullSink>());
+  const GlobalCheckResult instrumented = GlobalChecker(ring, 2).check_all();
+
+  EXPECT_EQ(instrumented.num_states, plain.num_states);
+  EXPECT_EQ(instrumented.closure_ok, plain.closure_ok);
+  EXPECT_EQ(instrumented.num_deadlocks_outside_i,
+            plain.num_deadlocks_outside_i);
+  EXPECT_EQ(instrumented.deadlock_samples, plain.deadlock_samples);
+  EXPECT_EQ(instrumented.has_livelock, plain.has_livelock);
+  EXPECT_EQ(instrumented.livelock_cycle, plain.livelock_cycle);
+  EXPECT_EQ(instrumented.weakly_converges, plain.weakly_converges);
+  EXPECT_EQ(instrumented.max_recovery_steps, plain.max_recovery_steps);
+  EXPECT_EQ(instrumented.strongly_converges(), plain.strongly_converges());
+}
+
+}  // namespace
+}  // namespace ringstab
