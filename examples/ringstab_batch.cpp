@@ -9,8 +9,9 @@
 // Unannotated files are analyzed and reported, never failed on.
 //
 // `--check K` additionally cross-validates every ring protocol against the
-// exhaustive global checker at size K; `--jobs N` runs those checks on N
-// worker threads (0 = all cores).
+// exhaustive global checker at size K (`--symmetry` swaps in the
+// rotation-quotient engine — same verdicts, ~K× fewer states); `--jobs N`
+// runs those checks on N worker threads (0 = all cores).
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,7 @@
 
 #include "core/parser.hpp"
 #include "global/checker.hpp"
+#include "global/symmetry.hpp"
 #include "local/array.hpp"
 #include "local/convergence.hpp"
 #include "obs/session.hpp"
@@ -60,8 +62,19 @@ std::size_t parse_count(const char* flag, const char* raw) {
   return static_cast<std::size_t>(n);
 }
 
+/// The value slot after a value-taking option. A flag at the end of argv or
+/// one followed by another `--` option is a missing value, not a value.
+const char* take_value(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc)
+    throw ModelError(std::string("flag ") + flag + " requires a value");
+  if (std::strncmp(argv[i + 1], "--", 2) == 0)
+    throw ModelError(std::string("flag ") + flag +
+                     " is missing its value (found '" + argv[i + 1] + "')");
+  return argv[++i];
+}
+
 FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
-                    std::size_t jobs) {
+                    std::size_t jobs, bool symmetry) {
   FileOutcome out;
   out.file = path.filename().string();
   const std::string text = slurp(path);
@@ -97,7 +110,9 @@ FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
       }
       if (check_k >= 2) {
         const RingInstance ring(p, check_k);
-        const bool global_ok = strongly_stabilizing(ring, jobs);
+        const bool global_ok =
+            symmetry ? check_symmetric(ring, 8, jobs).strongly_converges()
+                     : strongly_stabilizing(ring, jobs);
         out.verdict += global_ok ? " [global@K ok]" : " [global@K FAILS]";
         // A local certificate must never contradict the exhaustive check.
         if (certified && !global_ok) out.ok = false;
@@ -117,11 +132,12 @@ FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: ringstab-batch <directory> [--strict] [--check K] "
-                 "[--jobs N] [--stats] [--trace FILE] [--jsonl FILE] "
-                 "[--progress]\n";
+                 "[--symmetry] [--jobs N] [--stats] [--trace FILE] "
+                 "[--jsonl FILE] [--progress]\n";
     return 2;
   }
   bool strict = false;
+  bool symmetry = false;  // --check via the rotation-quotient engine
   std::size_t check_k = 0;  // 0 = local analysis only
   std::size_t jobs = 1;
   obs::SessionOptions obs_opts;
@@ -129,18 +145,21 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
-    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
-      check_k = parse_count("--check", argv[++i]);
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = ringstab::resolve_threads(parse_count("--jobs", argv[++i]));
+    } else if (std::strcmp(argv[i], "--symmetry") == 0) {
+      symmetry = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check_k = parse_count("--check", take_value(argc, argv, i, "--check"));
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = ringstab::resolve_threads(
+          parse_count("--jobs", take_value(argc, argv, i, "--jobs")));
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       obs_opts.stats = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       obs_opts.progress = true;
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      obs_opts.trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
-      obs_opts.jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      obs_opts.trace_path = take_value(argc, argv, i, "--trace");
+    } else if (std::strcmp(argv[i], "--jsonl") == 0) {
+      obs_opts.jsonl_path = take_value(argc, argv, i, "--jsonl");
     } else {
       std::cerr << "unknown option: " << argv[i] << "\n";
       return 2;
@@ -164,7 +183,7 @@ int main(int argc, char** argv) {
             << "expectation\n"
             << std::string(60 + verdict_w, '-') << "\n";
   for (const auto& path : files) {
-    const FileOutcome out = process(path, check_k, jobs);
+    const FileOutcome out = process(path, check_k, jobs, symmetry);
     std::cout << std::left << std::setw(28) << out.file << std::setw(22)
               << out.name << std::setw(verdict_w) << out.verdict
               << (out.expectation.empty()

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "core/fmt.hpp"
@@ -20,6 +21,7 @@
 #include "core/ring_writer.hpp"
 #include "global/checker.hpp"
 #include "global/cutoff.hpp"
+#include "global/symmetry.hpp"
 #include "local/array.hpp"
 #include "report/report.hpp"
 #include "graph/dot.hpp"
@@ -40,6 +42,8 @@ int usage() {
       "  analyze    local convergence analysis (valid for every ring size)\n"
       "  synthesize add convergence (Problem 3.1); --all prints every solution\n"
       "  check      exhaustive model check at one size: -k <K> [--jobs N]\n"
+      "             [--symmetry]  check the rotation quotient (necklace\n"
+      "             enumeration; identical verdicts, ~K× fewer states)\n"
       "  sweep      cutoff verification: [--min K] [--max K]\n"
       "  dot        emit graphviz: --rcg (default), --ltg, --deadlock-rcg\n"
       "  simulate   random-scheduler runs: -k <K> [--trials N] [--seed S]\n"
@@ -57,16 +61,36 @@ int usage() {
   return 2;
 }
 
-long long arg_value(int argc, char** argv, const char* name, long long fallback) {
-  for (int i = 3; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
-  return fallback;
+/// Value of a value-taking flag, or nullptr when the flag is absent. A flag
+/// in the final argv slot, or one whose "value" is the next `--` option
+/// (`--jsonl --stats` would otherwise write a file named "--stats"), is an
+/// error rather than silently absent.
+const char* arg_string(int argc, char** argv, const char* name) {
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) != 0) continue;
+    if (i + 1 >= argc)
+      throw ModelError(cat("flag ", name, " requires a value"));
+    if (std::strncmp(argv[i + 1], "--", 2) == 0)
+      throw ModelError(cat("flag ", name, " is missing its value (found '",
+                           argv[i + 1], "')"));
+    return argv[i + 1];
+  }
+  return nullptr;
 }
 
-const char* arg_string(int argc, char** argv, const char* name) {
-  for (int i = 3; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  return nullptr;
+/// Strict numeric flag: absent → fallback; anything non-numeric, trailing
+/// garbage, or outside [min, max] is a one-line error — never a silent 0
+/// (atoll on "foo") or a size_t wraparound (on "-3").
+long long arg_value(int argc, char** argv, const char* name,
+                    long long fallback, long long min, long long max) {
+  const char* raw = arg_string(argc, argv, name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long long n = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || n < min || n > max)
+    throw ModelError(cat("invalid ", name, " value '", raw,
+                         "': expected an integer in [", min, ", ", max, "]"));
+  return n;
 }
 
 bool has_flag(int argc, char** argv, const char* name) {
@@ -87,6 +111,38 @@ std::size_t parse_jobs(int argc, char** argv) {
                          "': expected a non-negative integer "
                          "(0 = all hardware threads)"));
   return resolve_threads(static_cast<std::size_t>(n));
+}
+
+/// `check --symmetry`: the rotation-quotient engine (necklace.hpp) instead
+/// of the full-space sweep. Same verdicts and counts, ~K× fewer states.
+int cmd_check_symmetric(const Protocol& p, std::size_t k, std::size_t jobs) {
+  const RingInstance ring(p, k);
+  const auto res = check_symmetric(ring, 8, jobs);
+  std::cout << p.name() << " at K=" << k << " (rotation quotient: "
+            << res.num_necklaces << " necklaces for " << res.num_states
+            << " states):\n"
+            << "  closure of I:            "
+            << (res.closure_ok ? "ok" : "VIOLATED")
+            << "\n  deadlocks outside I:     " << res.num_deadlocks_outside_i;
+  if (!res.deadlock_orbit_reps.empty())
+    std::cout << "  (e.g. " << ring.brief(res.deadlock_orbit_reps[0]) << ")";
+  std::cout << "\n  livelock:                "
+            << (res.has_livelock ? "YES" : "none");
+  if (res.has_livelock) {
+    std::cout << "  cycle:";
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(6, res.livelock_cycle.size()); ++i)
+      std::cout << " " << ring.brief(res.livelock_cycle[i]);
+    if (res.livelock_cycle.size() > 6) std::cout << " …";
+  }
+  std::cout << "\n  weak convergence:        "
+            << (res.weakly_converges ? "yes" : "no")
+            << "\n  strong self-stabilization: "
+            << (res.strongly_converges() ? "YES" : "no") << "\n";
+  if (res.strongly_converges())
+    std::cout << "  worst-case recovery:     " << res.max_recovery_steps
+              << " steps\n";
+  return res.strongly_converges() ? 0 : 1;
 }
 
 int cmd_analyze_array(const Protocol& p) {
@@ -286,14 +342,17 @@ int main(int argc, char** argv) {
       return cmd_synthesize(p, has_flag(argc, argv, "--all"));
     }
     const std::size_t jobs = parse_jobs(argc, argv);
-    if (command == "check")
-      return cmd_check(p, static_cast<std::size_t>(
-                              arg_value(argc, argv, "-k", 5)),
-                       jobs);
+    if (command == "check") {
+      const auto k =
+          static_cast<std::size_t>(arg_value(argc, argv, "-k", 5, 2, 63));
+      return has_flag(argc, argv, "--symmetry")
+                 ? cmd_check_symmetric(p, k, jobs)
+                 : cmd_check(p, k, jobs);
+    }
     if (command == "sweep") {
       const auto rep = verify_up_to_cutoff(
-          p, static_cast<std::size_t>(arg_value(argc, argv, "--min", 2)),
-          static_cast<std::size_t>(arg_value(argc, argv, "--max", 9)));
+          p, static_cast<std::size_t>(arg_value(argc, argv, "--min", 2, 2, 63)),
+          static_cast<std::size_t>(arg_value(argc, argv, "--max", 9, 2, 63)));
       std::cout << rep.to_string(p);
       return rep.all_stabilize ? 0 : 1;
     }
@@ -305,26 +364,28 @@ int main(int argc, char** argv) {
       ReportOptions opts;
       opts.array_topology = has_flag(argc, argv, "--array");
       opts.max_ring =
-          static_cast<std::size_t>(arg_value(argc, argv, "--max", 7));
+          static_cast<std::size_t>(arg_value(argc, argv, "--max", 7, 2, 63));
       opts.num_threads = jobs;
       std::cout << markdown_report(p, opts);
       return 0;
     }
     if (command == "dot") return cmd_dot(p, argc, argv);
     if (command == "trace") {
-      const char* from = nullptr;
-      for (int i = 3; i + 1 < argc; ++i)
-        if (std::strcmp(argv[i], "--from") == 0) from = argv[i + 1];
       return cmd_trace(
-          p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8)),
-          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1)),
-          from, static_cast<std::size_t>(arg_value(argc, argv, "--max", 200)));
+          p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8, 2, 63)),
+          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1, 0,
+                                               std::numeric_limits<long long>::max())),
+          arg_string(argc, argv, "--from"),
+          static_cast<std::size_t>(
+              arg_value(argc, argv, "--max", 200, 1, 1'000'000'000)));
     }
     if (command == "simulate")
       return cmd_simulate(
-          p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8)),
-          static_cast<std::size_t>(arg_value(argc, argv, "--trials", 100)),
-          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1)),
+          p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8, 2, 63)),
+          static_cast<std::size_t>(
+              arg_value(argc, argv, "--trials", 100, 1, 1'000'000'000)),
+          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1, 0,
+                                               std::numeric_limits<long long>::max())),
           jobs);
     return usage();
   } catch (const Error& e) {

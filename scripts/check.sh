@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 gate + thread-sanitized concurrency tests.
+# Tier-1 gate + sanitized builds.
 #
-#   scripts/check.sh            full: build, ctest, TSan test_parallel+test_obs
-#   scripts/check.sh --fast     tier-1 only (skip the sanitizer build)
+#   scripts/check.sh            full: build, ctest, TSan test_parallel+test_obs,
+#                               ASan test_symmetry + CLI parsing tests
+#   scripts/check.sh --fast     tier-1 only (skip the sanitizer builds)
 #
-# Run from anywhere; builds land in <repo>/build and <repo>/build-tsan.
+# Run from anywhere; builds land in <repo>/build, build-tsan, build-asan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,5 +33,16 @@ cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel test_obs
 echo "== TSan: run =="
 "$repo/build-tsan/tests/test_parallel"
 "$repo/build-tsan/tests/test_obs"
+
+echo "== ASan: build test_symmetry + CLI tools =="
+cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DRINGSTAB_SANITIZE=address
+cmake --build "$repo/build-asan" -j "$jobs" \
+      --target test_symmetry ringstab_cli ringstab_batch
+
+echo "== ASan: run =="
+"$repo/build-asan/tests/test_symmetry"
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" \
+      -R 'cli_(bad_k|negative_k|missing_flag_value|flag_value_flag|batch_missing_value|check_symmetry|batch_symmetry|bad_jobs)'
 
 echo "== OK =="

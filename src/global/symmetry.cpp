@@ -3,184 +3,519 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/fmt.hpp"
+#include "global/necklace.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ringstab {
 namespace {
 
-// Encode the ring valuation rotated left by r positions, straight off the
-// digit vector — no intermediate rotated copy.
-GlobalStateId rotate_encode(const RingInstance& ring,
-                            const std::vector<Value>& digits, std::size_t r) {
-  const std::size_t k = digits.size();
-  const auto& pow = ring.powers();
-  GlobalStateId s = 0;
-  for (std::size_t i = 0; i < k; ++i) s += pow[i] * digits[(i + r) % k];
-  return s;
-}
+constexpr std::uint8_t kInInv = 1;
+constexpr std::uint8_t kDeadlock = 2;
+constexpr std::uint32_t kUnvisited = 0xffffffffu;
 
-GlobalStateId canonical_from_digits(const RingInstance& ring,
-                                    const std::vector<Value>& digits,
-                                    GlobalStateId s) {
-  GlobalStateId best = s;
-  for (std::size_t r = 1; r < ring.ring_size(); ++r)
-    best = std::min(best, rotate_encode(ring, digits, r));
-  return best;
-}
+/// Dense view of the rotation quotient: necklaces in ascending canonical-id
+/// order plus their CSR transition graph (targets canonicalized to ranks,
+/// deduplicated and sorted per source).
+struct Quotient {
+  std::vector<GlobalStateId> ids;
+  std::vector<std::uint32_t> orbit;
+  std::vector<std::uint8_t> flags;  // kInInv | kDeadlock per rank
+  std::vector<std::uint64_t> row;   // CSR offsets, size ids.size() + 1
+  std::vector<std::uint32_t> col;   // CSR targets (ranks)
 
-std::size_t orbit_size_from_digits(const RingInstance& ring,
-                                   const std::vector<Value>& digits,
-                                   GlobalStateId s) {
-  // Orbit size = K / (smallest rotation period).
-  for (std::size_t r = 1; r < ring.ring_size(); ++r) {
-    if (ring.ring_size() % r != 0) continue;
-    if (rotate_encode(ring, digits, r) == s) return r;
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(ids.size());
   }
-  return ring.ring_size();
+  bool in_inv(std::uint32_t r) const { return flags[r] & kInInv; }
+};
+
+/// Chunk grain over the necklace prefix-slot space: a pure function of the
+/// slot count so the chunk partition — and therefore any ascending-order
+/// merge — is identical for every thread count.
+std::uint64_t slot_grain(std::uint64_t slots) {
+  return std::max<std::uint64_t>(1, slots / 1024);
 }
 
-}  // namespace
+struct CensusBuild {
+  NecklaceCensus census;
+  // Filled only when `collect`:
+  std::vector<GlobalStateId> ids;
+  std::vector<std::uint32_t> orbit;
+  std::vector<std::uint8_t> flags;
+};
 
-GlobalStateId canonical_rotation(const RingInstance& ring, GlobalStateId s) {
-  return canonical_from_digits(ring, ring.decode(s), s);
-}
+/// One pass of the parallel FKM enumeration: orbit-weighted deadlock census
+/// and (optionally) the dense necklace arrays, merged in ascending slot
+/// order.
+CensusBuild run_census(const RingInstance& ring, std::size_t max_samples,
+                       std::size_t num_threads, bool collect) {
+  const obs::Span span("symmetry.necklace_census");
+  const NecklaceEnumerator enumerator(ring.ring_size(), ring.domain_size());
+  const std::uint64_t slots = enumerator.num_slots();
+  const std::uint64_t grain = slot_grain(slots);
+  const std::uint64_t chunks = num_chunks(slots, grain);
+  const std::size_t k = ring.ring_size();
 
-std::size_t rotation_orbit_size(const RingInstance& ring, GlobalStateId s) {
-  return orbit_size_from_digits(ring, ring.decode(s), s);
-}
+  struct Chunk {
+    std::uint64_t necklaces = 0;
+    std::uint64_t orbit_states = 0;
+    std::uint64_t deadlocks = 0;
+    std::vector<GlobalStateId> reps;
+    std::vector<GlobalStateId> ids;
+    std::vector<std::uint32_t> orbit;
+    std::vector<std::uint8_t> flags;
+  };
+  std::vector<Chunk> tally(chunks);
 
-SymmetricCheckResult check_symmetric(const RingInstance& ring,
-                                     std::size_t max_samples,
-                                     std::size_t num_threads) {
-  SymmetricCheckResult res;
-
-  // Pass 1: orbit-aware deadlock census over canonical representatives.
-  // Chunked sweep with per-chunk partials merged in ascending chunk order,
-  // so counts and representatives match the serial scan for any thread
-  // count.
-  {
-    const GlobalStateId n = ring.num_states();
-    const std::uint64_t chunks = num_chunks(n, 0);
-    struct ChunkTally {
-      std::size_t visited = 0;
-      std::size_t deadlocks = 0;
-      std::vector<GlobalStateId> reps;
-    };
-    std::vector<ChunkTally> tally(chunks);
-    parallel_for(n, num_threads, 0,
-                 [&](const ChunkRange& chunk, std::size_t) {
-      auto cur = ring.cursor(chunk.begin);
-      ChunkTally& t = tally[chunk.index];
-      for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
-        if (canonical_from_digits(ring, cur.digits(), s) != s)
-          continue;  // not a representative
-        ++t.visited;
-        if (cur.in_invariant() || !cur.is_deadlock()) continue;
-        t.deadlocks += orbit_size_from_digits(ring, cur.digits(), s);
-        if (t.reps.size() < max_samples) t.reps.push_back(s);
+  parallel_for(slots, num_threads, grain,
+               [&](const ChunkRange& chunk, std::size_t) {
+    Chunk& t = tally[chunk.index];
+    enumerator.visit_slots(chunk.begin, chunk.end,
+                           [&](const Value* digits, GlobalStateId id,
+                               std::uint32_t orbit) {
+      // Fused rotation-invariant predicates off the canonical digits: stop
+      // as soon as both are decided.
+      bool in_inv = true, dead = true;
+      for (std::size_t i = 0; i < k; ++i) {
+        const LocalStateId ls = ring.local_state_from(digits, i);
+        if (!ring.legit_local(ls)) in_inv = false;
+        if (ring.enabled_local(ls)) dead = false;
+        if (!in_inv && !dead) break;
+      }
+      ++t.necklaces;
+      t.orbit_states += orbit;
+      if (!in_inv && dead) {
+        t.deadlocks += orbit;
+        if (t.reps.size() < max_samples) t.reps.push_back(id);
+      }
+      if (collect) {
+        t.ids.push_back(id);
+        t.orbit.push_back(orbit);
+        t.flags.push_back(static_cast<std::uint8_t>((in_inv ? kInInv : 0) |
+                                                    (dead ? kDeadlock : 0)));
       }
     });
-    for (const ChunkTally& t : tally) {
-      res.canonical_states_visited += t.visited;
-      res.num_deadlocks_outside_i += t.deadlocks;
-      for (GlobalStateId s : t.reps)
-        if (res.deadlock_orbit_reps.size() < max_samples)
-          res.deadlock_orbit_reps.push_back(s);
+  });
+
+  CensusBuild out;
+  std::uint64_t total = 0;
+  for (const Chunk& t : tally) total += t.necklaces;
+  if (collect) {
+    out.ids.reserve(total);
+    out.orbit.reserve(total);
+    out.flags.reserve(total);
+  }
+  for (const Chunk& t : tally) {
+    out.census.num_necklaces += t.necklaces;
+    out.census.orbit_states += t.orbit_states;
+    out.census.num_deadlocks_outside_i += t.deadlocks;
+    for (GlobalStateId id : t.reps)
+      if (out.census.deadlock_orbit_reps.size() < max_samples)
+        out.census.deadlock_orbit_reps.push_back(id);
+    if (collect) {
+      out.ids.insert(out.ids.end(), t.ids.begin(), t.ids.end());
+      out.orbit.insert(out.orbit.end(), t.orbit.begin(), t.orbit.end());
+      out.flags.insert(out.flags.end(), t.flags.begin(), t.flags.end());
     }
   }
+  RINGSTAB_ASSERT(out.census.orbit_states == ring.num_states(),
+                  "necklace orbit sizes must partition |D|^K");
+  obs::counter("symmetry.necklaces").add(out.census.num_necklaces);
+  obs::counter("symmetry.orbit_states").add(out.census.orbit_states);
+  obs::counter("symmetry.deadlocks_found")
+      .add(out.census.num_deadlocks_outside_i);
+  return out;
+}
 
-  // Pass 2: livelock via iterative Tarjan on the ¬I quotient graph
-  // (vertices = canonical representatives; arcs = canonicalized successors;
-  // a quotient self-loop IS a cycle — it lifts by iterating the rotation).
-  constexpr std::uint32_t kUnvisited = 0xffffffffu;
-  std::unordered_map<GlobalStateId, std::uint32_t> index, low;
-  std::unordered_map<GlobalStateId, bool> on_stack;
-  std::vector<GlobalStateId> stack;
+/// Canonicalized, deduplicated successor ranks of every necklace, as CSR.
+void build_quotient_graph(const RingInstance& ring, Quotient& q,
+                          std::size_t num_threads) {
+  const obs::Span span("symmetry.quotient_graph");
+  const std::uint32_t n = q.size();
+  const std::size_t k = ring.ring_size();
+  const auto& space = ring.protocol().space();
+  const std::span<const GlobalStateId> pow{ring.powers()};
+
+  auto rank_of = [&](GlobalStateId id) {
+    const auto it = std::lower_bound(q.ids.begin(), q.ids.end(), id);
+    RINGSTAB_ASSERT(it != q.ids.end() && *it == id,
+                    "canonicalized successor is not an enumerated necklace");
+    return static_cast<std::uint32_t>(it - q.ids.begin());
+  };
+
+  const std::uint64_t chunks = num_chunks(n, 0);
+  struct Chunk {
+    std::vector<std::uint32_t> deg;  // per rank in the chunk
+    std::vector<std::uint32_t> col;
+  };
+  std::vector<Chunk> built(chunks);
+  parallel_for(n, num_threads, 0, [&](const ChunkRange& chunk, std::size_t) {
+    Chunk& c = built[chunk.index];
+    c.deg.assign(chunk.end - chunk.begin, 0);
+    std::vector<Value> digits;
+    std::vector<RingInstance::Step> succ;
+    std::vector<std::uint32_t> targets;
+    for (std::uint64_t r = chunk.begin; r < chunk.end; ++r) {
+      ring.decode_into(q.ids[r], digits);
+      ring.successors_from(q.ids[r], digits.data(), succ);
+      targets.clear();
+      for (const auto& step : succ) {
+        const Value old_self = digits[step.process];
+        digits[step.process] = space.self(step.transition.to);
+        targets.push_back(rank_of(
+            canonical_necklace_id(digits.data(), k, pow)));
+        digits[step.process] = old_self;
+      }
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()),
+                    targets.end());
+      c.deg[r - chunk.begin] = static_cast<std::uint32_t>(targets.size());
+      c.col.insert(c.col.end(), targets.begin(), targets.end());
+    }
+  });
+
+  q.row.assign(n + 1, 0);
+  std::uint64_t edges = 0;
+  {
+    std::uint64_t rank = 0;
+    for (const Chunk& c : built)
+      for (std::uint32_t d : c.deg) {
+        q.row[rank++] = edges;
+        edges += d;
+      }
+    q.row[n] = edges;
+  }
+  q.col.reserve(edges);
+  for (const Chunk& c : built)
+    q.col.insert(q.col.end(), c.col.begin(), c.col.end());
+  obs::counter("symmetry.quotient_edges").add(edges);
+}
+
+/// Closure of I on the quotient: a necklace in I with any successor orbit
+/// outside I breaks closure; the reported witness is re-derived as an
+/// actual (source, target) transition of the smallest violating rank.
+bool check_quotient_closure(
+    const RingInstance& ring, const Quotient& q, std::size_t num_threads,
+    std::optional<std::pair<GlobalStateId, GlobalStateId>>* violation) {
+  const obs::Span span("symmetry.closure");
+  const std::uint32_t n = q.size();
+  const std::uint64_t chunks = num_chunks(n, 0);
+  std::vector<std::uint32_t> first_bad(chunks, kUnvisited);
+  parallel_for(n, num_threads, 0, [&](const ChunkRange& chunk, std::size_t) {
+    for (std::uint64_t r = chunk.begin; r < chunk.end; ++r) {
+      if (!q.in_inv(static_cast<std::uint32_t>(r))) continue;
+      for (std::uint64_t e = q.row[r]; e < q.row[r + 1]; ++e) {
+        if (!q.in_inv(q.col[e])) {
+          first_bad[chunk.index] = static_cast<std::uint32_t>(r);
+          return;
+        }
+      }
+    }
+  });
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    if (first_bad[c] == kUnvisited) continue;
+    if (violation) {
+      // Re-derive a concrete escaping transition from the canonical source.
+      const GlobalStateId s = q.ids[first_bad[c]];
+      std::vector<RingInstance::Step> succ;
+      ring.successors(s, succ);
+      for (const auto& step : succ) {
+        if (!ring.in_invariant(step.target)) {
+          *violation = {s, step.target};
+          break;
+        }
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Backward fixpoint "can reach I" over the quotient graph, in synchronous
+/// (Jacobi) rounds exactly like the full-space engine, so the round count
+/// and result are thread-count-invariant.
+bool check_quotient_weak_convergence(const Quotient& q,
+                                     std::size_t num_threads) {
+  const obs::Span span("symmetry.weak_convergence");
+  obs::Counter& rounds = obs::counter("symmetry.fixpoint_rounds");
+  const std::uint32_t n = q.size();
+  std::vector<std::uint8_t> reaches(n), next(n);
+  for (std::uint32_t r = 0; r < n; ++r) reaches[r] = q.in_inv(r) ? 1 : 0;
+  const std::uint64_t chunks = num_chunks(n, 0);
+  std::vector<std::uint8_t> chunk_changed(chunks, 0);
+  while (true) {
+    rounds.add(1);
+    next = reaches;
+    std::fill(chunk_changed.begin(), chunk_changed.end(), 0);
+    parallel_for(n, num_threads, 0,
+                 [&](const ChunkRange& chunk, std::size_t) {
+      bool changed = false;
+      for (std::uint64_t r = chunk.begin; r < chunk.end; ++r) {
+        if (reaches[r]) continue;
+        for (std::uint64_t e = q.row[r]; e < q.row[r + 1]; ++e) {
+          if (reaches[q.col[e]]) {
+            next[r] = 1;
+            changed = true;
+            break;
+          }
+        }
+      }
+      chunk_changed[chunk.index] = changed;
+    });
+    if (std::find(chunk_changed.begin(), chunk_changed.end(), 1) ==
+        chunk_changed.end())
+      break;
+    std::swap(reaches, next);
+  }
+  return std::find(reaches.begin(), reaches.end(), 0) == reaches.end();
+}
+
+/// Iterative Tarjan on the ¬I-restricted quotient graph. Unlike the full
+/// space, the quotient can have self-loops (a transition landing on a
+/// nontrivial rotation of its source); a self-loop is a cycle. Returns the
+/// first quotient cycle found, as ranks, or nullopt.
+std::optional<std::vector<std::uint32_t>> find_quotient_cycle(
+    const Quotient& q) {
+  const obs::Span span("symmetry.tarjan_livelock");
+  const std::uint32_t n = q.size();
+  std::vector<std::uint32_t> index(n, kUnvisited), low(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<std::uint32_t> stack;
   std::uint32_t next_index = 0;
 
-  std::vector<RingInstance::Step> succ;
-  auto expand = [&](GlobalStateId v, std::vector<GlobalStateId>& out,
-                    bool& self_loop) {
+  auto expand = [&](std::uint32_t v, std::vector<std::uint32_t>& out) {
     out.clear();
-    self_loop = false;
-    ring.successors(v, succ);
-    for (const auto& step : succ) {
-      if (ring.in_invariant(step.target)) continue;
-      const GlobalStateId c = canonical_rotation(ring, step.target);
-      if (c == v) self_loop = true;
-      out.push_back(c);
-    }
+    for (std::uint64_t e = q.row[v]; e < q.row[v + 1]; ++e)
+      if (!q.in_inv(q.col[e])) out.push_back(q.col[e]);
+  };
+  auto has_self_loop = [&](std::uint32_t v) {
+    for (std::uint64_t e = q.row[v]; e < q.row[v + 1]; ++e)
+      if (q.col[e] == v) return true;
+    return false;
   };
 
   struct Frame {
-    GlobalStateId v;
-    std::vector<GlobalStateId> children;
+    std::uint32_t v;
+    std::vector<std::uint32_t> children;
     std::size_t next_child = 0;
   };
 
-  auto get = [](auto& map, GlobalStateId key, auto fallback) {
-    auto it = map.find(key);
-    return it == map.end() ? fallback : it->second;
+  // A simple quotient cycle inside one nontrivial SCC: DFS from comp[0]
+  // back to itself, restricted to component members.
+  auto extract_cycle = [&](const std::vector<std::uint32_t>& comp) {
+    std::vector<std::uint32_t> sorted = comp;
+    std::sort(sorted.begin(), sorted.end());
+    auto in_comp = [&](std::uint32_t r) {
+      return std::binary_search(sorted.begin(), sorted.end(), r);
+    };
+    const std::uint32_t start = comp[0];
+    std::unordered_map<std::uint32_t, std::uint32_t> parent;
+    std::vector<std::uint32_t> dfs{start};
+    std::vector<std::uint32_t> kids;
+    parent.emplace(start, start);
+    while (!dfs.empty()) {
+      const std::uint32_t v = dfs.back();
+      dfs.pop_back();
+      expand(v, kids);
+      for (std::uint32_t w : kids) {
+        if (!in_comp(w)) continue;
+        if (w == start) {
+          std::vector<std::uint32_t> cyc{start};
+          for (std::uint32_t x = v; x != start; x = parent.at(x))
+            cyc.push_back(x);
+          std::reverse(cyc.begin() + 1, cyc.end());
+          return cyc;
+        }
+        if (!parent.emplace(w, v).second) continue;
+        dfs.push_back(w);
+      }
+    }
+    RINGSTAB_ASSERT(false, "nontrivial quotient SCC without a cycle");
+    return std::vector<std::uint32_t>{};
   };
 
-  for (GlobalStateId root = 0;
-       root < ring.num_states() && !res.has_livelock; ++root) {
-    if (ring.in_invariant(root)) continue;
-    if (canonical_rotation(ring, root) != root) continue;
-    if (get(index, root, kUnvisited) != kUnvisited) continue;
+  std::optional<std::vector<std::uint32_t>> result;
+  for (std::uint32_t root = 0; root < n && !result; ++root) {
+    if (q.in_inv(root)) continue;
+    if (index[root] != kUnvisited) continue;
+    if (has_self_loop(root)) return std::vector<std::uint32_t>{root};
 
     std::vector<Frame> call;
-    bool self_loop = false;
     call.push_back({root, {}, 0});
-    expand(root, call.back().children, self_loop);
-    if (self_loop) {
-      res.has_livelock = true;
-      break;
-    }
+    expand(root, call.back().children);
     index[root] = low[root] = next_index++;
     stack.push_back(root);
-    on_stack[root] = true;
+    on_stack[root] = 1;
 
-    while (!call.empty() && !res.has_livelock) {
+    while (!call.empty() && !result) {
       Frame& f = call.back();
-      const GlobalStateId v = f.v;
+      const std::uint32_t v = f.v;
       bool descended = false;
       while (f.next_child < f.children.size()) {
-        const GlobalStateId w = f.children[f.next_child++];
-        if (get(index, w, kUnvisited) == kUnvisited) {
+        const std::uint32_t w = f.children[f.next_child++];
+        if (index[w] == kUnvisited) {
+          if (has_self_loop(w)) return std::vector<std::uint32_t>{w};
           call.push_back({w, {}, 0});
-          expand(w, call.back().children, self_loop);
-          if (self_loop) {
-            res.has_livelock = true;
-            break;
-          }
+          expand(w, call.back().children);
           index[w] = low[w] = next_index++;
           stack.push_back(w);
-          on_stack[w] = true;
+          on_stack[w] = 1;
           descended = true;
           break;
         }
-        if (get(on_stack, w, false))
-          low[v] = std::min(low[v], index[w]);
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
       }
-      if (res.has_livelock || descended) continue;
+      if (descended) continue;
 
       if (low[v] == index[v]) {
-        std::size_t comp_size = 0;
+        std::vector<std::uint32_t> comp;
         while (true) {
-          const GlobalStateId w = stack.back();
+          const std::uint32_t w = stack.back();
           stack.pop_back();
-          on_stack[w] = false;
-          ++comp_size;
+          on_stack[w] = 0;
+          comp.push_back(w);
           if (w == v) break;
         }
-        if (comp_size > 1) res.has_livelock = true;
+        if (comp.size() > 1) result = extract_cycle(comp);
       }
+      if (result) break;
       call.pop_back();
       if (!call.empty())
         low[call.back().v] = std::min(low[call.back().v], low[v]);
     }
   }
+  obs::counter("symmetry.tarjan_states_visited").add(next_index);
+  return result;
+}
+
+/// Lift a quotient cycle to a genuine full-space cycle: walk actual
+/// transitions whose canonicalizations follow the quotient cycle. Each lap
+/// returns to some rotation of the start; the walk through (state, lap
+/// position 0) pairs must repeat within ord(rotation) ≤ K laps, and the
+/// segment between the repeats is a real cycle, entirely outside I.
+std::vector<GlobalStateId> lift_quotient_cycle(
+    const RingInstance& ring, const Quotient& q,
+    const std::vector<std::uint32_t>& cycle) {
+  const std::size_t k = ring.ring_size();
+  const std::span<const GlobalStateId> pow{ring.powers()};
+  std::vector<GlobalStateId> path;
+  std::unordered_map<GlobalStateId, std::size_t> seen_at_start;
+  std::vector<RingInstance::Step> succ;
+  std::vector<Value> digits;
+  GlobalStateId x = q.ids[cycle[0]];
+  for (std::size_t lap = 0; lap <= k; ++lap) {
+    const auto [it, fresh] = seen_at_start.emplace(x, path.size());
+    if (!fresh) {
+      std::vector<GlobalStateId> witness(path.begin() + it->second,
+                                         path.end());
+      obs::counter("symmetry.lift_steps").add(witness.size());
+      return witness;
+    }
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      path.push_back(x);
+      const GlobalStateId want = q.ids[cycle[(i + 1) % cycle.size()]];
+      ring.successors(x, succ);
+      bool stepped = false;
+      for (const auto& step : succ) {
+        ring.decode_into(step.target, digits);
+        if (canonical_necklace_id(digits.data(), k, pow) == want) {
+          x = step.target;
+          stepped = true;
+          break;
+        }
+      }
+      RINGSTAB_ASSERT(stepped, "quotient edge failed to lift");
+    }
+  }
+  RINGSTAB_ASSERT(false, "quotient cycle lift did not close within K laps");
+  return {};
+}
+
+/// Longest path to I on the quotient (rotation-invariant, so it equals the
+/// full-space recovery bound). Memoized DFS; only called when the instance
+/// strongly converges, mirroring the plain checker.
+std::size_t quotient_recovery_steps(const Quotient& q) {
+  const obs::Span span("symmetry.recovery_layering");
+  constexpr std::uint32_t kUnknown = 0xfffffffeu;
+  constexpr std::uint32_t kInProgress = 0xfffffffdu;
+  const std::uint32_t n = q.size();
+  std::vector<std::uint32_t> depth(n, kUnknown);
+  std::size_t best = 0;
+  auto dfs = [&](auto&& self, std::uint32_t r) -> std::uint32_t {
+    if (q.in_inv(r)) return 0;
+    if (depth[r] == kInProgress)
+      throw ModelError("cycle outside I: not strongly converging");
+    if (depth[r] != kUnknown) return depth[r];
+    depth[r] = kInProgress;
+    if (q.row[r] == q.row[r + 1])
+      throw ModelError("deadlock outside I: not strongly converging");
+    std::uint32_t d = 0;
+    for (std::uint64_t e = q.row[r]; e < q.row[r + 1]; ++e)
+      d = std::max(d, 1 + self(self, q.col[e]));
+    depth[r] = d;
+    return d;
+  };
+  for (std::uint32_t r = 0; r < n; ++r)
+    best = std::max<std::size_t>(best, dfs(dfs, r));
+  return best;
+}
+
+}  // namespace
+
+GlobalStateId canonical_rotation(const RingInstance& ring, GlobalStateId s) {
+  const auto digits = ring.decode(s);
+  return canonical_necklace_id(digits.data(), ring.ring_size(),
+                               std::span<const GlobalStateId>{ring.powers()});
+}
+
+std::size_t rotation_orbit_size(const RingInstance& ring, GlobalStateId s) {
+  const auto digits = ring.decode(s);
+  return cyclic_period(digits.data(), ring.ring_size());
+}
+
+NecklaceCensus necklace_census(const RingInstance& ring,
+                               std::size_t max_samples,
+                               std::size_t num_threads) {
+  return run_census(ring, max_samples, num_threads == 0 ? 1 : num_threads,
+                    /*collect=*/false)
+      .census;
+}
+
+SymmetricCheckResult check_symmetric(const RingInstance& ring,
+                                     std::size_t max_samples,
+                                     std::size_t num_threads) {
+  const obs::Span span("symmetry.check");
+  if (num_threads == 0) num_threads = 1;
+  SymmetricCheckResult res;
+  res.ring_size = ring.ring_size();
+  res.num_states = ring.num_states();
+
+  CensusBuild build =
+      run_census(ring, max_samples, num_threads, /*collect=*/true);
+  res.num_necklaces = build.census.num_necklaces;
+  res.canonical_states_visited = build.census.num_necklaces;
+  res.num_deadlocks_outside_i = build.census.num_deadlocks_outside_i;
+  res.deadlock_orbit_reps = std::move(build.census.deadlock_orbit_reps);
+
+  Quotient q;
+  q.ids = std::move(build.ids);
+  q.orbit = std::move(build.orbit);
+  q.flags = std::move(build.flags);
+  RINGSTAB_ASSERT(q.ids.size() < kUnvisited,
+                  "quotient too large for 32-bit ranks");
+  build_quotient_graph(ring, q, num_threads);
+
+  res.closure_ok =
+      check_quotient_closure(ring, q, num_threads, &res.closure_violation);
+  res.weakly_converges = check_quotient_weak_convergence(q, num_threads);
+  if (const auto cycle = find_quotient_cycle(q)) {
+    res.has_livelock = true;
+    res.livelock_cycle = lift_quotient_cycle(ring, q, *cycle);
+  }
+  if (res.strongly_converges())
+    res.max_recovery_steps = quotient_recovery_steps(q);
   return res;
 }
 

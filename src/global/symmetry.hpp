@@ -5,44 +5,106 @@
 // canonical representative per orbit is sound and complete for the
 // properties ringstab cares about:
 //
-//  * deadlock / membership in I are rotation-invariant state predicates;
+//  * deadlock / membership in I are rotation-invariant state predicates, so
+//    orbit-size weighting recovers the plain checker's exact counts;
+//  * closure and reachability-of-I are rotation-invariant, so the quotient
+//    fixpoints decide them;
 //  * a livelock exists iff the quotient transition graph restricted to ¬I
-//    has a cycle: a real cycle projects to a quotient cycle, and a quotient
-//    cycle lifts — following it returns to a rotation ρ of the start, and
-//    iterating ord(ρ) times closes a genuine cycle.
+//    has a cycle (possibly a self-loop): a real cycle projects to a
+//    quotient cycle, and a quotient cycle lifts — following it returns to a
+//    rotation ρ of the start, and iterating ord(ρ) times closes a genuine
+//    cycle, which check_symmetric materializes as its witness.
 //
-// This cuts the visited state count by ~K× (necklace counting). Measured
-// caveat (bench_scale_local_vs_global): with scan-and-filter representative
-// enumeration, the O(K²) canonicalization per state outweighs the savings
-// in wall time — the reduction pays in memory/state count, and would need a
-// dedicated necklace enumerator to pay in time. Either way the local method
-// beats the global baseline exponentially.
+// The quotient is enumerated by the FKM necklace recursion (necklace.hpp):
+// each orbit representative is produced directly, in ascending canonical-id
+// order, in amortized O(1) — never scanning the |D|^K full space. This
+// replaced the seed's scan-and-filter canonicalization, whose O(K²)
+// per-state cost ate the ~K× orbit savings in wall time; the enumerated
+// quotient pays in wall time as well as state count (measured in
+// EXP-S1c / BENCH_symmetry.json: the quotient census beats the full-space
+// sweep from K≈10 upward and the gap widens with K).
 #pragma once
+
+#include <optional>
+#include <vector>
 
 #include "global/checker.hpp"
 
 namespace ringstab {
 
 /// The canonical representative of s's rotation orbit: the minimal encoding
-/// over all K rotations.
+/// over all K rotations (O(K) via Duval least-rotation).
 GlobalStateId canonical_rotation(const RingInstance& ring, GlobalStateId s);
 
-/// Number of distinct states in s's rotation orbit (K / period).
+/// Number of distinct states in s's rotation orbit (== the primitive period
+/// of the cyclic word; always divides K).
 std::size_t rotation_orbit_size(const RingInstance& ring, GlobalStateId s);
 
+/// Deadlock census over the necklace quotient, without building the
+/// quotient transition graph — the cheapest symmetry-reduced sweep, and the
+/// one BENCH_symmetry.json races against the full-space engine.
+struct NecklaceCensus {
+  /// Quotient size: rotation orbits of |D|^K states.
+  std::size_t num_necklaces = 0;
+  /// Σ orbit sizes over all necklaces; always equals |D|^K.
+  std::uint64_t orbit_states = 0;
+  /// Orbit-weighted deadlock count: equals the plain checker's exactly.
+  std::size_t num_deadlocks_outside_i = 0;
+  /// Canonical deadlock representatives in ascending id order (capped).
+  std::vector<GlobalStateId> deadlock_orbit_reps;
+};
+
+/// `num_threads > 1` partitions the necklace prefix space over the shared
+/// pool; per-chunk partials merge in ascending slot order, so counts and
+/// representatives are identical to the serial enumeration for every
+/// thread count.
+NecklaceCensus necklace_census(const RingInstance& ring,
+                               std::size_t max_samples = 8,
+                               std::size_t num_threads = 1);
+
+/// Full verdict set over the rotation quotient; every verdict and count is
+/// identical to GlobalChecker's on the same instance (tests cross-validate
+/// the zoo at K=2..10).
 struct SymmetricCheckResult {
+  std::size_t ring_size = 0;
+  GlobalStateId num_states = 0;  // |D|^K, the space never materialized
+  std::size_t num_necklaces = 0;
+
   /// Orbit-aware deadlock count: equals the plain checker's count exactly.
   std::size_t num_deadlocks_outside_i = 0;
   /// Canonical deadlock representatives (capped).
   std::vector<GlobalStateId> deadlock_orbit_reps;
+
   bool has_livelock = false;
-  /// Canonical states actually visited (the cost; compare |D|^K).
+  /// Genuine full-space witness cycle (all states outside I), lifted from
+  /// the quotient cycle by iterating its closing rotation; empty if none.
+  std::vector<GlobalStateId> livelock_cycle;
+
+  bool closure_ok = true;
+  /// An actual transition leaving I: canonical source, raw successor.
+  std::optional<std::pair<GlobalStateId, GlobalStateId>> closure_violation;
+
+  /// Every state can reach I (weak convergence), by quotient fixpoint.
+  bool weakly_converges = false;
+
+  /// Worst-case steps to reach I; computed (on the quotient) only when
+  /// strongly_converges(), else 0. Recovery depth is rotation-invariant, so
+  /// this equals GlobalChecker::max_recovery_steps().
+  std::size_t max_recovery_steps = 0;
+
+  /// Canonical states actually visited (== num_necklaces; the cost —
+  /// compare |D|^K).
   std::size_t canonical_states_visited = 0;
+
+  bool strongly_converges() const {
+    return closure_ok && num_deadlocks_outside_i == 0 && !has_livelock;
+  }
 };
 
-/// `num_threads > 1` parallelizes the orbit-aware deadlock census on the
-/// shared pool (counts and representatives stay identical to the serial
-/// scan); the quotient-graph Tarjan pass stays serial.
+/// `num_threads > 1` parallelizes the necklace enumeration, quotient-graph
+/// build, closure scan, and weak-convergence fixpoint on the shared pool
+/// (all results stay identical to the serial run); the quotient Tarjan pass
+/// stays serial, like the plain checker's.
 SymmetricCheckResult check_symmetric(const RingInstance& ring,
                                      std::size_t max_samples = 8,
                                      std::size_t num_threads = 1);

@@ -8,6 +8,7 @@
 #include "global/array_instance.hpp"
 #include "global/checker.hpp"
 #include "global/cutoff.hpp"
+#include "global/symmetry.hpp"
 #include "global/trail_check.hpp"
 #include "local/array.hpp"
 #include "local/closure.hpp"
@@ -97,16 +98,20 @@ void ring_report(const Protocol& p, const ReportOptions& opt,
     }
   });
 
-  // Exhaustive cross-checks.
+  // Exhaustive cross-checks. The necklace-quotient column shows the
+  // rotation-symmetry reduction the `--symmetry` engine exploits (its
+  // verdicts are identical; tests cross-validate the two).
   timer.measure("report.exhaustive_checks", [&] {
     os << "## Exhaustive spot checks\n\n"
-       << "| K | states | deadlocks outside I | livelock | strong "
-          "self-stabilization |\n|---|---|---|---|---|\n";
+       << "| K | states | necklaces | deadlocks outside I | livelock | "
+          "strong self-stabilization |\n|---|---|---|---|---|---|\n";
     for (std::size_t k = opt.min_ring; k <= opt.max_ring; ++k) {
       try {
         const RingInstance ring(p, k, opt.max_states);
         const auto res = GlobalChecker(ring, opt.num_threads).check_all();
+        const auto census = necklace_census(ring, 0, opt.num_threads);
         os << "| " << k << " | " << res.num_states << " | "
+           << census.num_necklaces << " | "
            << res.num_deadlocks_outside_i << " | "
            << (res.has_livelock ? "yes" : "no") << " | "
            << (res.strongly_converges()
@@ -115,7 +120,7 @@ void ring_report(const Protocol& p, const ReportOptions& opt,
                    : "no")
            << " |\n";
       } catch (const CapacityError&) {
-        os << "| " << k << " | over budget | — | — | — |\n";
+        os << "| " << k << " | over budget | — | — | — | — |\n";
       }
     }
     os << "\n";

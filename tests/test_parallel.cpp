@@ -186,13 +186,39 @@ TEST(ParallelSymmetry, CensusMatchesSerialScan) {
   for (const auto& p : testing::protocol_zoo()) {
     const RingInstance ring(p, 6);
     const auto serial = check_symmetric(ring, 8, 1);
-    const auto par = check_symmetric(ring, 8, 4);
-    EXPECT_EQ(par.num_deadlocks_outside_i, serial.num_deadlocks_outside_i)
-        << p.name();
-    EXPECT_EQ(par.deadlock_orbit_reps, serial.deadlock_orbit_reps) << p.name();
-    EXPECT_EQ(par.canonical_states_visited, serial.canonical_states_visited)
-        << p.name();
-    EXPECT_EQ(par.has_livelock, serial.has_livelock) << p.name();
+    for (std::size_t threads : {2u, 4u}) {
+      const auto par = check_symmetric(ring, 8, threads);
+      EXPECT_EQ(par.num_necklaces, serial.num_necklaces) << p.name();
+      EXPECT_EQ(par.num_deadlocks_outside_i, serial.num_deadlocks_outside_i)
+          << p.name();
+      EXPECT_EQ(par.deadlock_orbit_reps, serial.deadlock_orbit_reps)
+          << p.name();
+      EXPECT_EQ(par.canonical_states_visited, serial.canonical_states_visited)
+          << p.name();
+      EXPECT_EQ(par.has_livelock, serial.has_livelock) << p.name();
+      EXPECT_EQ(par.livelock_cycle, serial.livelock_cycle) << p.name();
+      EXPECT_EQ(par.closure_ok, serial.closure_ok) << p.name();
+      EXPECT_EQ(par.closure_violation, serial.closure_violation) << p.name();
+      EXPECT_EQ(par.weakly_converges, serial.weakly_converges) << p.name();
+      EXPECT_EQ(par.max_recovery_steps, serial.max_recovery_steps)
+          << p.name();
+    }
+  }
+}
+
+TEST(ParallelSymmetry, CensusOnlySweepMatchesFullResult) {
+  for (const auto& p : testing::protocol_zoo()) {
+    const RingInstance ring(p, 7);
+    const auto full = check_symmetric(ring, 8, 1);
+    for (std::size_t threads : {1u, 4u}) {
+      const auto census = necklace_census(ring, 8, threads);
+      EXPECT_EQ(census.num_necklaces, full.num_necklaces) << p.name();
+      EXPECT_EQ(census.orbit_states, ring.num_states()) << p.name();
+      EXPECT_EQ(census.num_deadlocks_outside_i, full.num_deadlocks_outside_i)
+          << p.name();
+      EXPECT_EQ(census.deadlock_orbit_reps, full.deadlock_orbit_reps)
+          << p.name();
+    }
   }
 }
 

@@ -3,14 +3,88 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <random>
 
+#include "global/necklace.hpp"
 #include "helpers.hpp"
 #include "protocols/agreement.hpp"
 #include "protocols/matching.hpp"
 
 namespace ringstab {
 namespace {
+
+// Burnside: #necklaces = (1/k) Σ_{r | k} φ(r) d^{k/r}.
+std::uint64_t necklaces_by_burnside(std::size_t k, std::size_t d) {
+  auto phi = [](std::size_t n) {
+    std::size_t result = n;
+    for (std::size_t p = 2; p * p <= n; ++p) {
+      if (n % p != 0) continue;
+      while (n % p == 0) n /= p;
+      result -= result / p;
+    }
+    if (n > 1) result -= result / n;
+    return result;
+  };
+  std::uint64_t sum = 0;
+  for (std::size_t r = 1; r <= k; ++r) {
+    if (k % r != 0) continue;
+    std::uint64_t pw = 1;
+    for (std::size_t i = 0; i < k / r; ++i) pw *= d;
+    sum += phi(r) * pw;
+  }
+  return sum / k;
+}
+
+// The FKM enumerator's necklaces are exactly the rotation orbits: they are
+// canonical, strictly ascending, their orbit sizes sum to |D|^K (the
+// necklace identity), and their count matches Burnside's formula.
+TEST(Necklace, EnumerationIdentity) {
+  for (std::size_t d : {2u, 3u, 4u}) {
+    for (std::size_t k = 1; k <= 12; ++k) {
+      const NecklaceEnumerator enumerator(k, d);
+      std::uint64_t count = 0, orbit_sum = 0, expect_states = 1;
+      for (std::size_t i = 0; i < k; ++i) expect_states *= d;
+      GlobalStateId prev = 0;
+      bool first = true;
+      enumerator.visit_all([&](const Value* digits, GlobalStateId id,
+                               std::uint32_t orbit) {
+        ASSERT_TRUE(first || id > prev) << "not ascending at id " << id;
+        first = false;
+        prev = id;
+        ++count;
+        orbit_sum += orbit;
+        ASSERT_EQ(orbit, cyclic_period(digits, k));
+        ASSERT_EQ(canonical_necklace_id(digits, k, enumerator.powers()), id);
+        ASSERT_EQ(k % orbit, 0u);
+      });
+      EXPECT_EQ(orbit_sum, expect_states) << "k=" << k << " d=" << d;
+      EXPECT_EQ(count, necklaces_by_burnside(k, d)) << "k=" << k << " d=" << d;
+      EXPECT_EQ(count_necklaces(k, d), count);
+    }
+  }
+}
+
+// Slot-partitioned enumeration must reproduce the serial stream for any
+// split of the slot range (this is what makes the parallel census exact).
+TEST(Necklace, SlotPartitionReproducesSerialOrder) {
+  const NecklaceEnumerator enumerator(9, 3);
+  std::vector<GlobalStateId> serial;
+  enumerator.visit_all([&](const Value*, GlobalStateId id, std::uint32_t) {
+    serial.push_back(id);
+  });
+  for (std::uint64_t parts : {2u, 7u, 64u}) {
+    std::vector<GlobalStateId> split;
+    const std::uint64_t n = enumerator.num_slots();
+    for (std::uint64_t j = 0; j < parts; ++j) {
+      const std::uint64_t b = n * j / parts, e = n * (j + 1) / parts;
+      enumerator.visit_slots(b, e,
+                             [&](const Value*, GlobalStateId id,
+                                 std::uint32_t) { split.push_back(id); });
+    }
+    EXPECT_EQ(split, serial) << parts << " parts";
+  }
+}
 
 TEST(Symmetry, CanonicalIsMinimalRotationInvariant) {
   const RingInstance ring(protocols::agreement_both(), 6);
@@ -44,23 +118,63 @@ TEST(Symmetry, OrbitSizesDivideK) {
   EXPECT_LT(canonical, ring.num_states() / 4);
 }
 
-// The symmetric checker's verdicts equal the plain checker's, at a fraction
-// of the visited states — across the zoo.
+// A livelock witness must be a genuine cycle: every state outside I, every
+// consecutive pair (cyclically) an actual transition of the instance.
+void expect_valid_livelock_cycle(const RingInstance& ring,
+                                 const std::vector<GlobalStateId>& cycle) {
+  ASSERT_FALSE(cycle.empty());
+  std::vector<RingInstance::Step> succ;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    EXPECT_FALSE(ring.in_invariant(cycle[i]));
+    const GlobalStateId next = cycle[(i + 1) % cycle.size()];
+    ring.successors(cycle[i], succ);
+    const bool is_edge =
+        std::any_of(succ.begin(), succ.end(),
+                    [&](const auto& s) { return s.target == next; });
+    EXPECT_TRUE(is_edge) << "not a transition: " << cycle[i] << " -> " << next;
+  }
+}
+
+// The symmetric checker's verdicts and counts are bit-identical to the
+// plain checker's across the zoo at K=2..10, for 1 and 4 threads, at a
+// fraction of the visited states.
 class SymmetryZooTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(SymmetryZooTest, AgreesWithPlainChecker) {
   const Protocol p = testing::protocol_zoo()[GetParam()];
-  for (std::size_t k : {4u, 5u, 6u}) {
+  for (std::size_t k = 2; k <= 10; ++k) {
     const RingInstance ring(p, k);
-    const GlobalChecker plain(ring);
-    const auto sym = check_symmetric(ring);
-    EXPECT_EQ(sym.num_deadlocks_outside_i,
-              plain.count_deadlocks_outside_invariant())
-        << p.name() << " K=" << k;
-    EXPECT_EQ(sym.has_livelock, plain.find_livelock().has_value())
-        << p.name() << " K=" << k;
-    EXPECT_LT(sym.canonical_states_visited, ring.num_states())
-        << p.name() << " K=" << k;
+    // Keep the expensive side (the plain checker's |D|^K sweep) bounded;
+    // every d<=3 zoo protocol still reaches K=10.
+    if (ring.num_states() > (GlobalStateId{1} << 18)) break;
+    const auto plain = GlobalChecker(ring).check_all();
+    for (std::size_t threads : {1u, 4u}) {
+      const auto sym = check_symmetric(ring, 8, threads);
+      EXPECT_EQ(sym.num_deadlocks_outside_i, plain.num_deadlocks_outside_i)
+          << p.name() << " K=" << k << " threads=" << threads;
+      EXPECT_EQ(sym.has_livelock, plain.has_livelock)
+          << p.name() << " K=" << k << " threads=" << threads;
+      EXPECT_EQ(sym.closure_ok, plain.closure_ok)
+          << p.name() << " K=" << k << " threads=" << threads;
+      EXPECT_EQ(sym.weakly_converges, plain.weakly_converges)
+          << p.name() << " K=" << k << " threads=" << threads;
+      EXPECT_EQ(sym.strongly_converges(), plain.strongly_converges())
+          << p.name() << " K=" << k << " threads=" << threads;
+      EXPECT_EQ(sym.max_recovery_steps, plain.max_recovery_steps)
+          << p.name() << " K=" << k << " threads=" << threads;
+      EXPECT_EQ(sym.num_states, ring.num_states());
+      EXPECT_EQ(sym.num_necklaces, count_necklaces(k, p.domain().size()))
+          << p.name() << " K=" << k;
+      EXPECT_LT(sym.canonical_states_visited, ring.num_states())
+          << p.name() << " K=" << k;
+      if (sym.has_livelock)
+        expect_valid_livelock_cycle(ring, sym.livelock_cycle);
+      if (!sym.closure_ok) {
+        ASSERT_TRUE(sym.closure_violation.has_value());
+        EXPECT_TRUE(ring.in_invariant(sym.closure_violation->first));
+        EXPECT_FALSE(ring.in_invariant(sym.closure_violation->second));
+      }
+    }
   }
 }
 
