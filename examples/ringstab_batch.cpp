@@ -10,8 +10,11 @@
 //
 // `--check K` additionally cross-validates every ring protocol against the
 // exhaustive global checker at size K (`--symmetry` swaps in the
-// rotation-quotient engine — same verdicts, ~K× fewer states); `--jobs N`
-// runs those checks on N worker threads (0 = all cores).
+// rotation-quotient engine — same verdicts, ~K× fewer states); `--synth`
+// runs the Problem 3.1 synthesizer on every uncertified ring protocol (one
+// verdict memo shared across the whole directory, so repeated candidate
+// signatures are verified once); `--jobs N` runs those checks and the
+// synthesis candidate portfolio on N worker threads (0 = all cores).
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +31,7 @@
 #include "local/convergence.hpp"
 #include "obs/session.hpp"
 #include "parallel/thread_pool.hpp"
+#include "synthesis/local_synthesizer.hpp"
 
 namespace {
 
@@ -74,7 +78,8 @@ const char* take_value(int argc, char** argv, int& i, const char* flag) {
 }
 
 FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
-                    std::size_t jobs, bool symmetry) {
+                    std::size_t jobs, bool symmetry,
+                    const std::shared_ptr<VerdictMemo>& synth_memo) {
   FileOutcome out;
   out.file = path.filename().string();
   const std::string text = slurp(path);
@@ -117,6 +122,21 @@ FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
         // A local certificate must never contradict the exhaustive check.
         if (certified && !global_ok) out.ok = false;
       }
+      if (synth_memo != nullptr && !certified) {
+        // Diagnostic only (never affects ok): can Problem 3.1 repair this
+        // input? The directory-wide memo makes repeated signatures cheap.
+        SynthesisOptions opts;
+        opts.num_threads = jobs;
+        opts.memo = synth_memo;
+        opts.keep_rejected_reports = false;
+        opts.require_closed_invariant = false;
+        const auto synth = synthesize_convergence(p, opts);
+        out.verdict += synth.success
+                           ? " [synth: " +
+                                 std::to_string(synth.solutions.size()) +
+                                 " solutions]"
+                           : " [synth: none]";
+      }
     }
     if (out.expectation == "converges") out.ok = out.ok && certified;
     if (out.expectation == "fails") out.ok = out.ok && !certified;
@@ -132,12 +152,13 @@ FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: ringstab-batch <directory> [--strict] [--check K] "
-                 "[--symmetry] [--jobs N] [--stats] [--trace FILE] "
+                 "[--symmetry] [--synth] [--jobs N] [--stats] [--trace FILE] "
                  "[--jsonl FILE] [--progress]\n";
     return 2;
   }
   bool strict = false;
   bool symmetry = false;  // --check via the rotation-quotient engine
+  bool synth = false;     // try Problem 3.1 on uncertified ring protocols
   std::size_t check_k = 0;  // 0 = local analysis only
   std::size_t jobs = 1;
   obs::SessionOptions obs_opts;
@@ -147,6 +168,8 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (std::strcmp(argv[i], "--symmetry") == 0) {
       symmetry = true;
+    } else if (std::strcmp(argv[i], "--synth") == 0) {
+      synth = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check_k = parse_count("--check", take_value(argc, argv, i, "--check"));
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -176,14 +199,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const int verdict_w = check_k >= 2 ? 52 : 36;
+  const std::shared_ptr<VerdictMemo> synth_memo =
+      synth ? std::make_shared<VerdictMemo>() : nullptr;
+  const int verdict_w = check_k >= 2 || synth ? 52 : 36;
   std::size_t failures = 0;
   std::cout << std::left << std::setw(28) << "file" << std::setw(22)
             << "protocol" << std::setw(verdict_w) << "verdict"
             << "expectation\n"
             << std::string(60 + verdict_w, '-') << "\n";
   for (const auto& path : files) {
-    const FileOutcome out = process(path, check_k, jobs, symmetry);
+    const FileOutcome out = process(path, check_k, jobs, symmetry, synth_memo);
     std::cout << std::left << std::setw(28) << out.file << std::setw(22)
               << out.name << std::setw(verdict_w) << out.verdict
               << (out.expectation.empty()

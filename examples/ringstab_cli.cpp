@@ -40,7 +40,9 @@ int usage() {
   std::cerr <<
       "usage: ringstab <command> <file.ring> [options]\n"
       "  analyze    local convergence analysis (valid for every ring size)\n"
-      "  synthesize add convergence (Problem 3.1); --all prints every solution\n"
+      "  synthesize add convergence (Problem 3.1); --all prints every\n"
+      "             solution; --jobs N evaluates candidates on N lanes\n"
+      "             (alias: synth)\n"
       "  check      exhaustive model check at one size: -k <K> [--jobs N]\n"
       "             [--symmetry]  check the rotation quotient (necklace\n"
       "             enumeration; identical verdicts, ~K× fewer states)\n"
@@ -52,7 +54,9 @@ int usage() {
       "  report     full markdown analysis report [--array] [--max K]\n"
       "  trace      step-by-step run: -k <K> [--from v,v,...] [--seed S]\n"
       "  --jobs N   worker threads for the global checker / simulator\n"
-      "             sweeps (default 1 = the serial engine; 0 = all cores)\n"
+      "             sweeps and the synthesis candidate portfolio (default 1 =\n"
+      "             the serial engine; 0 = all cores; results are identical\n"
+      "             at every N)\n"
       "observability (any command):\n"
       "  --stats         phase/counter summary on stderr at exit\n"
       "  --trace <file>  Chrome trace-event JSON (chrome://tracing, Perfetto)\n"
@@ -186,8 +190,10 @@ int cmd_analyze(const Protocol& p) {
   return res.verdict == ConvergenceAnalysis::Verdict::kConverges ? 0 : 1;
 }
 
-int cmd_synthesize(const Protocol& p, bool all) {
-  const auto res = synthesize_convergence(p);
+int cmd_synthesize(const Protocol& p, bool all, std::size_t jobs) {
+  SynthesisOptions options;
+  options.num_threads = jobs;
+  const auto res = synthesize_convergence(p, options);
   std::cout << res.summary(p) << "\n";
   const std::size_t show = all ? res.solutions.size()
                                : std::min<std::size_t>(1, res.solutions.size());
@@ -329,19 +335,21 @@ int main(int argc, char** argv) {
     const obs::Session obs_session(obs_opts);
 
     const Protocol p = parse_protocol_file(argv[2]);
+    const std::size_t jobs = parse_jobs(argc, argv);
     if (command == "analyze")
       return has_flag(argc, argv, "--array") ? cmd_analyze_array(p)
                                              : cmd_analyze(p);
-    if (command == "synthesize") {
+    if (command == "synthesize" || command == "synth") {
       if (has_flag(argc, argv, "--array")) {
-        const auto res = synthesize_array_convergence(p);
+        ArraySynthesisOptions options;
+        options.num_threads = jobs;
+        const auto res = synthesize_array_convergence(p, options);
         std::cout << res.summary(p) << "\n";
         if (res.success) std::cout << describe(res.solutions[0].protocol);
         return res.success ? 0 : 1;
       }
-      return cmd_synthesize(p, has_flag(argc, argv, "--all"));
+      return cmd_synthesize(p, has_flag(argc, argv, "--all"), jobs);
     }
-    const std::size_t jobs = parse_jobs(argc, argv);
     if (command == "check") {
       const auto k =
           static_cast<std::size_t>(arg_value(argc, argv, "-k", 5, 2, 63));

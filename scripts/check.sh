@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate + sanitized builds.
 #
-#   scripts/check.sh            full: build, ctest, TSan test_parallel+test_obs,
-#                               ASan test_symmetry + CLI parsing tests
+#   scripts/check.sh            full: build, ctest, TSan test_parallel+test_obs
+#                               +test_synthesis_parallel, ASan test_symmetry
+#                               + CLI parsing/synthesis tests
 #   scripts/check.sh --fast     tier-1 only (skip the sanitizer builds)
 #
 # Run from anywhere; builds land in <repo>/build, build-tsan, build-asan.
@@ -25,14 +26,21 @@ if [[ "$fast" == 1 ]]; then
   exit 0
 fi
 
-echo "== TSan: build test_parallel + test_obs =="
+echo "== TSan: build test_parallel + test_obs + test_synthesis_parallel =="
 cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DRINGSTAB_SANITIZE=thread
-cmake --build "$repo/build-tsan" -j "$jobs" --target test_parallel test_obs
+cmake --build "$repo/build-tsan" -j "$jobs" \
+      --target test_parallel test_obs test_synthesis_parallel
 
 echo "== TSan: run =="
 "$repo/build-tsan/tests/test_parallel"
 "$repo/build-tsan/tests/test_obs"
+# The zoo-wide bit-identity sweeps re-run full synthesis dozens of times and
+# take minutes under TSan; the remaining tests drive every concurrent code
+# path (portfolio lanes, memo shards, quota claims, nested regions) and are
+# what TSan is here to watch.
+"$repo/build-tsan/tests/test_synthesis_parallel" \
+    --gtest_filter='-PortfolioSynthesis.LocalBitIdenticalAcrossThreadCounts:PortfolioSynthesis.MemoizationDoesNotChangeResults:PortfolioSynthesis.SharedSignaturesHitTheMemo'
 
 echo "== ASan: build test_symmetry + CLI tools =="
 cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -43,6 +51,6 @@ cmake --build "$repo/build-asan" -j "$jobs" \
 echo "== ASan: run =="
 "$repo/build-asan/tests/test_symmetry"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" \
-      -R 'cli_(bad_k|negative_k|missing_flag_value|flag_value_flag|batch_missing_value|check_symmetry|batch_symmetry|bad_jobs)'
+      -R 'cli_(bad_k|negative_k|missing_flag_value|flag_value_flag|batch_missing_value|check_symmetry|batch_symmetry|bad_jobs|synth_alias|synthesize_jobs|synthesize_bad_jobs|batch_synth)'
 
 echo "== OK =="

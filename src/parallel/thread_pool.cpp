@@ -6,6 +6,16 @@
 #include "obs/obs.hpp"
 
 namespace ringstab {
+namespace {
+
+// True while this thread is executing a lane of some ThreadPool::run. A
+// nested run() from inside a lane (e.g. a parallel synthesizer candidate
+// evaluation calling a parallel checker) must not wait on the pool — the
+// workers it would wait for are the ones already busy running it — so
+// nested regions degrade to inline execution instead of deadlocking.
+thread_local bool t_inside_pool_run = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t workers = num_threads > 1 ? num_threads - 1 : 0;
@@ -39,8 +49,11 @@ void ThreadPool::worker_loop(std::stop_token stop, std::size_t lane) {
       job = job_;
     }
     try {
+      t_inside_pool_run = true;
       (*job)(lane);
+      t_inside_pool_run = false;
     } catch (...) {
+      t_inside_pool_run = false;
       std::lock_guard lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
@@ -52,10 +65,14 @@ void ThreadPool::worker_loop(std::stop_token stop, std::size_t lane) {
 void ThreadPool::run(std::size_t lanes,
                      const std::function<void(std::size_t)>& job) {
   lanes = std::clamp<std::size_t>(lanes, 1, num_threads());
-  if (lanes == 1) {
+  if (lanes == 1 || t_inside_pool_run) {
     job(0);
     return;
   }
+  struct RunScope {  // clears the reentrancy flag on every exit path
+    ~RunScope() { t_inside_pool_run = false; }
+  } run_scope;
+  t_inside_pool_run = true;
   {
     std::lock_guard lock(mu_);
     job_ = &job;

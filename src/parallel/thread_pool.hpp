@@ -43,7 +43,11 @@ class ThreadPool {
 
   /// Run job(lane) on `lanes` lanes (lane 0 is the calling thread) and
   /// block until all return. The first exception thrown by any lane is
-  /// rethrown on the caller. Not reentrant.
+  /// rethrown on the caller. Reentrancy-safe: a run() issued from inside a
+  /// lane of an outer run() executes job(0) inline on that lane (the pool's
+  /// workers are already occupied by the outer region), so nested parallel
+  /// regions — a parallel synthesizer candidate invoking a parallel checker
+  /// — degrade to serial instead of deadlocking.
   void run(std::size_t lanes, const std::function<void(std::size_t)>& job);
 
   /// The process-wide pool, sized to std::thread::hardware_concurrency()

@@ -99,6 +99,13 @@ void enumerate_resolves(const Protocol& p, const Digraph& rcg,
         "bad walks end at an illegitimate state)");
 }
 
+/// One built-and-verified candidate, parked in its portfolio slot (every
+/// array candidate is accepted; the verdict only carries the artifacts).
+struct ArrayEval {
+  Protocol pss;
+  std::vector<LocalTransition> added;
+};
+
 }  // namespace
 
 ArraySynthesisResult synthesize_array_convergence(
@@ -127,6 +134,15 @@ ArraySynthesisResult synthesize_array_convergence(
   }
 
   ArraySynthesisResult res;
+  obs::Counter& generated = obs::counter("synth.candidates_generated");
+  obs::Counter& found = obs::counter("synth.solutions_found");
+  std::shared_ptr<VerdictMemo> local_memo;
+  const VerdictMemo* memo = nullptr;
+  if (options.memoize) {
+    local_memo =
+        options.memo ? options.memo : std::make_shared<VerdictMemo>();
+    memo = local_memo.get();
+  }
   const Digraph rcg = build_rcg(p.space());
 
   // Resolve sets: minimal ¬LC hitting sets of all bad walks.
@@ -183,32 +199,66 @@ ArraySynthesisResult synthesize_array_convergence(
     }
     if (!feasible) continue;
 
-    std::vector<std::size_t> pick(per_state.size(), 0);
-    while (res.solutions.size() < options.max_solutions) {
-      std::vector<LocalTransition> added;
-      for (std::size_t i = 0; i < per_state.size(); ++i)
-        added.push_back(per_state[i][pick[i]]);
-      ++res.candidates_examined;
-      obs::counter("synth.candidates_generated").add(1);
-
-      Protocol pss = p.with_added(
-          cat(p.name(), "_ass", res.candidates_examined), added);
-      // Defensive re-check of the local theorem on the revision.
-      const auto verify = analyze_array_deadlocks(pss, 8);
-      RINGSTAB_ASSERT(verify.deadlock_free_all_n,
-                      "array Resolve set failed to cut all bad walks");
-      res.solutions.push_back({std::move(pss), added, resolve});
-      obs::counter("synth.solutions_found").add(1);
-
-      std::size_t i = 0;
-      for (; i < per_state.size(); ++i) {
-        if (++pick[i] < per_state[i].size()) break;
-        pick[i] = 0;
-      }
-      if (i == per_state.size() ||
-          res.candidates_examined >= options.max_candidate_sets)
-        break;
+    // Batch size replicating the serial odometer's stopping rule exactly:
+    // the loop ran while the solution quota had room, and checked the
+    // max_candidate_sets cap only *after* accepting — so a Resolve set
+    // reached with the cap already spent still contributed one candidate.
+    std::uint64_t odometer_total = 1;
+    for (const auto& cands : per_state) {
+      odometer_total *= cands.size();
+      if (odometer_total > options.max_candidate_sets + options.max_solutions)
+        break;  // beyond every other bound; avoid overflow
     }
+    const std::size_t base = res.candidates_examined;
+    const std::size_t cap_room =
+        options.max_candidate_sets > base
+            ? options.max_candidate_sets - base
+            : std::size_t{1};
+    const std::size_t batch = std::min<std::uint64_t>(
+        odometer_total,
+        std::min<std::uint64_t>(options.max_solutions - res.solutions.size(),
+                                std::max<std::size_t>(cap_room, 1)));
+
+    run_portfolio<ArrayEval>(
+        batch, options.num_threads, /*accept_quota=*/0,
+        [&](std::size_t j) {
+          // Decode candidate j of the odometer (index 0 least significant).
+          std::vector<LocalTransition> added;
+          std::size_t rem = j;
+          for (const auto& cands : per_state) {
+            added.push_back(cands[rem % cands.size()]);
+            rem /= cands.size();
+          }
+          Protocol pss =
+              p.with_added(cat(p.name(), "_ass", base + j + 1), added);
+          bool free_all_n;
+          if (memo != nullptr) {
+            const std::string key = memo_key_protocol('A', pss);
+            if (const auto hit = memo->get(key)) {
+              free_all_n = hit->flag;
+            } else {
+              free_all_n = analyze_array_deadlocks(pss, 8).deadlock_free_all_n;
+              CachedVerdict v;
+              v.flag = free_all_n;
+              memo->put(key, v);
+            }
+          } else {
+            // Defensive re-check of the local theorem on the revision.
+            free_all_n = analyze_array_deadlocks(pss, 8).deadlock_free_all_n;
+          }
+          RINGSTAB_ASSERT(free_all_n,
+                          "array Resolve set failed to cut all bad walks");
+          return ArrayEval{std::move(pss), std::move(added)};
+        },
+        [](const ArrayEval&) { return true; },
+        [&](std::size_t, ArrayEval eval) {
+          ++res.candidates_examined;
+          generated.add(1);
+          res.solutions.push_back(
+              {std::move(eval.pss), std::move(eval.added), resolve});
+          found.add(1);
+          return PortfolioStep::kContinue;
+        });
   }
   res.success = !res.solutions.empty();
   return res;
@@ -230,6 +280,8 @@ std::string ArraySynthesisResult::summary(const Protocol& input) const {
                  return describe_transition(solutions[i].protocol, t);
                })
        << "\n";
+  if (solutions.size() > 4)
+    os << "  … and " << solutions.size() - 4 << " more\n";
   return os.str();
 }
 

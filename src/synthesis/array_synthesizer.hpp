@@ -9,11 +9,13 @@
 // synthesis with no livelock check needed at all.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "synthesis/portfolio.hpp"
 
 namespace ringstab {
 
@@ -23,6 +25,18 @@ struct ArraySynthesisOptions {
   std::size_t max_solutions = 64;
   /// Spot-check closure of I globally at this array length (0 = skip).
   std::size_t closure_check_length = 5;
+
+  /// Portfolio execution (DESIGN.md §10): pool lanes building and verifying
+  /// candidates. 1 = serial; 0 = all hardware lanes. Results are
+  /// bit-identical at any thread count.
+  std::size_t num_threads = 1;
+
+  /// Cache per-candidate deadlock verdicts in a VerdictMemo (pure caching;
+  /// results identical with it off).
+  bool memoize = true;
+
+  /// Share a memo table across calls; null = private per-call table.
+  std::shared_ptr<VerdictMemo> memo;
 };
 
 struct ArraySynthesisSolution {

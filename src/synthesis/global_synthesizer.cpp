@@ -1,52 +1,124 @@
 #include "synthesis/global_synthesizer.hpp"
 
+#include <optional>
+
 #include "core/fmt.hpp"
 #include "core/printer.hpp"
 #include "local/deadlock.hpp"
 #include "obs/obs.hpp"
 
 namespace ringstab {
+namespace {
+
+/// One candidate's fixed-K verdict, parked in its portfolio slot.
+struct GlobalEval {
+  bool prefiltered = false;  // discarded by the Theorem 4.2 prefilter
+  bool ok = false;           // strongly stabilizing for every configured K
+  GlobalStateId states = 0;  // global states the K sweep cost
+  std::optional<Protocol> pss;  // kept only when ok
+};
+
+GlobalEval evaluate_candidate(const Protocol& p,
+                              const GlobalSynthesisOptions& options,
+                              const VerdictMemo* memo, std::size_t ordinal,
+                              const std::vector<LocalTransition>& added) {
+  Protocol pss =
+      p.with_added(cat(p.name(), "_gss", ordinal), added);
+  GlobalEval eval;
+
+  std::string key;
+  if (memo != nullptr) {
+    key = memo_key_protocol('G', pss);
+    memo_append_u64(key, options.min_ring);
+    memo_append_u64(key, options.max_ring);
+    memo_append_u64(key, options.max_states);
+    key.push_back(options.prefilter_with_theorem42 ? 1 : 0);
+    if (const auto hit = memo->get(key)) {
+      eval.prefiltered = hit->status == 0;
+      eval.ok = hit->flag;
+      eval.states = hit->amount;
+      if (eval.ok) eval.pss = std::move(pss);
+      return eval;
+    }
+  }
+
+  if (options.prefilter_with_theorem42 &&
+      !analyze_deadlocks(pss, /*spectrum=*/2).deadlock_free_all_k) {
+    eval.prefiltered = true;
+  } else {
+    // The per-candidate K sweep stays serial: each K short-circuits the
+    // next, and candidate-level fan-out already saturates the pool.
+    bool ok = true;
+    for (std::size_t k = options.min_ring; k <= options.max_ring && ok;
+         ++k) {
+      const RingInstance ring(pss, k, options.max_states);
+      eval.states += ring.num_states();
+      ok = strongly_stabilizing(ring);
+    }
+    eval.ok = ok;
+  }
+
+  if (memo != nullptr) {
+    CachedVerdict v;
+    v.status = eval.prefiltered ? 0 : 1;
+    v.flag = eval.ok;
+    v.amount = eval.states;
+    memo->put(key, v);
+  }
+  if (eval.ok) eval.pss = std::move(pss);
+  return eval;
+}
+
+}  // namespace
 
 GlobalSynthesisResult synthesize_convergence_global(
     const Protocol& p, const GlobalSynthesisOptions& options) {
   const obs::Span span("synth.global");
   obs::Counter& generated = obs::counter("synth.candidates_generated");
   obs::Counter& pruned = obs::counter("synth.candidates_pruned");
+  obs::Counter& found = obs::counter("synth.solutions_found");
+  obs::Counter& explored = obs::counter("synth.global_states_explored");
   GlobalSynthesisResult res;
   const auto resolve_sets = enumerate_resolve_sets(p, options.max_resolve_sets);
 
+  std::shared_ptr<VerdictMemo> local_memo;
+  const VerdictMemo* memo = nullptr;
+  if (options.memoize) {
+    local_memo =
+        options.memo ? options.memo : std::make_shared<VerdictMemo>();
+    memo = local_memo.get();
+  }
+
   for (const auto& resolve : resolve_sets) {
     if (res.solutions.size() >= options.max_solutions) break;
-    for (auto& added : enumerate_candidate_sets(p, resolve,
-                                                options.max_candidate_sets)) {
-      if (res.solutions.size() >= options.max_solutions) break;
-      ++res.candidates_examined;
-      generated.add(1);
-      Protocol pss = p.with_added(
-          cat(p.name(), "_gss", res.candidates_examined), added);
-
-      if (options.prefilter_with_theorem42 &&
-          !analyze_deadlocks(pss, /*spectrum=*/2).deadlock_free_all_k) {
-        ++res.prefiltered_out;
-        pruned.add(1);
-        continue;
-      }
-
-      bool ok = true;
-      for (std::size_t k = options.min_ring; k <= options.max_ring && ok;
-           ++k) {
-        const RingInstance ring(pss, k, options.max_states);
-        res.states_explored += ring.num_states();
-        obs::counter("synth.global_states_explored").add(ring.num_states());
-        ok = strongly_stabilizing(ring);
-      }
-      if (ok) {
-        res.solutions.push_back({std::move(pss), added, resolve});
-        obs::counter("synth.solutions_found").add(1);
-      } else {
-        pruned.add(1);
-      }
-    }
+    const auto batch =
+        enumerate_candidate_sets(p, resolve, options.max_candidate_sets);
+    const std::size_t base = res.candidates_examined;
+    const std::size_t quota = options.max_solutions - res.solutions.size();
+    run_portfolio<GlobalEval>(
+        batch.size(), options.num_threads, quota,
+        [&](std::size_t i) {
+          return evaluate_candidate(p, options, memo, base + i + 1, batch[i]);
+        },
+        [](const GlobalEval& e) { return e.ok; },
+        [&](std::size_t i, GlobalEval eval) {
+          if (res.solutions.size() >= options.max_solutions)
+            return PortfolioStep::kStop;
+          ++res.candidates_examined;
+          generated.add(1);
+          res.states_explored += eval.states;
+          explored.add(eval.states);
+          if (eval.prefiltered) {
+            ++res.prefiltered_out;
+            pruned.add(1);
+          } else if (eval.ok) {
+            res.solutions.push_back({std::move(*eval.pss), batch[i], resolve});
+            found.add(1);
+          } else {
+            pruned.add(1);
+          }
+          return PortfolioStep::kContinue;
+        });
   }
   res.success = !res.solutions.empty();
   return res;
@@ -66,6 +138,8 @@ std::string GlobalSynthesisResult::summary(const Protocol& input) const {
                  return describe_transition(solutions[i].protocol, t);
                })
        << "\n";
+  if (solutions.size() > 4)
+    os << "  … and " << solutions.size() - 4 << " more\n";
   return os.str();
 }
 

@@ -2,11 +2,13 @@
 // paper's related work [16,17]: generate candidates, model-check each K).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "global/checker.hpp"
 #include "synthesis/candidates.hpp"
+#include "synthesis/portfolio.hpp"
 
 namespace ringstab {
 
@@ -25,6 +27,19 @@ struct GlobalSynthesisOptions {
   /// speeds up the baseline and removes one class of non-generalizable
   /// solutions (K-bounded livelock acceptance remains).
   bool prefilter_with_theorem42 = false;
+
+  /// Portfolio execution (DESIGN.md §10): pool lanes evaluating candidates
+  /// (each candidate's K sweep stays serial inside its lane). 1 = serial;
+  /// 0 = all hardware lanes. Results are bit-identical at any thread count.
+  std::size_t num_threads = 1;
+
+  /// Cache each candidate's full fixed-K verdict (+ the states it cost) in
+  /// a VerdictMemo; `states_explored` then charges cached candidates what
+  /// their sweep originally cost, keeping totals thread- and memo-invariant.
+  bool memoize = true;
+
+  /// Share a memo table across calls; null = private per-call table.
+  std::shared_ptr<VerdictMemo> memo;
 };
 
 struct GlobalSynthesisSolution {

@@ -5,16 +5,146 @@
 #include "core/fmt.hpp"
 #include "core/printer.hpp"
 #include "global/checker.hpp"
+#include "local/livelock.hpp"
 #include "local/pseudo_livelock.hpp"
+#include "local/self_disabling.hpp"
 #include "obs/obs.hpp"
 
 namespace ringstab {
+namespace {
+
+/// One evaluated candidate, parked in its portfolio slot until the
+/// ascending merge (see portfolio.hpp).
+struct LocalEval {
+  CandidateReport report;
+  std::optional<Protocol> pss;  // kept only when accepted (solutions need it)
+};
+
+/// Methodology steps 4–5 for one candidate set: a pure function of
+/// (p, options, ordinal, added), safe to run on any pool lane.
+LocalEval evaluate_candidate(const Protocol& p, const SynthesisOptions& options,
+                             const VerdictMemo* memo, std::size_t ordinal,
+                             const std::vector<LocalTransition>& added) {
+  Protocol pss = p.with_added(cat(p.name(), "_ss", ordinal), added);
+  LocalEval eval;
+  CandidateReport& report = eval.report;
+  report.added = added;
+
+  // Step 4 fast path (NPL): if the write projection of the *entire* δ_r of
+  // p_ss has no value cycle, no subset can form a pseudo-livelock, so
+  // Theorem 5.14 certifies livelock-freedom with no trail search. The
+  // verdict depends only on the projected write-pair set, so candidates
+  // sharing that signature share one memo entry.
+  bool npl_livelock_free;
+  if (memo != nullptr) {
+    const std::string key = memo_key_npl(pss);
+    if (const auto hit = memo->get(key)) {
+      npl_livelock_free = !hit->flag;
+    } else {
+      CachedVerdict v;
+      v.flag = WriteProjection(pss, {}).has_pseudo_livelock();
+      npl_livelock_free = !v.flag;
+      memo->put(key, v);
+    }
+  } else {
+    npl_livelock_free = !WriteProjection(pss, {}).has_pseudo_livelock();
+  }
+
+  if (npl_livelock_free) {
+    report.status = CandidateReport::Status::kAcceptedNpl;
+  } else {
+    // Step 5 (PL): search for a qualifying contiguous trail in the LTG of
+    // the self-disabled p_ss. The search reads nothing but that
+    // self-disabled image, so distinct additions collapsing to one
+    // self-disabled LTG share the trail verdict.
+    bool decided = false;
+    std::string trail_key;
+    if (memo != nullptr) {
+      const bool sd = is_self_disabling(pss);
+      trail_key =
+          memo_key_protocol('T', sd ? pss : make_self_disabling(pss));
+      memo_append_query(trail_key, options.trail_query);
+      if (const auto hit = memo->get(trail_key)) {
+        report.status = static_cast<CandidateReport::Status>(hit->status);
+        report.trail = hit->trail;
+        decided = true;
+      }
+    }
+    if (!decided) {
+      const LivelockAnalysis live =
+          check_livelock_freedom(pss, options.trail_query);
+      switch (live.verdict) {
+        case LivelockAnalysis::Verdict::kLivelockFree:
+          report.status = CandidateReport::Status::kAcceptedPl;
+          break;
+        case LivelockAnalysis::Verdict::kTrailFound:
+          report.status = CandidateReport::Status::kRejectedTrail;
+          report.trail = live.trail();
+          break;
+        case LivelockAnalysis::Verdict::kInconclusive:
+          report.status = CandidateReport::Status::kInconclusive;
+          break;
+      }
+      if (memo != nullptr) {
+        CachedVerdict v;
+        v.status = static_cast<std::uint8_t>(report.status);
+        v.trail = report.trail;
+        memo->put(trail_key, v);
+      }
+    }
+
+    if (report.status == CandidateReport::Status::kRejectedTrail &&
+        options.classify_rejected_trails) {
+      // Classification instantiates the full revision p_ss(K), so its memo
+      // entry is keyed on the revision itself, not the self-disabled image.
+      bool classified = false;
+      std::string rkey;
+      if (memo != nullptr) {
+        rkey = memo_key_protocol('R', pss);
+        memo_append_query(rkey, options.trail_query);
+        memo_append_u64(rkey, options.classification_state_budget);
+        if (const auto hit = memo->get(rkey)) {
+          if (hit->realization)
+            report.realization =
+                static_cast<TrailRealization>(*hit->realization);
+          classified = true;
+        }
+      }
+      if (!classified) {
+        try {
+          report.realization = realize_trail(pss, *report.trail).verdict;
+        } catch (const CapacityError&) {
+          // implied K too large for the classification budget
+        }
+        if (memo != nullptr) {
+          CachedVerdict v;
+          if (report.realization)
+            v.realization = static_cast<int>(*report.realization);
+          memo->put(rkey, v);
+        }
+      }
+    }
+  }
+
+  if (report.accepted()) {
+    // Defensive: the Resolve construction guarantees deadlock-freedom;
+    // verify the Theorem 4.2 condition on the revised protocol anyway.
+    const DeadlockAnalysis dl = analyze_deadlocks(pss, /*spectrum=*/2);
+    RINGSTAB_ASSERT(dl.deadlock_free_all_k,
+                    "Resolve set failed to break all bad cycles");
+    eval.pss = std::move(pss);
+  }
+  return eval;
+}
+
+}  // namespace
 
 SynthesisResult synthesize_convergence(const Protocol& p,
                                        const SynthesisOptions& options) {
   const obs::Span span("synth.local");
   obs::Counter& generated = obs::counter("synth.candidates_generated");
   obs::Counter& pruned = obs::counter("synth.candidates_pruned");
+  obs::Counter& found = obs::counter("synth.solutions_found");
   SynthesisResult res;
   res.closure = check_invariant_closure(p);
   if (options.require_closed_invariant &&
@@ -32,71 +162,46 @@ SynthesisResult synthesize_convergence(const Protocol& p,
 
   res.resolve_sets = enumerate_resolve_sets(p, options.max_resolve_sets);
 
+  std::shared_ptr<VerdictMemo> local_memo;
+  const VerdictMemo* memo = nullptr;
+  if (options.memoize) {
+    local_memo =
+        options.memo ? options.memo : std::make_shared<VerdictMemo>();
+    memo = local_memo.get();
+  }
+
   for (const auto& resolve : res.resolve_sets) {
     if (res.solutions.size() >= options.max_solutions) break;
-    for (auto& added : enumerate_candidate_sets(p, resolve,
-                                                options.max_candidate_sets)) {
-      if (res.solutions.size() >= options.max_solutions) break;
-      ++res.candidates_examined;
-      generated.add(1);
-
-      Protocol pss = p.with_added(
-          cat(p.name(), "_ss", res.candidates_examined), added);
-
-      CandidateReport report;
-      report.added = added;
-
-      // Step 4 fast path (NPL): if the write projection of the *entire*
-      // δ_r of p_ss has no value cycle, no subset can form a
-      // pseudo-livelock, so Theorem 5.14 certifies livelock-freedom with no
-      // trail search.
-      const WriteProjection all(pss, {});
-      if (!all.has_pseudo_livelock()) {
-        report.status = CandidateReport::Status::kAcceptedNpl;
-      } else {
-        // Step 5 (PL): search for a qualifying contiguous trail in the LTG
-        // of the self-disabled p_ss.
-        const LivelockAnalysis live =
-            check_livelock_freedom(pss, options.trail_query);
-        switch (live.verdict) {
-          case LivelockAnalysis::Verdict::kLivelockFree:
-            report.status = CandidateReport::Status::kAcceptedPl;
-            break;
-          case LivelockAnalysis::Verdict::kTrailFound:
-            report.status = CandidateReport::Status::kRejectedTrail;
-            report.trail = live.trail();
-            if (options.classify_rejected_trails) {
-              try {
-                report.realization =
-                    realize_trail(pss, *report.trail).verdict;
-              } catch (const CapacityError&) {
-                // implied K too large for the classification budget
-              }
-            }
-            break;
-          case LivelockAnalysis::Verdict::kInconclusive:
-            report.status = CandidateReport::Status::kInconclusive;
-            break;
-        }
-      }
-
-      if (report.accepted()) {
-        // Defensive: the Resolve construction guarantees deadlock-freedom;
-        // verify the Theorem 4.2 condition on the revised protocol anyway.
-        const DeadlockAnalysis dl = analyze_deadlocks(pss, /*spectrum=*/2);
-        RINGSTAB_ASSERT(dl.deadlock_free_all_k,
-                        "Resolve set failed to break all bad cycles");
-        SynthesisSolution sol{std::move(pss), added, resolve,
-                              report.status ==
-                                  CandidateReport::Status::kAcceptedNpl};
-        res.solutions.push_back(std::move(sol));
-        obs::counter("synth.solutions_found").add(1);
-      } else {
-        pruned.add(1);
-      }
-      if (options.keep_rejected_reports || report.accepted())
-        res.reports.push_back(std::move(report));
-    }
+    const auto batch =
+        enumerate_candidate_sets(p, resolve, options.max_candidate_sets);
+    const std::size_t base = res.candidates_examined;
+    const std::size_t quota = options.max_solutions - res.solutions.size();
+    run_portfolio<LocalEval>(
+        batch.size(), options.num_threads, quota,
+        [&](std::size_t i) {
+          return evaluate_candidate(p, options, memo, base + i + 1, batch[i]);
+        },
+        [](const LocalEval& e) { return e.report.accepted(); },
+        [&](std::size_t, LocalEval eval) {
+          if (res.solutions.size() >= options.max_solutions)
+            return PortfolioStep::kStop;
+          ++res.candidates_examined;
+          generated.add(1);
+          const bool accepted = eval.report.accepted();
+          if (accepted) {
+            SynthesisSolution sol{std::move(*eval.pss), eval.report.added,
+                                  resolve,
+                                  eval.report.status ==
+                                      CandidateReport::Status::kAcceptedNpl};
+            res.solutions.push_back(std::move(sol));
+            found.add(1);
+          } else {
+            pruned.add(1);
+          }
+          if (options.keep_rejected_reports || accepted)
+            res.reports.push_back(std::move(eval.report));
+          return PortfolioStep::kContinue;
+        });
   }
   res.success = !res.solutions.empty();
   return res;
@@ -136,6 +241,8 @@ std::string SynthesisResult::summary(const Protocol& input) const {
                })
        << "\n";
   }
+  if (solutions.size() > 4)
+    os << "  … and " << solutions.size() - 4 << " more\n";
   return os.str();
 }
 

@@ -2,6 +2,7 @@
 // (paper Section 6: Problem 3.1 solved without exploring any global state).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "local/closure.hpp"
 #include "local/convergence.hpp"
 #include "synthesis/candidates.hpp"
+#include "synthesis/portfolio.hpp"
 
 namespace ringstab {
 
@@ -27,6 +29,21 @@ struct SynthesisOptions {
   /// small exhaustive check per rejection; capped by this state budget.
   bool classify_rejected_trails = true;
   GlobalStateId classification_state_budget = 1u << 20;
+
+  /// Portfolio execution (DESIGN.md §10): pool lanes used to evaluate
+  /// candidate sets. 1 = serial; 0 = all hardware lanes. Results — solution
+  /// order, reports, counters — are bit-identical at every thread count.
+  std::size_t num_threads = 1;
+
+  /// Reuse verdicts across candidates through a VerdictMemo: candidates
+  /// sharing a write-projection signature reuse the NPL fast-path verdict,
+  /// candidates collapsing to one self-disabled LTG reuse the trail-search
+  /// outcome. Pure caching — results are identical with it off.
+  bool memoize = true;
+
+  /// Share a memo table across calls (batch sweeps, benchmarks). Null means
+  /// a private table per synthesize_convergence call.
+  std::shared_ptr<VerdictMemo> memo;
 };
 
 /// One examined candidate set and its fate in methodology steps 4–5.

@@ -101,6 +101,30 @@ TEST(ParallelFor, PropagatesWorkerExceptions) {
   EXPECT_EQ(sum.load(), 1'000u);
 }
 
+// A parallel region opened from inside another region's lane must execute
+// inline on that lane (the pool's workers are busy running the outer
+// region) — never deadlock, and still cover its range exactly once.
+TEST(ParallelFor, NestedRegionRunsInlineWithoutDeadlock) {
+  const std::uint64_t outer_n = 1'000, inner_n = 640;
+  std::atomic<std::uint64_t> inner_total{0};
+  parallel_for(outer_n, 4, 64, [&](const ChunkRange& outer, std::size_t) {
+    std::uint64_t local = 0;
+    parallel_for(inner_n, 4, 64, [&](const ChunkRange& inner, std::size_t) {
+      local += inner.end - inner.begin;
+    });
+    EXPECT_EQ(local, inner_n);
+    inner_total.fetch_add(local * (outer.end - outer.begin),
+                          std::memory_order_relaxed);
+  });
+  EXPECT_EQ(inner_total.load(), outer_n * inner_n);
+  // The pool must accept ordinary work afterwards.
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(outer_n, 4, 64, [&](const ChunkRange& chunk, std::size_t) {
+    sum.fetch_add(chunk.end - chunk.begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), outer_n);
+}
+
 TEST(RingCursor, MatchesDivmodDecodeEverywhere) {
   for (const auto& p : testing::protocol_zoo()) {
     const RingInstance ring(p, 5);

@@ -161,6 +161,27 @@ TEST(Synthesis, SummaryMentionsOutcome) {
             std::string::npos);
 }
 
+// summary() prints at most four solutions; beyond that it must say how many
+// were elided instead of truncating silently.
+TEST(Synthesis, SummaryReportsElidedSolutions) {
+  const Protocol p = protocols::agreement_empty();
+  SynthesisResult res;
+  res.success = true;
+  for (int i = 0; i < 7; ++i)
+    res.solutions.push_back({p, {}, {}, true});
+  const std::string text = res.summary(p);
+  EXPECT_NE(text.find("solution 4"), std::string::npos);
+  EXPECT_EQ(text.find("solution 5"), std::string::npos);
+  EXPECT_NE(text.find("… and 3 more"), std::string::npos);
+
+  // At exactly four solutions nothing is elided and no banner appears.
+  SynthesisResult four;
+  four.success = true;
+  for (int i = 0; i < 4; ++i)
+    four.solutions.push_back({p, {}, {}, true});
+  EXPECT_EQ(four.summary(p).find("more"), std::string::npos);
+}
+
 // Already-converging input: empty Resolve, the empty addition is returned.
 TEST(Synthesis, AlreadyConvergingInputYieldsItself) {
   const auto res =
