@@ -1,4 +1,5 @@
 # expect: fails
+# lint: allow(RS011)
 # Binary agreement on a unidirectional ring (paper Example 5.2 input).
 # Legitimate: every process agrees with its predecessor — i.e. all equal.
 # No actions: the protocol is a synthesis input (Problem 3.1).

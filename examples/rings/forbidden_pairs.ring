@@ -1,0 +1,14 @@
+# expect: fails
+# lint: allow(RS011)
+# Forbidden-pairs — synthesis input whose candidate portfolio contains an
+# ill-formed member. Exactly the windows 01 and 12 are illegitimate, so the
+# unique minimal Resolve set is {01, 12} and the enumerator offers two
+# rewrites for each: 01 -> {00, 02} and 12 -> {10, 11}. The combination
+# {01->02, 12->11} projects to the value cycle 1 -> 2 -> 1, violating
+# self-termination (Assumption 1) — the lint pre-filter rejects it with
+# RS002 (`lint.candidates_rejected`); the other three combinations are
+# certified via the NPL fast path.
+protocol forbidden_pairs;
+domain 3;
+reads -1 .. 0;
+legit: !(x[-1] == 0 && x[0] == 1) && !(x[-1] == 1 && x[0] == 2);

@@ -1,0 +1,14 @@
+# expect: fails
+# lint: allow(RS011, RS020)
+# Reset-to-zero — synthesis input: legitimate iff every register is 0.
+# Each minimal Resolve set pairs two illegitimate deadlocks that share a
+# window context (01 with 02, or 11 with 12, or 21 with 22), so the
+# candidate product contains combinations like {01 -> 02, 02 -> 01} whose
+# added transitions chain into a t-arc cycle (Assumption 1 violation).
+# The lint pre-filter discards those with RS002 before any trail work
+# (`lint.candidates_rejected`); RS020's unused-value note is suppressed
+# because the repair transitions are what write the nonzero values.
+protocol reset_to_zero;
+domain 3;
+reads -1 .. 0;
+legit: x[0] == 0;

@@ -1,4 +1,5 @@
 # expect: fails
+# lint: allow(RS011)
 # The Sum-Not-Two protocol of Section 6.2 — synthesis input.
 protocol sum_not_two;
 domain 3;

@@ -1,4 +1,5 @@
 # expect: fails
+# lint: allow(RS011)
 # 3-coloring on a unidirectional ring (Section 6.1) — synthesis input.
 # The methodology provably FAILS on this one: every candidate forms a
 # pseudo-livelock participating in a contiguous trail.

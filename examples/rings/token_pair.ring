@@ -1,4 +1,5 @@
 # expect: fails
+# lint: allow(RS011)
 # "No adjacent tokens": at most every other process may hold a token.
 # A user-defined protocol, not from the paper — synthesis succeeds via the
 # NPL fast path with the single action 11 → 10.

@@ -14,7 +14,10 @@
 // runs the Problem 3.1 synthesizer on every uncertified ring protocol (one
 // verdict memo shared across the whole directory, so repeated candidate
 // signatures are verified once); `--jobs N` runs those checks and the
-// synthesis candidate portfolio on N worker threads (0 = all cores).
+// synthesis candidate portfolio on N worker threads (0 = all cores);
+// `--lint` runs the RS0xx lint passes on every file (honoring `# lint:
+// allow(...)` directives) and, with `--strict`, fails on error-level
+// diagnostics.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +27,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/lint.hpp"
 #include "core/parser.hpp"
 #include "global/checker.hpp"
 #include "global/symmetry.hpp"
@@ -78,7 +82,7 @@ const char* take_value(int argc, char** argv, int& i, const char* flag) {
 }
 
 FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
-                    std::size_t jobs, bool symmetry,
+                    std::size_t jobs, bool symmetry, bool lint,
                     const std::shared_ptr<VerdictMemo>& synth_memo) {
   FileOutcome out;
   out.file = path.filename().string();
@@ -87,8 +91,20 @@ FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
   if (has_marker(text, "expect: converges")) out.expectation = "converges";
   if (has_marker(text, "expect: fails")) out.expectation = "fails";
 
+  std::string lint_note;
   try {
-    const Protocol p = parse_protocol(text);
+    const ProtocolSource src = parse_protocol_source(text, out.file);
+    if (lint) {
+      const LintResult lr = lint_source(src);
+      lint_note = lr.diagnostics.empty()
+                      ? " [lint: clean]"
+                      : " [lint: " + std::to_string(lr.count(Severity::kError)) +
+                            " err, " +
+                            std::to_string(lr.count(Severity::kWarning)) +
+                            " warn]";
+      if (lr.has_error()) out.ok = false;
+    }
+    const Protocol p = build_protocol(src);
     out.name = p.name();
     bool certified = false;
     if (array) {
@@ -142,8 +158,9 @@ FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
     if (out.expectation == "fails") out.ok = out.ok && !certified;
   } catch (const Error& e) {
     out.verdict = std::string("ERROR: ") + e.what();
-    out.ok = out.expectation.empty();
+    out.ok = out.expectation.empty() && lint_note.empty();
   }
+  out.verdict += lint_note;
   return out;
 }
 
@@ -152,13 +169,14 @@ FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: ringstab-batch <directory> [--strict] [--check K] "
-                 "[--symmetry] [--synth] [--jobs N] [--stats] [--trace FILE] "
-                 "[--jsonl FILE] [--progress]\n";
+                 "[--symmetry] [--synth] [--lint] [--jobs N] [--stats] "
+                 "[--trace FILE] [--jsonl FILE] [--progress]\n";
     return 2;
   }
   bool strict = false;
   bool symmetry = false;  // --check via the rotation-quotient engine
   bool synth = false;     // try Problem 3.1 on uncertified ring protocols
+  bool lint = false;      // run the RS0xx lint passes on every file
   std::size_t check_k = 0;  // 0 = local analysis only
   std::size_t jobs = 1;
   obs::SessionOptions obs_opts;
@@ -170,6 +188,8 @@ int main(int argc, char** argv) {
       symmetry = true;
     } else if (std::strcmp(argv[i], "--synth") == 0) {
       synth = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check_k = parse_count("--check", take_value(argc, argv, i, "--check"));
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -201,14 +221,15 @@ int main(int argc, char** argv) {
 
   const std::shared_ptr<VerdictMemo> synth_memo =
       synth ? std::make_shared<VerdictMemo>() : nullptr;
-  const int verdict_w = check_k >= 2 || synth ? 52 : 36;
+  const int verdict_w = check_k >= 2 || synth || lint ? 52 : 36;
   std::size_t failures = 0;
   std::cout << std::left << std::setw(28) << "file" << std::setw(22)
             << "protocol" << std::setw(verdict_w) << "verdict"
             << "expectation\n"
             << std::string(60 + verdict_w, '-') << "\n";
   for (const auto& path : files) {
-    const FileOutcome out = process(path, check_k, jobs, symmetry, synth_memo);
+    const FileOutcome out =
+        process(path, check_k, jobs, symmetry, lint, synth_memo);
     std::cout << std::left << std::setw(28) << out.file << std::setw(22)
               << out.name << std::setw(verdict_w) << out.verdict
               << (out.expectation.empty()

@@ -7,6 +7,7 @@
 //   ringstab dot        <file.ring> [--rcg|--ltg|--deadlock-rcg]
 //   ringstab simulate   <file.ring> -k <K> [--trials N] [--seed S]
 //   ringstab emit       <file.ring>             round-trip to .ring source
+//   ringstab lint       <file.ring> [--json]    structured diagnostics
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
@@ -16,6 +17,7 @@
 
 #include "core/fmt.hpp"
 #include "obs/session.hpp"
+#include "analysis/lint.hpp"
 #include "core/parser.hpp"
 #include "core/printer.hpp"
 #include "core/ring_writer.hpp"
@@ -51,6 +53,9 @@ int usage() {
       "  simulate   random-scheduler runs: -k <K> [--trials N] [--seed S]\n"
       "             [--jobs N]\n"
       "  emit       print the protocol back as .ring source\n"
+      "  lint       structured RS0xx diagnostics over the DSL and the\n"
+      "             representative process; --json for machine-readable\n"
+      "             output (docs/lint.md); exit 1 iff errors\n"
       "  report     full markdown analysis report [--array] [--max K]\n"
       "  trace      step-by-step run: -k <K> [--from v,v,...] [--seed S]\n"
       "  --jobs N   worker threads for the global checker / simulator\n"
@@ -333,6 +338,25 @@ int main(int argc, char** argv) {
     if (const char* f = arg_string(argc, argv, "--trace")) obs_opts.trace_path = f;
     if (const char* f = arg_string(argc, argv, "--jsonl")) obs_opts.jsonl_path = f;
     const obs::Session obs_session(obs_opts);
+
+    if (command == "lint") {
+      // Dispatched before parse_protocol_file so unparsable files still
+      // produce a located RS000 diagnostic instead of a raw exception.
+      const LintResult lint = lint_ring_file(argv[2]);
+      if (has_flag(argc, argv, "--json")) {
+        std::cout << render_json(lint.diagnostics);
+      } else {
+        std::cout << render_text(lint.diagnostics);
+        std::cout << argv[2] << ": " << lint.count(Severity::kError)
+                  << " error(s), " << lint.count(Severity::kWarning)
+                  << " warning(s), " << lint.count(Severity::kNote)
+                  << " note(s)";
+        if (lint.suppressed > 0)
+          std::cout << ", " << lint.suppressed << " suppressed";
+        std::cout << "\n";
+      }
+      return lint.has_error() ? 1 : 0;
+    }
 
     const Protocol p = parse_protocol_file(argv[2]);
     const std::size_t jobs = parse_jobs(argc, argv);

@@ -3,10 +3,12 @@
 #
 #   scripts/check.sh            full: build, ctest, TSan test_parallel+test_obs
 #                               +test_synthesis_parallel, ASan test_symmetry
-#                               + CLI parsing/synthesis tests
+#                               + CLI parsing/synthesis/lint tests, UBSan
+#                               core/local/analysis test binaries
 #   scripts/check.sh --fast     tier-1 only (skip the sanitizer builds)
 #
-# Run from anywhere; builds land in <repo>/build, build-tsan, build-asan.
+# Run from anywhere; builds land in <repo>/build, build-tsan, build-asan,
+# build-ubsan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -51,6 +53,20 @@ cmake --build "$repo/build-asan" -j "$jobs" \
 echo "== ASan: run =="
 "$repo/build-asan/tests/test_symmetry"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" \
-      -R 'cli_(bad_k|negative_k|missing_flag_value|flag_value_flag|batch_missing_value|check_symmetry|batch_symmetry|bad_jobs|synth_alias|synthesize_jobs|synthesize_bad_jobs|batch_synth)'
+      -R 'cli_(bad_k|negative_k|missing_flag_value|flag_value_flag|batch_missing_value|check_symmetry|batch_symmetry|bad_jobs|synth_alias|synthesize_jobs|synthesize_bad_jobs|batch_synth|lint|lint_json|lint_error|batch_lint)'
+
+echo "== UBSan: build core/local/analysis test binaries =="
+cmake -B "$repo/build-ubsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DRINGSTAB_SANITIZE=undefined
+cmake --build "$repo/build-ubsan" -j "$jobs" \
+      --target test_domain test_local_state test_protocol test_parser \
+               test_deadlock test_livelock test_lint
+
+echo "== UBSan: run =="
+# Recovery is disabled in the build, so any UB aborts the stage.
+for t in test_domain test_local_state test_protocol test_parser \
+         test_deadlock test_livelock test_lint; do
+  "$repo/build-ubsan/tests/$t"
+done
 
 echo "== OK =="

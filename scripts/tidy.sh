@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# clang-tidy over the project sources, driven by the compile_commands.json
+# the CMake configure exports (CMAKE_EXPORT_COMPILE_COMMANDS is on by
+# default; see the root CMakeLists.txt).
+#
+#   scripts/tidy.sh               all of src/
+#   scripts/tidy.sh src/analysis  one subtree (any number of paths/files)
+#
+# Checks and scope live in .clang-tidy. Exits 0 with a notice when
+# clang-tidy is not installed, so CI images without LLVM tooling skip the
+# stage instead of failing it.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy: clang-tidy not installed; skipping (checks listed in .clang-tidy)"
+  exit 0
+fi
+
+build="$repo/build"
+if [[ ! -f "$build/compile_commands.json" ]]; then
+  echo "== tidy: configure (compile_commands.json) =="
+  cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+fi
+
+targets=("$@")
+if [[ ${#targets[@]} -eq 0 ]]; then
+  targets=("$repo/src")
+fi
+
+files=()
+for t in "${targets[@]}"; do
+  if [[ -d "$t" ]]; then
+    while IFS= read -r f; do files+=("$f"); done \
+      < <(find "$t" -name '*.cpp' | sort)
+  else
+    files+=("$t")
+  fi
+done
+
+echo "== tidy: ${#files[@]} file(s), warnings are errors =="
+status=0
+printf '%s\n' "${files[@]}" | xargs -P "$jobs" -n 8 \
+  clang-tidy -p "$build" --quiet --warnings-as-errors='*' || status=$?
+if [[ "$status" -ne 0 ]]; then
+  echo "== tidy: FAILED =="
+  exit "$status"
+fi
+echo "== tidy: OK =="

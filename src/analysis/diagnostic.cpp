@@ -1,0 +1,242 @@
+#include "analysis/diagnostic.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "core/fmt.hpp"
+#include "core/types.hpp"
+
+namespace ringstab {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string render_text(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  for (const auto& d : diags) {
+    if (!d.file.empty()) {
+      os << d.file;
+      if (d.span.valid()) os << ':' << d.span.line << ':' << d.span.column;
+      os << ": ";
+    } else if (d.span.valid()) {
+      os << d.span.line << ':' << d.span.column << ": ";
+    }
+    os << severity_name(d.severity) << ": " << d.message << " [" << d.code
+       << "]\n";
+    if (!d.hint.empty()) os << "    hint: " << d.hint << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Minimal recursive-descent reader for the exact shape render_json emits.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view s) : s_(s) {}
+
+  std::vector<Diagnostic> read() {
+    std::vector<Diagnostic> out;
+    expect('{');
+    expect_key("diagnostics");
+    expect('[');
+    skip_ws();
+    if (!at(']')) {
+      for (;;) {
+        out.push_back(read_diag());
+        skip_ws();
+        if (at(',')) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    expect(']');
+    expect('}');
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(cat("diagnostics JSON: ", msg, " at offset ", pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool at(char c) const { return pos_ < s_.size() && s_[pos_] == c; }
+
+  void expect(char c) {
+    skip_ws();
+    if (!at(c)) fail(cat("expected '", c, "'"));
+    ++pos_;
+  }
+
+  void expect_key(std::string_view key) {
+    const std::string got = read_string();
+    if (got != key) fail(cat("expected key \"", std::string(key), "\""));
+    expect(':');
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          int v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= h - '0';
+            else if (h >= 'a' && h <= 'f') v |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') v |= h - 'A' + 10;
+            else fail("bad \\u escape");
+          }
+          if (v > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(v));
+          break;
+        }
+        default: fail(cat("unknown escape '\\", e, "'"));
+      }
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  long long read_int() {
+    skip_ws();
+    bool neg = false;
+    if (at('-')) {
+      neg = true;
+      ++pos_;
+    }
+    if (pos_ >= s_.size() ||
+        !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      fail("expected integer");
+    long long v = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      v = v * 10 + (s_[pos_++] - '0');
+      if (v > 1'000'000'000) fail("integer too large");
+    }
+    return neg ? -v : v;
+  }
+
+  Diagnostic read_diag() {
+    Diagnostic d;
+    expect('{');
+    expect_key("code");
+    skip_ws();
+    d.code = read_string();
+    expect(',');
+    expect_key("severity");
+    skip_ws();
+    const std::string sev = read_string();
+    if (sev == "error") d.severity = Severity::kError;
+    else if (sev == "warning") d.severity = Severity::kWarning;
+    else if (sev == "note") d.severity = Severity::kNote;
+    else fail(cat("unknown severity \"", sev, "\""));
+    expect(',');
+    expect_key("message");
+    skip_ws();
+    d.message = read_string();
+    expect(',');
+    expect_key("hint");
+    skip_ws();
+    d.hint = read_string();
+    expect(',');
+    expect_key("file");
+    skip_ws();
+    d.file = read_string();
+    expect(',');
+    expect_key("line");
+    d.span.line = static_cast<int>(read_int());
+    expect(',');
+    expect_key("column");
+    d.span.column = static_cast<int>(read_int());
+    expect('}');
+    return d;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string render_json(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  os << "{\n  \"diagnostics\": [";
+  bool first = true;
+  for (const auto& d : diags) {
+    os << (first ? "\n" : ",\n") << "    {\"code\": \"";
+    json_escape(os, d.code);
+    os << "\", \"severity\": \"" << severity_name(d.severity)
+       << "\", \"message\": \"";
+    json_escape(os, d.message);
+    os << "\", \"hint\": \"";
+    json_escape(os, d.hint);
+    os << "\", \"file\": \"";
+    json_escape(os, d.file);
+    os << "\", \"line\": " << d.span.line
+       << ", \"column\": " << d.span.column << "}";
+    first = false;
+  }
+  os << (first ? "]\n}\n" : "\n  ]\n}\n");
+  return os.str();
+}
+
+std::vector<Diagnostic> parse_diagnostics_json(std::string_view json) {
+  return JsonReader(json).read();
+}
+
+}  // namespace ringstab

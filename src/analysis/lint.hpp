@@ -1,0 +1,83 @@
+// Static-analysis passes over a Protocol and, when available, its .ring
+// source: machine-checkable well-formedness per the paper's preconditions.
+//
+// Pass registry (stable codes; full table in docs/lint.md):
+//   RS000  front-end error (syntax / unresolved name / unreadable file)
+//   RS001  write-discipline: stutter assignments (warning) and out-of-domain
+//          writes (error)
+//   RS002  self-termination / self-disablement (Assumptions 1 & 2): a t-arc
+//          cycle is an error (trail reasoning undefined, and an all-illegit
+//          cycle is a one-process livelock); non-self-disabling transitions
+//          are a warning
+//   RS003  overlapping actions with conflicting writes from one local state
+//          (cross-action nondeterminism)
+//   RS010  dead actions (no transitions) and, defensively, RCG-unrealizable
+//          transition sources (Def. 4.1)
+//   RS011  illegitimate-deadlock witness: a deadlock-RCG cycle through ¬LC_r
+//          proves rings of matching sizes deadlock outside I (Theorem 4.2)
+//   RS020  degenerate LC_r (empty = error / full = warning) and unused
+//          domain values (note)
+//   RS030  closure interference: a transition enabled inside I whose write
+//          leaves I (violates Problem 3.1's no-behavior-change constraint)
+//
+// File-wide suppression: a `# lint: allow(RS003, RS011)` comment in the
+// .ring source drops matching findings (counted in LintResult::suppressed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "core/parser.hpp"
+#include "core/protocol.hpp"
+
+namespace ringstab {
+
+struct LintOptions {
+  /// Per-pass cap on emitted findings (witness lists can be long).
+  std::size_t max_diags_per_pass = 8;
+  /// RS011 reports deadlocked ring sizes up to this K.
+  std::size_t deadlock_spectrum_max_k = 16;
+  /// RS030 confirms local closure suspicions with a global sweep at
+  /// K = window + 2 when the instance fits this many states; otherwise the
+  /// suspicion downgrades to a note.
+  std::uint64_t closure_confirm_budget = std::uint64_t{1} << 20;
+  /// Analyze as an open array (batch `# topology: array` convention):
+  /// RS011 uses the array deadlock analysis and ring-only passes are
+  /// skipped.
+  bool array_topology = false;
+  /// Codes to suppress, merged with the source's `# lint: allow(...)`.
+  std::vector<std::string> allow;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Findings dropped by allow() suppressions.
+  std::size_t suppressed = 0;
+
+  bool has_error() const;
+  std::size_t count(Severity s) const;
+};
+
+/// Protocol-level passes only (RS002/RS010/RS011/RS020/RS030); findings
+/// carry no source spans.
+LintResult lint_protocol(const Protocol& p, const LintOptions& opts = {});
+
+/// Source + protocol passes: expands each action for located RS001/RS003/
+/// RS010 findings, then runs the protocol passes on the built protocol.
+/// Honors the source's `# lint: allow(...)` directives and
+/// `# topology: array` marker.
+LintResult lint_source(const ProtocolSource& src, const LintOptions& opts = {});
+
+/// Read + parse + lint a .ring file. Parse failures come back as RS000
+/// diagnostics instead of exceptions.
+LintResult lint_ring_file(const std::string& path, const LintOptions& opts = {});
+
+/// Error-severity-only fast subset used by the synthesizers' pre-filter:
+/// a candidate revision with a t-arc cycle (RS002: the trail pipeline is
+/// undefined and would throw mid-portfolio) or an empty LC_r (RS020) can
+/// never be a valid solution. Cheap — no RCG/spectrum/global work.
+std::vector<Diagnostic> lint_candidate_errors(const Protocol& p);
+
+}  // namespace ringstab

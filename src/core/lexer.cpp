@@ -41,13 +41,15 @@ const char* token_kind_name(TokenKind k) {
   return "?";
 }
 
-std::vector<Token> lex(std::string_view src) {
+std::vector<Token> lex(std::string_view src, std::string_view file) {
   std::vector<Token> out;
   int line = 1, col = 1;
   std::size_t i = 0;
 
   auto error = [&](const std::string& msg) -> ParseError {
-    return ParseError(cat("lex error at ", line, ":", col, ": ", msg));
+    const std::string prefix =
+        file.empty() ? cat(line, ":", col) : cat(file, ":", line, ":", col);
+    return ParseError(cat(prefix, ": error: ", msg));
   };
   auto push = [&](TokenKind k, std::string text = {}, long long v = 0) {
     out.push_back(Token{k, std::move(text), v, line, col});

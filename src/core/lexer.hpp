@@ -8,8 +8,9 @@
 
 namespace ringstab {
 
-/// Tokenize a .ring source text. Throws ParseError with line/column on
-/// unrecognized input. `#` starts a comment to end of line.
-std::vector<Token> lex(std::string_view source);
+/// Tokenize a .ring source text. Throws ParseError on unrecognized input;
+/// the message is prefixed `file:line:column: error:` (or `line:column:` when
+/// `file` is empty). `#` starts a comment to end of line.
+std::vector<Token> lex(std::string_view source, std::string_view file = {});
 
 }  // namespace ringstab

@@ -1,5 +1,7 @@
 #include "core/parser.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -11,61 +13,33 @@
 namespace ringstab {
 namespace {
 
+SourceSpan span_of(const Token& t) { return SourceSpan{t.line, t.column}; }
+
 class Parser {
  public:
-  explicit Parser(std::string_view src) : tokens_(lex(src)) {}
+  Parser(std::string_view src, std::string_view file)
+      : tokens_(lex(src, file)), file_(file) {}
 
-  Protocol run() {
+  ProtocolSource run() {
     while (!at(TokenKind::kEof)) declaration();
-    if (!name_) fail("missing 'protocol <name>;' declaration");
+    if (!out_.name_span.valid()) fail("missing 'protocol <name>;' declaration");
     if (!domain_) fail("missing 'domain ...;' declaration");
     if (!locality_) fail("missing 'reads <lo> .. <hi>;' declaration");
-    if (!legit_) fail("missing 'legit: <expr>;' declaration");
-
-    ProtocolBuilder builder(*name_, *domain_, *locality_);
-    ExprPtr legit = std::move(legit_);
-    builder.legitimate([legit](const LocalView& v) {
-      return legit->eval(v) != 0;
-    });
-    for (auto& a : actions_) {
-      ExprPtr guard = a.guard;
-      std::vector<ExprPtr> effects = a.effects;
-      builder.action(
-          a.label, [guard](const LocalView& v) { return guard->eval(v) != 0; },
-          ProtocolBuilder::MultiEffect([effects](const LocalView& v) {
-            std::vector<Value> out;
-            out.reserve(effects.size());
-            for (const auto& e : effects) {
-              const long long raw = e->eval(v);
-              if (!v.domain().contains(raw))
-                throw ParseError(cat("assignment '", e->to_string(),
-                                     "' evaluates to ", raw,
-                                     ", outside the domain"));
-              out.push_back(static_cast<Value>(raw));
-            }
-            return out;
-          }));
-    }
-    return builder.build();
+    if (!out_.legit) fail("missing 'legit: <expr>;' declaration");
+    out_.domain = std::move(*domain_);
+    out_.locality = *locality_;
+    return std::move(out_);
   }
 
  private:
-  struct ParsedAction {
-    std::string label;
-    ExprPtr guard;
-    std::vector<ExprPtr> effects;
-  };
-
   [[noreturn]] void fail(const std::string& msg) const {
     const Token& t = tokens_[pos_];
-    throw ParseError(cat("parse error at ", t.line, ":", t.column, ": ", msg));
+    throw ParseError(
+        cat(file_, ":", t.line, ":", t.column, ": error: ", msg));
   }
 
   const Token& peek() const { return tokens_[pos_]; }
   bool at(TokenKind k) const { return peek().kind == k; }
-  bool at_ident(std::string_view word) const {
-    return at(TokenKind::kIdent) && peek().text == word;
-  }
 
   Token take() { return tokens_[pos_++]; }
 
@@ -89,8 +63,11 @@ class Parser {
   void declaration() {
     const Token head = expect(TokenKind::kIdent, "declaration keyword");
     if (head.text == "protocol") {
-      name_ = expect(TokenKind::kIdent, "protocol name").text;
+      const Token name = expect(TokenKind::kIdent, "protocol name");
+      out_.name = name.text;
+      out_.name_span = span_of(name);
     } else if (head.text == "domain") {
+      out_.domain_span = span_of(head);
       parse_domain();
     } else if (head.text == "reads") {
       const long long lo = expect_int();
@@ -100,9 +77,10 @@ class Parser {
       locality_ = Locality{static_cast<int>(-lo), static_cast<int>(hi)};
     } else if (head.text == "legit") {
       expect(TokenKind::kColon, "':'");
-      legit_ = parse_expr();
+      out_.legit_span = span_of(head);
+      out_.legit = parse_expr();
     } else if (head.text == "action") {
-      parse_action();
+      parse_action(head);
       return;  // parse_action consumed the ';'
     } else {
       fail(cat("unknown declaration '", head.text, "'"));
@@ -126,8 +104,9 @@ class Parser {
     domain_ = Domain::named(std::move(names));
   }
 
-  void parse_action() {
-    ParsedAction act;
+  void parse_action(const Token& head) {
+    SourcedAction act;
+    act.span = span_of(head);
     // Optional label: "action <label> : guard -> ..." — a label is an ident
     // directly followed by ':'.
     if (at(TokenKind::kIdent) &&
@@ -146,8 +125,8 @@ class Parser {
     }
     expect(TokenKind::kSemi, "';'");
     if (act.label.empty())
-      act.label = cat("a", actions_.size());
-    actions_.push_back(std::move(act));
+      act.label = cat("a", out_.actions.size());
+    out_.actions.push_back(std::move(act));
   }
 
   ExprPtr parse_assign() {
@@ -274,27 +253,166 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  std::string file_;
   std::size_t pos_ = 0;
 
-  std::optional<std::string> name_;
   std::optional<Domain> domain_;
   std::optional<Locality> locality_;
-  ExprPtr legit_;
-  std::vector<ParsedAction> actions_;
+  ProtocolSource out_;
 };
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Scan comments for tooling directives: batch markers (`# expect: fails`,
+// `# topology: array`) and lint suppressions (`# lint: allow(RS003, RS011)`).
+void scan_directives(std::string_view src, ProtocolSource& out) {
+  std::size_t start = 0;
+  while (start <= src.size()) {
+    const std::size_t nl = src.find('\n', start);
+    const std::string_view line =
+        src.substr(start, nl == std::string_view::npos ? nl : nl - start);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      const std::string_view comment = line.substr(hash + 1);
+      if (comment.find("expect: fails") != std::string_view::npos)
+        out.expects_failure = true;
+      if (comment.find("topology: array") != std::string_view::npos)
+        out.array_topology = true;
+      const std::size_t lint = comment.find("lint:");
+      if (lint != std::string_view::npos) {
+        const std::size_t open = comment.find("allow(", lint);
+        const std::size_t close =
+            open == std::string_view::npos ? open : comment.find(')', open);
+        if (open != std::string_view::npos &&
+            close != std::string_view::npos) {
+          std::string_view codes =
+              comment.substr(open + 6, close - open - 6);
+          while (!codes.empty()) {
+            const std::size_t comma = codes.find(',');
+            const std::string code = trim(codes.substr(0, comma));
+            if (!code.empty()) out.lint_allows.push_back(code);
+            if (comma == std::string_view::npos) break;
+            codes.remove_prefix(comma + 1);
+          }
+        }
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+}
 
 }  // namespace
 
-Protocol parse_protocol(std::string_view source) {
-  return Parser(source).run();
+ActionExpansion expand_action(const LocalStateSpace& space,
+                              const SourcedAction& action) {
+  ActionExpansion ex;
+  auto record = [](std::vector<std::string>& into, std::string msg) {
+    if (std::find(into.begin(), into.end(), msg) == into.end())
+      into.push_back(std::move(msg));
+  };
+  for (LocalStateId s = 0; s < space.size(); ++s) {
+    const LocalView view(space, s);
+    bool enabled = false;
+    try {
+      enabled = action.guard->eval(view) != 0;
+    } catch (const ParseError& e) {
+      record(ex.eval_errors, cat("guard '", action.guard->to_string(),
+                                 "': ", e.what()));
+      continue;
+    }
+    if (!enabled) continue;
+    ++ex.enabled_states;
+    bool stuttered = false;
+    for (const auto& effect : action.effects) {
+      long long raw = 0;
+      try {
+        raw = effect->eval(view);
+      } catch (const ParseError& e) {
+        record(ex.eval_errors, cat("assignment '", effect->to_string(),
+                                   "': ", e.what()));
+        continue;
+      }
+      if (!view.domain().contains(raw)) {
+        record(ex.domain_errors,
+               cat("assignment '", effect->to_string(), "' evaluates to ",
+                   raw, ", outside the domain (at ", space.brief(s), ")"));
+        continue;
+      }
+      const Value v = static_cast<Value>(raw);
+      if (v == space.self(s)) {
+        stuttered = true;
+        continue;
+      }
+      ex.transitions.push_back(LocalTransition{s, space.with_self(s, v)});
+    }
+    if (stuttered) ex.stutter_states.push_back(s);
+  }
+  return ex;
 }
 
-Protocol parse_protocol_file(const std::string& path) {
+ProtocolSource parse_protocol_source(std::string_view source,
+                                     std::string file) {
+  ProtocolSource out = Parser(source, file).run();
+  out.file = std::move(file);
+  scan_directives(source, out);
+  return out;
+}
+
+Protocol build_protocol(const ProtocolSource& src) {
+  auto at = [&](SourceSpan sp) {
+    return sp.valid() ? cat(src.file, ":", sp.line, ":", sp.column,
+                            ": error: ")
+                      : cat(src.file, ": error: ");
+  };
+  if (!src.legit)
+    throw ParseError(cat(at(SourceSpan{}),
+                         "missing 'legit: <expr>;' declaration"));
+  const LocalStateSpace space(src.domain, src.locality);
+
+  std::vector<LocalTransition> delta;
+  for (const auto& a : src.actions) {
+    ActionExpansion ex = expand_action(space, a);
+    if (!ex.eval_errors.empty())
+      throw ParseError(cat(at(a.span), "in action '", a.label, "': ",
+                           ex.eval_errors.front()));
+    if (!ex.domain_errors.empty())
+      throw ParseError(cat(at(a.span), "in action '", a.label, "': ",
+                           ex.domain_errors.front()));
+    delta.insert(delta.end(), ex.transitions.begin(), ex.transitions.end());
+  }
+
+  std::vector<bool> legit(space.size(), false);
+  for (LocalStateId s = 0; s < space.size(); ++s) {
+    const LocalView view(space, s);
+    try {
+      legit[s] = src.legit->eval(view) != 0;
+    } catch (const ParseError& e) {
+      throw ParseError(cat(at(src.legit_span), "in 'legit': ", e.what()));
+    }
+  }
+  return Protocol(src.name, space, std::move(delta), std::move(legit));
+}
+
+Protocol parse_protocol(std::string_view source) {
+  return build_protocol(parse_protocol_source(source));
+}
+
+std::string read_source_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw ParseError("cannot open file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_protocol(buf.str());
+  return buf.str();
+}
+
+Protocol parse_protocol_file(const std::string& path) {
+  return build_protocol(parse_protocol_source(read_source_file(path), path));
 }
 
 }  // namespace ringstab

@@ -11,21 +11,96 @@
 //
 // A nondeterministic assignment lists alternatives:
 //   action: x[-1]==0 && x[0]==0 && x[1]==0 -> x[0] := 1 | x[0] := 2;
+//
+// Comments may carry directives consumed by tooling (batch runner, lint):
+//   # expect: fails / # expect: converges   — batch expectation markers
+//   # topology: array                       — check as an open array
+//   # lint: allow(RS003, RS011)             — suppress lint codes file-wide
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "core/ast.hpp"
 #include "core/protocol.hpp"
+#include "core/source.hpp"
 
 namespace ringstab {
 
-/// Parse .ring source text into a Protocol. Throws ParseError on syntax or
-/// semantic errors (unknown values, writes outside the domain, missing
-/// declarations).
+/// One `action` declaration as written: label, guard and assignment
+/// alternatives as expression trees, plus the source span of the `action`
+/// keyword for diagnostics.
+struct SourcedAction {
+  std::string label;
+  SourceSpan span;
+  ExprPtr guard;
+  std::vector<ExprPtr> effects;
+};
+
+/// The syntactic content of a .ring file after parsing but before expansion
+/// into a Protocol's transition relation. Keeping this intermediate form
+/// around lets the lint engine (src/analysis) attribute semantic findings —
+/// stutters, out-of-domain writes, conflicting overlaps — to source spans.
+struct ProtocolSource {
+  std::string file = "<input>";
+  std::string name;
+  SourceSpan name_span;
+  Domain domain = Domain::range(1);
+  SourceSpan domain_span;
+  Locality locality;
+  ExprPtr legit;
+  SourceSpan legit_span;
+  std::vector<SourcedAction> actions;
+
+  /// Lint codes suppressed via `# lint: allow(RSxxx)` comments.
+  std::vector<std::string> lint_allows;
+  /// `# topology: array` marker (batch convention) was present.
+  bool array_topology = false;
+  /// `# expect: fails` marker was present.
+  bool expects_failure = false;
+};
+
+/// Result of expanding one action over the local state space: the transitions
+/// it generates plus everything that went wrong on the way. Shared by
+/// build_protocol (which escalates problems to ParseError) and the lint
+/// passes (which turn them into located diagnostics).
+struct ActionExpansion {
+  std::vector<LocalTransition> transitions;
+  /// Enabled states where some assignment alternative rewrote x[0] to its
+  /// current value (the builder silently drops such stutters).
+  std::vector<LocalStateId> stutter_states;
+  /// Out-of-domain writes, formatted `assignment '...' evaluates to N, ...`.
+  std::vector<std::string> domain_errors;
+  /// Expression evaluation failures (unknown names, division by zero, reads
+  /// outside the window), deduplicated.
+  std::vector<std::string> eval_errors;
+  /// Number of local states where the guard held.
+  std::size_t enabled_states = 0;
+};
+
+/// Expand `action` over every local state of `space`.
+ActionExpansion expand_action(const LocalStateSpace& space,
+                              const SourcedAction& action);
+
+/// Parse .ring text into its syntactic form. Throws ParseError with a
+/// `file:line:column: error:` prefix on syntax errors.
+ProtocolSource parse_protocol_source(std::string_view source,
+                                     std::string file = "<input>");
+
+/// Expand a parsed source into a Protocol. Throws ParseError (located at the
+/// offending declaration) on evaluation errors, out-of-domain writes, or a
+/// missing declaration.
+Protocol build_protocol(const ProtocolSource& src);
+
+/// Parse .ring source text into a Protocol. Equivalent to
+/// build_protocol(parse_protocol_source(source)).
 Protocol parse_protocol(std::string_view source);
 
-/// Convenience: read the file and parse it.
+/// Convenience: read the file and parse it; errors carry the file path.
 Protocol parse_protocol_file(const std::string& path);
+
+/// Slurp a file for parse_protocol_source. Throws ParseError if unreadable.
+std::string read_source_file(const std::string& path);
 
 }  // namespace ringstab

@@ -1,0 +1,18 @@
+// Source locations for .ring text, carried from lexer tokens through the
+// parser into diagnostics (src/analysis) and error messages.
+#pragma once
+
+namespace ringstab {
+
+/// A 1-based line/column position in a .ring source file. A default
+/// constructed span (line 0) means "no location available" — diagnostics
+/// produced from a bare Protocol (no DSL source) carry invalid spans.
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+  bool operator==(const SourceSpan&) const = default;
+};
+
+}  // namespace ringstab

@@ -3,6 +3,7 @@
 #include <functional>
 #include <sstream>
 
+#include "analysis/lint.hpp"
 #include "core/fmt.hpp"
 #include "core/printer.hpp"
 #include "global/array_instance.hpp"
@@ -197,6 +198,18 @@ std::string markdown_report(const Protocol& p, const ReportOptions& opt) {
   os << "```\n\n";
 
   SectionTimer timer;
+  timer.measure("report.lint", [&] {
+    LintOptions lint_opts;
+    lint_opts.array_topology = opt.array_topology;
+    const LintResult lint = lint_protocol(p, lint_opts);
+    os << "## Lint\n\n";
+    if (lint.diagnostics.empty()) {
+      os << "Protocol-level passes are clean "
+            "(RS002/RS010/RS011/RS020/RS030).\n\n";
+    } else {
+      os << "```\n" << render_text(lint.diagnostics) << "```\n\n";
+    }
+  });
   if (opt.array_topology)
     array_report(p, opt, os, timer);
   else

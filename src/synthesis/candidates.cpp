@@ -21,19 +21,19 @@ std::vector<std::vector<LocalStateId>> enumerate_resolve_sets(
   return out;
 }
 
-std::vector<LocalTransition> candidate_transitions(
-    const Protocol& p, LocalStateId s,
-    const std::vector<LocalStateId>& resolve) {
+std::vector<LocalTransition> candidate_transitions(const Protocol& p,
+                                                   LocalStateId s) {
   const auto& space = p.space();
   std::vector<LocalTransition> out;
   for (Value v = 0; v < space.domain().size(); ++v) {
     if (v == space.self(s)) continue;
     const LocalStateId target = space.with_self(s, v);
-    // Keep added actions self-disabling (Assumption 2): the target must be
-    // neither a state being resolved nor a state the input protocol already
-    // fires from.
-    if (std::find(resolve.begin(), resolve.end(), target) != resolve.end())
-      continue;
+    // Writing into a state the input protocol already fires from would be
+    // rewritten away by the self-disabling transformation anyway — skip the
+    // redundant candidate. Targets inside the Resolve set stay in the
+    // stream: combinations that chain resolved states into a t-arc cycle
+    // (an Assumption 1 violation) are the lint pre-filter's job to discard
+    // (RS002, SynthesisOptions::reject_ill_formed), not the enumerator's.
     if (p.is_enabled(target)) continue;
     out.push_back({s, target});
   }
@@ -46,7 +46,7 @@ std::vector<std::vector<LocalTransition>> enumerate_candidate_sets(
   std::vector<std::vector<LocalTransition>> per_state;
   per_state.reserve(resolve.size());
   for (LocalStateId s : resolve) {
-    auto cands = candidate_transitions(p, s, resolve);
+    auto cands = candidate_transitions(p, s);
     if (cands.empty()) return {};  // this Resolve set cannot be realized
     per_state.push_back(std::move(cands));
   }

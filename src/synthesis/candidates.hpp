@@ -16,10 +16,12 @@ std::vector<std::vector<LocalStateId>> enumerate_resolve_sets(
     const Protocol& p, std::size_t max_sets = 64);
 
 /// Step 3: candidate local transitions resolving one deadlock s ∈ Resolve:
-/// all (s, s') with s' ∉ Resolve (so added actions are self-disabling with
-/// respect to the resolved states).
-std::vector<LocalTransition> candidate_transitions(
-    const Protocol& p, LocalStateId s, const std::vector<LocalStateId>& resolve);
+/// every (s, s') whose target the input protocol does not already fire
+/// from. Combinations that violate Assumption 1 (a t-arc cycle through the
+/// resolved states) stay in the stream — the lint pre-filter discards them
+/// with an RS002 diagnostic (SynthesisOptions::reject_ill_formed).
+std::vector<LocalTransition> candidate_transitions(const Protocol& p,
+                                                   LocalStateId s);
 
 /// All candidate *sets*: one candidate transition per state of `resolve`
 /// (the paper's "it is sufficient to include only one local transition

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "analysis/lint.hpp"
 #include "core/fmt.hpp"
 #include "core/printer.hpp"
 #include "local/deadlock.hpp"
@@ -13,6 +14,7 @@ namespace {
 /// One candidate's fixed-K verdict, parked in its portfolio slot.
 struct GlobalEval {
   bool prefiltered = false;  // discarded by the Theorem 4.2 prefilter
+  bool ill_formed = false;   // discarded by the lint pre-filter
   bool ok = false;           // strongly stabilizing for every configured K
   GlobalStateId states = 0;  // global states the K sweep cost
   std::optional<Protocol> pss;  // kept only when ok
@@ -25,6 +27,13 @@ GlobalEval evaluate_candidate(const Protocol& p,
   Protocol pss =
       p.with_added(cat(p.name(), "_gss", ordinal), added);
   GlobalEval eval;
+
+  // Lint pre-filter, ahead of the memo lookup so cached fixed-K verdicts
+  // stay independent of the flag.
+  if (options.reject_ill_formed && !lint_candidate_errors(pss).empty()) {
+    eval.ill_formed = true;
+    return eval;
+  }
 
   std::string key;
   if (memo != nullptr) {
@@ -78,6 +87,7 @@ GlobalSynthesisResult synthesize_convergence_global(
   obs::Counter& pruned = obs::counter("synth.candidates_pruned");
   obs::Counter& found = obs::counter("synth.solutions_found");
   obs::Counter& explored = obs::counter("synth.global_states_explored");
+  obs::Counter& lint_rejected = obs::counter("lint.candidates_rejected");
   GlobalSynthesisResult res;
   const auto resolve_sets = enumerate_resolve_sets(p, options.max_resolve_sets);
 
@@ -108,7 +118,11 @@ GlobalSynthesisResult synthesize_convergence_global(
           generated.add(1);
           res.states_explored += eval.states;
           explored.add(eval.states);
-          if (eval.prefiltered) {
+          if (eval.ill_formed) {
+            ++res.ill_formed_out;
+            pruned.add(1);
+            lint_rejected.add(1);
+          } else if (eval.prefiltered) {
             ++res.prefiltered_out;
             pruned.add(1);
           } else if (eval.ok) {
@@ -131,6 +145,8 @@ std::string GlobalSynthesisResult::summary(const Protocol& input) const {
      << "  candidates examined: " << candidates_examined
      << "  solutions: " << solutions.size()
      << "  global states explored: " << states_explored << "\n";
+  if (ill_formed_out > 0)
+    os << "  rejected (ill-formed by lint): " << ill_formed_out << "\n";
   for (std::size_t i = 0; i < solutions.size() && i < 4; ++i)
     os << "  solution " << i + 1 << ": added "
        << join(solutions[i].added, "; ",

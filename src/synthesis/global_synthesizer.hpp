@@ -40,6 +40,12 @@ struct GlobalSynthesisOptions {
 
   /// Share a memo table across calls; null = private per-call table.
   std::shared_ptr<VerdictMemo> memo;
+
+  /// Discard candidates carrying error-level lint diagnostics before any
+  /// K sweep (see SynthesisOptions::reject_ill_formed). Runs before the
+  /// memo, so cached verdicts are unaffected by the flag. Sound: such
+  /// candidates fail every sweep anyway. Counter: lint.candidates_rejected.
+  bool reject_ill_formed = true;
 };
 
 struct GlobalSynthesisSolution {
@@ -54,6 +60,8 @@ struct GlobalSynthesisResult {
   std::size_t candidates_examined = 0;
   /// Candidates discarded by the Theorem 4.2 prefilter (hybrid mode only).
   std::size_t prefiltered_out = 0;
+  /// Candidates discarded by the lint pre-filter (reject_ill_formed).
+  std::size_t ill_formed_out = 0;
   /// Global states visited across every model-checking run — the cost the
   /// local method avoids entirely.
   GlobalStateId states_explored = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lint.hpp"
 #include "core/fmt.hpp"
 #include "core/printer.hpp"
 #include "global/checker.hpp"
@@ -30,6 +31,19 @@ LocalEval evaluate_candidate(const Protocol& p, const SynthesisOptions& options,
   CandidateReport& report = eval.report;
   report.added = added;
 
+  // Lint pre-filter: a candidate with error-level diagnostics (t-arc cycle,
+  // empty LC_r) can never be certified — and a t-arc cycle would make the
+  // trail pipeline below throw. Runs before any memo traffic so memoized
+  // results are unaffected by the flag.
+  if (options.reject_ill_formed) {
+    auto errs = lint_candidate_errors(pss);
+    if (!errs.empty()) {
+      report.status = CandidateReport::Status::kRejectedIllFormed;
+      report.ill_formed = std::move(errs);
+      return eval;
+    }
+  }
+
   // Step 4 fast path (NPL): if the write projection of the *entire* δ_r of
   // p_ss has no value cycle, no subset can form a pseudo-livelock, so
   // Theorem 5.14 certifies livelock-freedom with no trail search. The
@@ -52,7 +66,7 @@ LocalEval evaluate_candidate(const Protocol& p, const SynthesisOptions& options,
 
   if (npl_livelock_free) {
     report.status = CandidateReport::Status::kAcceptedNpl;
-  } else {
+  } else try {
     // Step 5 (PL): search for a qualifying contiguous trail in the LTG of
     // the self-disabled p_ss. The search reads nothing but that
     // self-disabled image, so distinct additions collapsing to one
@@ -124,6 +138,16 @@ LocalEval evaluate_candidate(const Protocol& p, const SynthesisOptions& options,
         }
       }
     }
+  } catch (const ModelError&) {
+    // Reachable only with the pre-filter off: the self-disabling
+    // transformation (and hence the trail pipeline) is undefined for
+    // Assumption-1-violating candidates. Late detection here keeps
+    // reports and solutions bit-identical with the filter on.
+    auto errs = lint_candidate_errors(pss);
+    if (errs.empty()) throw;
+    report.status = CandidateReport::Status::kRejectedIllFormed;
+    report.ill_formed = std::move(errs);
+    return eval;
   }
 
   if (report.accepted()) {
@@ -145,6 +169,7 @@ SynthesisResult synthesize_convergence(const Protocol& p,
   obs::Counter& generated = obs::counter("synth.candidates_generated");
   obs::Counter& pruned = obs::counter("synth.candidates_pruned");
   obs::Counter& found = obs::counter("synth.solutions_found");
+  obs::Counter& ill_formed = obs::counter("lint.candidates_rejected");
   SynthesisResult res;
   res.closure = check_invariant_closure(p);
   if (options.require_closed_invariant &&
@@ -197,6 +222,11 @@ SynthesisResult synthesize_convergence(const Protocol& p,
             found.add(1);
           } else {
             pruned.add(1);
+            // Counted here, in the deterministic ascending merge, so the
+            // total is invariant under thread count and quota early-exit.
+            if (eval.report.status ==
+                CandidateReport::Status::kRejectedIllFormed)
+              ill_formed.add(1);
           }
           if (options.keep_rejected_reports || accepted)
             res.reports.push_back(std::move(eval.report));
@@ -213,7 +243,8 @@ std::string SynthesisResult::summary(const Protocol& input) const {
      << (success ? "SUCCESS" : "FAILURE") << "\n"
      << "  resolve sets: " << resolve_sets.size() << "  candidates examined: "
      << candidates_examined << "  solutions: " << solutions.size() << "\n";
-  std::size_t rejected = 0, inconclusive = 0, real = 0, spurious = 0;
+  std::size_t rejected = 0, inconclusive = 0, real = 0, spurious = 0,
+              ill = 0;
   for (const auto& r : reports) {
     if (r.status == CandidateReport::Status::kRejectedTrail) {
       ++rejected;
@@ -226,12 +257,14 @@ std::string SynthesisResult::summary(const Protocol& input) const {
       }
     }
     if (r.status == CandidateReport::Status::kInconclusive) ++inconclusive;
+    if (r.status == CandidateReport::Status::kRejectedIllFormed) ++ill;
   }
   os << "  rejected (trail found): " << rejected;
   if (real + spurious > 0)
     os << " (" << real << " realized as livelocks, " << spurious
        << " spurious at the implied K)";
   os << "  inconclusive: " << inconclusive << "\n";
+  if (ill > 0) os << "  rejected (ill-formed by lint): " << ill << "\n";
   for (std::size_t i = 0; i < solutions.size() && i < 4; ++i) {
     os << "  solution " << i + 1 << (solutions[i].via_npl ? " (NPL)" : " (PL)")
        << ": added "

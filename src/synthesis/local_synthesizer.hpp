@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "global/trail_check.hpp"
 #include "local/closure.hpp"
 #include "local/convergence.hpp"
@@ -44,6 +45,15 @@ struct SynthesisOptions {
   /// Share a memo table across calls (batch sweeps, benchmarks). Null means
   /// a private table per synthesize_convergence call.
   std::shared_ptr<VerdictMemo> memo;
+
+  /// Discard candidates carrying error-level lint diagnostics
+  /// (lint_candidate_errors: a t-arc cycle or an empty LC_r) before any
+  /// NPL/trail work. Sound — such candidates can never be certified. With
+  /// the filter off the same candidates are detected late, when the trail
+  /// pipeline trips over the Assumption 1 violation, so reports and
+  /// solutions are bit-identical either way; the filter just skips the
+  /// wasted work. Counter: lint.candidates_rejected.
+  bool reject_ill_formed = true;
 };
 
 /// One examined candidate set and its fate in methodology steps 4–5.
@@ -54,10 +64,15 @@ struct CandidateReport {
                          // contiguous trail → livelock-free (Thm 5.14)
     kRejectedTrail,      // a qualifying trail exists → cannot certify
     kInconclusive,       // trail search budget exhausted
+    kRejectedIllFormed,  // lint pre-filter: error-level diagnostics
   };
   Status status = Status::kInconclusive;
   std::vector<LocalTransition> added;
   std::optional<ContiguousTrail> trail;  // witness for kRejectedTrail
+
+  /// Error diagnostics for kRejectedIllFormed (see
+  /// SynthesisOptions::reject_ill_formed).
+  std::vector<Diagnostic> ill_formed;
 
   /// Reconstruction outcome at the trail's implied K (set when
   /// options.classify_rejected_trails and the instance fits the budget).

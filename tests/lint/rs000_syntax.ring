@@ -1,0 +1,4 @@
+# RS000: the parser rejects this file (missing ';' after the name), and
+# lint surfaces the failure as a located error diagnostic.
+protocol broken
+domain 2;

@@ -1,0 +1,6 @@
+# RS001 (error): x[0] + 1 evaluates to 2 when x[0] = 1, outside domain 2.
+protocol overflow;
+domain 2;
+reads -1 .. 0;
+legit: x[0] == 0;
+action bump: x[-1] == 1 -> x[0] := x[0] + 1;

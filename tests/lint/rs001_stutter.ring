@@ -1,0 +1,7 @@
+# RS001 (warning): the assignment rewrites x[0] to its current value at
+# some enabled states (here 00) while generating real transitions at others.
+protocol stutterer;
+domain 2;
+reads -1 .. 0;
+legit: x[0] == 0;
+action lazy_zero: x[-1] == 0 -> x[0] := 0;

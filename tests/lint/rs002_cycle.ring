@@ -1,0 +1,8 @@
+# RS002 (error): flip and flop chain into the local transition cycle
+# x0=0 -> x0=1 -> x0=0, so one process can fire forever (Assumption 1).
+protocol flip_flop;
+domain 2;
+reads -1 .. 0;
+legit: x[-1] == x[0];
+action flip: x[0] == 0 -> x[0] := 1;
+action flop: x[0] == 1 -> x[0] := 0;

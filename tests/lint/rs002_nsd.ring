@@ -1,0 +1,8 @@
+# RS002 (warning): raise's target 11 still enables push, so raise is not
+# self-disabling (Assumption 2); the chain terminates, so no error.
+protocol chained;
+domain 3;
+reads -1 .. 0;
+legit: x[0] == 2;
+action raise: x[0] == 0 -> x[0] := 1;
+action push: x[-1] == 1 && x[0] == 1 -> x[0] := 2;

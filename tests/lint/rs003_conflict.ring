@@ -1,0 +1,8 @@
+# RS003 (warning): both actions are enabled at 00 and write different
+# values, so the scheduler resolves the race nondeterministically.
+protocol racer;
+domain 3;
+reads -1 .. 0;
+legit: x[0] == 1 || x[0] == 2;
+action go_one: x[0] == 0 -> x[0] := 1;
+action go_two: x[-1] == 0 && x[0] == 0 -> x[0] := 2;

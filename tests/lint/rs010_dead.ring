@@ -1,0 +1,8 @@
+# RS010 (warning): never's guard mentions a value outside the domain, so it
+# holds nowhere; all_stutter only rewrites x[0] to itself.
+protocol deadwood;
+domain 2;
+reads -1 .. 0;
+legit: x[0] == 0;
+action never: x[0] == 2 -> x[0] := 0;
+action all_stutter: x[0] == 1 -> x[0] := 1;

@@ -1,0 +1,6 @@
+# RS011 (warning): with no actions at all, every illegitimate window is a
+# deadlock, and the deadlock RCG has cycles through them (Theorem 4.2).
+protocol stuck;
+domain 2;
+reads -1 .. 0;
+legit: x[-1] == x[0];

@@ -1,0 +1,6 @@
+# RS020 (error): the legitimacy predicate is identically false, so I(K) is
+# empty and there is nothing to converge to.
+protocol nowhere;
+domain 2;
+reads -1 .. 0;
+legit: 0;

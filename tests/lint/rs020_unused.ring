@@ -1,0 +1,8 @@
+# RS020 (note): value 2 is never written, never enables an action and is
+# never legitimate as x[0].
+# lint: allow(RS011)
+protocol spare_value;
+domain 3;
+reads -1 .. 0;
+legit: x[0] == 0;
+action drop: x[0] == 1 -> x[0] := 0;

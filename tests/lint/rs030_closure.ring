@@ -1,0 +1,8 @@
+# RS030 (error): escape fires from the all-zero configuration, which lies
+# inside I, and leaves it — Problem 3.1 forbids behavior change within I.
+# lint: allow(RS011)
+protocol leaky;
+domain 2;
+reads -1 .. 0;
+legit: x[0] == 0;
+action escape: x[-1] == 0 && x[0] == 0 -> x[0] := 1;

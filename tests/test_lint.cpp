@@ -1,0 +1,287 @@
+// The protocol lint engine: one golden fixture per RS code, suppression
+// directives, JSON round-tripping, located parser errors, and the
+// synthesizer's reject_ill_formed pre-filter (bit-identity + counters).
+#include <filesystem>
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "core/parser.hpp"
+#include "obs/obs.hpp"
+#include "synthesis/global_synthesizer.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace ringstab {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(RINGSTAB_LINT_FIXTURES) + "/" + name;
+}
+
+bool has_code(const LintResult& res, const std::string& code,
+              Severity severity) {
+  for (const auto& d : res.diagnostics)
+    if (d.code == code && d.severity == severity) return true;
+  return false;
+}
+
+struct GoldenCase {
+  const char* file;
+  const char* code;
+  Severity severity;
+};
+
+// One broken fixture per diagnostic code (and per severity tier where a
+// code has several).
+const GoldenCase kGolden[] = {
+    {"rs000_syntax.ring", "RS000", Severity::kError},
+    {"rs001_domain.ring", "RS001", Severity::kError},
+    {"rs001_stutter.ring", "RS001", Severity::kWarning},
+    {"rs002_cycle.ring", "RS002", Severity::kError},
+    {"rs002_nsd.ring", "RS002", Severity::kWarning},
+    {"rs003_conflict.ring", "RS003", Severity::kWarning},
+    {"rs010_dead.ring", "RS010", Severity::kWarning},
+    {"rs011_deadlock.ring", "RS011", Severity::kWarning},
+    {"rs020_empty.ring", "RS020", Severity::kError},
+    {"rs020_unused.ring", "RS020", Severity::kNote},
+    {"rs030_closure.ring", "RS030", Severity::kError},
+};
+
+TEST(Lint, GoldenFixtures) {
+  for (const auto& g : kGolden) {
+    const LintResult res = lint_ring_file(fixture(g.file));
+    EXPECT_TRUE(has_code(res, g.code, g.severity))
+        << g.file << " should emit " << g.code << " at severity "
+        << severity_name(g.severity) << "; got:\n"
+        << render_text(res.diagnostics);
+    EXPECT_EQ(res.has_error(), res.count(Severity::kError) > 0);
+  }
+}
+
+TEST(Lint, ErrorFixturesFailAndWarningFixturesDoNot) {
+  EXPECT_TRUE(lint_ring_file(fixture("rs020_empty.ring")).has_error());
+  EXPECT_TRUE(lint_ring_file(fixture("rs002_cycle.ring")).has_error());
+  EXPECT_FALSE(lint_ring_file(fixture("rs003_conflict.ring")).has_error());
+  EXPECT_FALSE(lint_ring_file(fixture("rs011_deadlock.ring")).has_error());
+}
+
+TEST(Lint, ShippedRingZooIsLintClean) {
+  std::size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RINGSTAB_RINGS)) {
+    if (entry.path().extension() != ".ring") continue;
+    ++files;
+    const LintResult res = lint_ring_file(entry.path().string());
+    EXPECT_TRUE(res.diagnostics.empty())
+        << entry.path().filename() << " is not lint-clean:\n"
+        << render_text(res.diagnostics);
+  }
+  EXPECT_GE(files, 8u);
+}
+
+TEST(Lint, AllowDirectiveSuppressesAndCounts) {
+  // matching_gen acknowledges its intentional A3a/A3b nondeterminism.
+  const LintResult res =
+      lint_ring_file(std::string(RINGSTAB_RINGS) + "/matching_gen.ring");
+  EXPECT_TRUE(res.diagnostics.empty());
+  EXPECT_GE(res.suppressed, 1u);
+
+  // The same file without the directive produces the RS003 warning.
+  const std::string text =
+      read_source_file(std::string(RINGSTAB_RINGS) + "/matching_gen.ring");
+  ProtocolSource src = parse_protocol_source(text);
+  src.lint_allows.clear();
+  EXPECT_TRUE(has_code(lint_source(src), "RS003", Severity::kWarning));
+}
+
+TEST(Lint, SpanRecoveredFromParseError) {
+  const LintResult res = lint_ring_file(fixture("rs000_syntax.ring"));
+  ASSERT_EQ(res.diagnostics.size(), 1u);
+  const Diagnostic& d = res.diagnostics[0];
+  EXPECT_EQ(d.code, "RS000");
+  EXPECT_TRUE(d.span.valid());
+  EXPECT_EQ(d.span.line, 4);
+  // The rendered location prefix survives end to end.
+  EXPECT_NE(render_text(res.diagnostics).find(":4:"), std::string::npos);
+}
+
+TEST(Lint, ParserErrorsCarryFileLineColumn) {
+  try {
+    parse_protocol_file(fixture("rs000_syntax.ring"));
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(fixture("rs000_syntax.ring") + ":4:"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find(": error: "), std::string::npos) << msg;
+  }
+  // String entry points locate errors in "<input>".
+  try {
+    parse_protocol("protocol p;\ndomain 99999999999999999999;\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("<input>:2:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Lint, JsonRoundTrip) {
+  const LintResult res = lint_ring_file(fixture("rs001_domain.ring"));
+  ASSERT_FALSE(res.diagnostics.empty());
+  EXPECT_EQ(parse_diagnostics_json(render_json(res.diagnostics)),
+            res.diagnostics);
+}
+
+TEST(Lint, JsonRoundTripEscapes) {
+  Diagnostic d;
+  d.code = "RS099";
+  d.severity = Severity::kWarning;
+  d.message = "quote \" backslash \\ newline \n tab \t bell \x07 done";
+  d.hint = "carriage\rreturn";
+  d.file = "weird \"name\".ring";
+  d.span = SourceSpan{3, 17};
+  const std::vector<Diagnostic> diags{d};
+  EXPECT_EQ(parse_diagnostics_json(render_json(diags)), diags);
+}
+
+TEST(Lint, EmptyDiagnosticsRenderAsEmptyArray) {
+  EXPECT_EQ(parse_diagnostics_json(render_json({})),
+            std::vector<Diagnostic>{});
+  EXPECT_EQ(render_text({}), "");
+}
+
+TEST(Lint, CandidateErrorsDetectTArcCycleAndEmptyLc) {
+  const Protocol cyclic = parse_protocol_file(fixture("rs002_cycle.ring"));
+  const auto errs = lint_candidate_errors(cyclic);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_EQ(errs[0].code, "RS002");
+  EXPECT_EQ(errs[0].severity, Severity::kError);
+
+  const Protocol empty_lc = parse_protocol_file(fixture("rs020_empty.ring"));
+  const auto errs2 = lint_candidate_errors(empty_lc);
+  ASSERT_EQ(errs2.size(), 1u);
+  EXPECT_EQ(errs2[0].code, "RS020");
+
+  const Protocol ok = parse_protocol_file(std::string(RINGSTAB_RINGS) +
+                                          "/sum_not_two_ss.ring");
+  EXPECT_TRUE(lint_candidate_errors(ok).empty());
+}
+
+// ---------------------------------------------------------------------------
+// The reject_ill_formed pre-filter.
+
+SynthesisOptions fast_options(bool reject, std::size_t threads) {
+  SynthesisOptions o;
+  o.reject_ill_formed = reject;
+  o.num_threads = threads;
+  o.require_closed_invariant = false;
+  o.classify_rejected_trails = false;
+  return o;
+}
+
+void expect_identical(const SynthesisResult& a, const SynthesisResult& b) {
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.candidates_examined, b.candidates_examined);
+  ASSERT_EQ(a.solutions.size(), b.solutions.size());
+  for (std::size_t i = 0; i < a.solutions.size(); ++i) {
+    EXPECT_EQ(a.solutions[i].protocol.name(), b.solutions[i].protocol.name());
+    EXPECT_EQ(a.solutions[i].added, b.solutions[i].added);
+    EXPECT_EQ(a.solutions[i].via_npl, b.solutions[i].via_npl);
+  }
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].status, b.reports[i].status);
+    EXPECT_EQ(a.reports[i].added, b.reports[i].added);
+  }
+}
+
+std::size_t count_ill_formed(const SynthesisResult& r) {
+  std::size_t n = 0;
+  for (const auto& rep : r.reports)
+    if (rep.status == CandidateReport::Status::kRejectedIllFormed) ++n;
+  return n;
+}
+
+TEST(LintPrefilter, ZooResultsBitIdenticalWithFilterOnAndOff) {
+  // Early (pre-filter) vs late (trail-pipeline ModelError) detection must
+  // agree exactly — candidate for candidate — at every thread count.
+  for (const char* name :
+       {"agreement.ring", "sum_not_two.ring", "three_coloring.ring",
+        "token_pair.ring", "forbidden_pairs.ring", "reset_to_zero.ring"}) {
+    SCOPED_TRACE(name);
+    const Protocol p =
+        parse_protocol_file(std::string(RINGSTAB_RINGS) + "/" + name);
+    const SynthesisResult on1 = synthesize_convergence(p, fast_options(true, 1));
+    const SynthesisResult off1 =
+        synthesize_convergence(p, fast_options(false, 1));
+    const SynthesisResult on4 = synthesize_convergence(p, fast_options(true, 4));
+    const SynthesisResult off4 =
+        synthesize_convergence(p, fast_options(false, 4));
+    expect_identical(on1, off1);
+    expect_identical(on1, on4);
+    expect_identical(on1, off4);
+  }
+}
+
+TEST(LintPrefilter, ResetToZeroRejectsIllFormedCandidates) {
+  const Protocol p = parse_protocol_file(std::string(RINGSTAB_RINGS) +
+                                         "/reset_to_zero.ring");
+  const SynthesisResult res = synthesize_convergence(p, fast_options(true, 1));
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.candidates_examined, 64u);
+  EXPECT_EQ(count_ill_formed(res), 28u);
+  for (const auto& rep : res.reports) {
+    if (rep.status != CandidateReport::Status::kRejectedIllFormed) continue;
+    ASSERT_FALSE(rep.ill_formed.empty());
+    EXPECT_EQ(rep.ill_formed[0].code, "RS002");
+  }
+  // The summary surfaces the rejection tally.
+  EXPECT_NE(res.summary(p).find("rejected (ill-formed by lint): 28"),
+            std::string::npos);
+}
+
+TEST(LintPrefilter, RejectionCounterIsThreadInvariant) {
+  const Protocol p = parse_protocol_file(std::string(RINGSTAB_RINGS) +
+                                         "/reset_to_zero.ring");
+  obs::g_enabled.store(true);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    obs::Registry::global().reset_counters();
+    (void)synthesize_convergence(p, fast_options(true, threads));
+    EXPECT_EQ(obs::counter("lint.candidates_rejected").total(), 28u)
+        << "threads=" << threads;
+  }
+  obs::g_enabled.store(false);
+  obs::Registry::global().reset_counters();
+}
+
+TEST(LintPrefilter, DiagEmissionCounterFires) {
+  obs::g_enabled.store(true);
+  obs::Registry::global().reset_counters();
+  (void)lint_ring_file(fixture("rs011_deadlock.ring"));
+  EXPECT_GT(obs::counter("lint.diags_emitted").total(), 0u);
+  obs::g_enabled.store(false);
+  obs::Registry::global().reset_counters();
+}
+
+TEST(LintPrefilter, GlobalSynthesizerRejectsIllFormedBeforeSweep) {
+  const Protocol p = parse_protocol_file(std::string(RINGSTAB_RINGS) +
+                                         "/reset_to_zero.ring");
+  GlobalSynthesisOptions on;
+  on.min_ring = 2;
+  on.max_ring = 4;
+  const GlobalSynthesisResult with = synthesize_convergence_global(p, on);
+  EXPECT_EQ(with.ill_formed_out, 28u);
+
+  GlobalSynthesisOptions off = on;
+  off.reject_ill_formed = false;
+  const GlobalSynthesisResult without = synthesize_convergence_global(p, off);
+  EXPECT_EQ(without.ill_formed_out, 0u);
+  // The exhaustive sweep rejects the same candidates the hard way: the
+  // solution lists agree exactly.
+  ASSERT_EQ(with.solutions.size(), without.solutions.size());
+  for (std::size_t i = 0; i < with.solutions.size(); ++i)
+    EXPECT_EQ(with.solutions[i].added, without.solutions[i].added);
+}
+
+}  // namespace
+}  // namespace ringstab
