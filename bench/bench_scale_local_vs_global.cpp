@@ -1,6 +1,7 @@
 // EXP-S1 — the paper's core efficiency claim: local reasoning is
 // K-independent while global model checking explodes exponentially with K.
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 
 #include "bench_util.hpp"
@@ -164,9 +165,9 @@ void symmetry_report() {
 
 // EXP-S1b — the parallel global-state engine: invariant-mask + deadlock
 // sweep throughput at 1..N threads, on an instance past the seed engine's
-// comfortable budget. Emits BENCH_global_engine.json (machine-readable:
-// states/sec per thread count, speedup vs 1 thread) for CI tracking.
-void global_engine_report() {
+// comfortable budget. Returns the per-thread rows; report_all() folds them
+// into BENCH_global_engine.json together with the EXP-S1d table.
+std::vector<bench::Json> global_engine_report() {
   bench::header(
       "EXP-S1b", "parallel global-state engine",
       "the global baseline is the ground truth every local verdict is "
@@ -219,21 +220,120 @@ void global_engine_report() {
                        .put("ms", s.ms)
                        .put("states_per_sec", s.states_per_sec)
                        .put("speedup_vs_1", s.speedup));
-  bench::write_bench_json("BENCH_global_engine.json",
-                          bench::Json()
-                              .put("experiment", "global_engine_sweep")
-                              .put("protocol", p.name())
-                              .put("ring_size", k)
-                              .put("num_states", ring.num_states())
-                              .put("hardware_threads", hw)
-                              .put("sweep", "invariant_mask+deadlock_census")
-                              .put("runs", runs));
   bench::footer();
+  return runs;
+}
+
+// EXP-S1d — full-verdict throughput: the fused engine (one classify pass,
+// one successor pass building the ¬I CSR, then FB/FWBW parallel SCC and
+// CSR-resident tiled fixpoints) against the unfused pass-per-question
+// baseline (independent sweeps plus a serial Tarjan over the implicit
+// graph), across a thread sweep. Every run's verdict is checked against
+// the serial unfused baseline; a mismatch aborts the bench.
+// RINGSTAB_BENCH_SMOKE=1 shrinks K for the CI smoke job.
+std::vector<bench::Json> full_verdict_report(const RingInstance& ring,
+                                             bool smoke) {
+  bench::header(
+      "EXP-S1d", "fused full-verdict engine vs unfused baseline",
+      "a full verdict (closure, deadlock census, livelock SCCs, weak "
+      "convergence, recovery bound) decodes the state space exactly twice "
+      "in the fused engine; the unfused baseline re-decodes it for every "
+      "question and runs livelock detection as a serial Tarjan");
+
+  const double n = static_cast<double>(ring.num_states());
+  auto run_engine = [&](std::size_t threads, bool fused,
+                        GlobalCheckResult& out) {
+    return ms_of([&] {
+      const GlobalChecker checker(ring, threads, fused);
+      out = checker.check_all();
+      benchmark::DoNotOptimize(&out);
+    });
+  };
+  // Witness cycles are engine-specific (each engine is deterministic, but
+  // they anchor cycles differently); every verdict field must agree.
+  auto same_verdict = [](const GlobalCheckResult& a,
+                         const GlobalCheckResult& b) {
+    return a.num_deadlocks_outside_i == b.num_deadlocks_outside_i &&
+           a.deadlock_samples == b.deadlock_samples &&
+           a.has_livelock == b.has_livelock && a.closure_ok == b.closure_ok &&
+           a.closure_violation == b.closure_violation &&
+           a.weakly_converges == b.weakly_converges &&
+           a.max_recovery_steps == b.max_recovery_steps;
+  };
+
+  GlobalCheckResult base;
+  const double base_ms = run_engine(1, /*fused=*/false, base);
+  const double base_sps = n / (base_ms / 1000.0);
+  if (!(base_sps > 0.0))
+    throw ModelError("EXP-S1d: zero full-verdict throughput");
+
+  std::vector<bench::Json> runs;
+  auto record = [&](const char* engine, std::size_t threads, double ms,
+                    const GlobalCheckResult& res) {
+    if (!same_verdict(res, base))
+      throw ModelError(cat("EXP-S1d: ", engine, " engine at ", threads,
+                           " thread(s) disagrees with the serial baseline"));
+    const double sps = n / (ms / 1000.0);
+    std::cout << "  full verdict K=" << ring.ring_size() << " " << engine
+              << ", " << threads << " thread(s): " << ms << " ms, "
+              << static_cast<std::uint64_t>(sps) << " states/sec, "
+              << sps / base_sps << "x vs serial unfused\n";
+    runs.push_back(bench::Json()
+                       .put("engine", engine)
+                       .put("threads", threads)
+                       .put("ms", ms)
+                       .put("states_per_sec", sps)
+                       .put("speedup_vs_serial_unfused", sps / base_sps));
+  };
+  record("unfused", 1, base_ms, base);
+  const std::vector<std::size_t> sweep = {1, 2, 4, 8};
+  for (const std::size_t t : sweep) {
+    GlobalCheckResult res;
+    const double ms = run_engine(t, /*fused=*/true, res);
+    record("fused", t, ms, res);
+  }
+  for (const std::size_t t : sweep) {
+    if (t == 1) continue;  // the baseline row above
+    GlobalCheckResult res;
+    const double ms = run_engine(t, /*fused=*/false, res);
+    record("unfused", t, ms, res);
+  }
+  bench::note(cat(
+      "verdicts (deadlock census + samples, livelock, closure pair, weak "
+      "convergence, recovery bound) are asserted bit-identical across all ",
+      runs.size(), " runs; speedups are bounded by physical cores (",
+      resolve_threads(0), " hardware lane(s) here)",
+      smoke ? " — SMOKE RUN, tiny K" : ""));
+  bench::footer();
+  return runs;
 }
 
 void report_all() {
   report();
-  global_engine_report();
+  const std::vector<bench::Json> sweep_runs = global_engine_report();
+
+  const bool smoke = std::getenv("RINGSTAB_BENCH_SMOKE") != nullptr;
+  const Protocol p = protocols::sum_not_two_solution();
+  const std::size_t k = smoke ? 8 : 16;
+  const RingInstance ring(p, k, GlobalStateId{1} << 27);
+  const std::vector<bench::Json> verdict_runs =
+      full_verdict_report(ring, smoke);
+
+  bench::write_bench_json(
+      "BENCH_global_engine.json",
+      bench::Json()
+          .put("experiment", "global_engine")
+          .put("protocol", p.name())
+          .put("hardware_threads", resolve_threads(0))
+          .put("sweep_ring_size", std::size_t{16})
+          .put("sweep", "invariant_mask+deadlock_census")
+          .put("runs", sweep_runs)
+          .put("full_verdict_ring_size", k)
+          .put("full_verdict_num_states", ring.num_states())
+          .put("full_verdict_smoke", smoke)
+          .put("full_verdict_sweep",
+               "check_all: fused two-pass + parallel SCC vs unfused baseline")
+          .put("full_verdict_runs", verdict_runs));
   symmetry_report();
 }
 

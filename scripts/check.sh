@@ -2,8 +2,9 @@
 # Tier-1 gate + sanitized builds.
 #
 #   scripts/check.sh            full: build, ctest, TSan test_parallel+test_obs
-#                               +test_synthesis_parallel, ASan test_symmetry
-#                               + CLI parsing/synthesis/lint tests, UBSan
+#                               +test_parallel_scc+test_synthesis_parallel,
+#                               ASan test_symmetry + CLI
+#                               parsing/synthesis/lint tests, UBSan
 #                               core/local/analysis test binaries
 #   scripts/check.sh --fast     tier-1 only (skip the sanitizer builds)
 #
@@ -28,14 +29,18 @@ if [[ "$fast" == 1 ]]; then
   exit 0
 fi
 
-echo "== TSan: build test_parallel + test_obs + test_synthesis_parallel =="
+echo "== TSan: build test_parallel + test_parallel_scc + test_obs + test_synthesis_parallel =="
 cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DRINGSTAB_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" \
-      --target test_parallel test_obs test_synthesis_parallel
+      --target test_parallel test_parallel_scc test_obs test_synthesis_parallel
 
 echo "== TSan: run =="
 "$repo/build-tsan/tests/test_parallel"
+# FB/FWBW decomposition, fused checker passes, and the quotient SCC port:
+# the randomized cross-validation plus the zoo sweeps drive every atomic
+# (frontier dedup, transpose fill cursors, rank-space mask writes).
+"$repo/build-tsan/tests/test_parallel_scc"
 "$repo/build-tsan/tests/test_obs"
 # The zoo-wide bit-identity sweeps re-run full synthesis dozens of times and
 # take minutes under TSan; the remaining tests drive every concurrent code

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <unordered_map>
 
 #include "core/fmt.hpp"
@@ -14,14 +15,15 @@ namespace {
 constexpr std::uint32_t kUnvisited = 0xffffffffu;
 
 // Iterative Tarjan over the implicit global transition graph restricted to
-// states outside I. Stops early when a nontrivial SCC is found (if
-// `first_only`), otherwise collects all states on ¬I cycles. Serial; the
-// precomputed invariant mask is supplied by the checker.
+// states outside I: the unfused baseline engine. One full run serves both
+// livelock queries — it collects every state on a ¬I cycle and extracts a
+// witness cycle from the first nontrivial SCC it pops (deterministic: pop
+// order is a pure function of the graph). Serial; the precomputed invariant
+// mask is supplied by the checker.
 class OutsideInvariantScc {
  public:
-  OutsideInvariantScc(const RingInstance& ring, const PackedBitset& in_inv,
-                      bool first_only)
-      : ring_(ring), first_only_(first_only), in_inv_(in_inv) {
+  OutsideInvariantScc(const RingInstance& ring, const PackedBitset& in_inv)
+      : ring_(ring), in_inv_(in_inv) {
     index_.assign(ring.num_states(), kUnvisited);
     low_.assign(ring.num_states(), 0);
     on_stack_.assign(ring.num_states(), false);
@@ -29,7 +31,6 @@ class OutsideInvariantScc {
 
   void run() {
     for (GlobalStateId root = 0; root < ring_.num_states(); ++root) {
-      if (done_) break;
       if (index_[root] != kUnvisited) continue;
       if (in_inv_.test(root)) continue;
       visit(root);
@@ -93,11 +94,7 @@ class OutsideInvariantScc {
           if (w == v) break;
         }
         if (comp.size() > 1) {  // global self-loops cannot exist
-          if (first_only_ && !witness_cycle) {
-            witness_cycle = extract_cycle(comp);
-            done_ = true;
-            return;
-          }
+          if (!witness_cycle) witness_cycle = extract_cycle(comp);
           cycle_states.insert(cycle_states.end(), comp.begin(), comp.end());
         }
       }
@@ -146,18 +143,359 @@ class OutsideInvariantScc {
   }
 
   const RingInstance& ring_;
-  bool first_only_;
   const PackedBitset& in_inv_;
-  bool done_ = false;
   std::uint32_t next_index_ = 0;
   std::vector<std::uint32_t> index_, low_;
   std::vector<bool> on_stack_;
   std::vector<GlobalStateId> stack_;
 };
 
+/// All 8 words of the 64-byte tile starting at word `w` fully set?
+inline bool tile_full(const PackedBitset& bs, std::uint64_t w) {
+  std::uint64_t acc = ~std::uint64_t{0};
+  for (std::uint64_t i = 0; i < 8; ++i) acc &= bs.word(w + i);
+  return acc == ~std::uint64_t{0};
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Fused pipeline: two decode passes, then everything runs on the cached CSR.
+// ---------------------------------------------------------------------------
+
+std::uint32_t GlobalChecker::rank_of(GlobalStateId s) const {
+  const std::uint64_t w = s >> 6;
+  const std::uint64_t below = (std::uint64_t{1} << (s & 63)) - 1;
+  return static_cast<std::uint32_t>(
+      word_rank_[w] +
+      static_cast<std::uint64_t>(std::popcount(~inv_mask_.word(w) & below)));
+}
+
+void GlobalChecker::ensure_masks() const {
+  if (census_done_) return;
+  const GlobalStateId n = ring_->num_states();
+  const obs::Span span("checker.fused_census");
+  obs::Counter& swept = obs::counter("checker.states_swept");
+  PackedBitset mask(n);
+  const std::uint64_t chunks = num_chunks(n, 0);
+  std::vector<std::size_t> counts(chunks, 0);
+  std::vector<std::vector<GlobalStateId>> found(chunks);
+  // Chunks start on multiples of a 64-aligned grain, so each chunk's mask
+  // bits live in chunk-private words: plain set() is race-free.
+  parallel_for(n, num_threads_, 0, [&](const ChunkRange& chunk, std::size_t) {
+    auto cur = ring_->cursor(chunk.begin);
+    std::size_t count = 0;
+    for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
+      const std::uint8_t cls = cur.classify();
+      if (cls & RingInstance::kClassInvariant) {
+        mask.set(s);
+      } else if (cls & RingInstance::kClassDeadlock) {
+        ++count;
+        if (found[chunk.index].size() < kMaxCachedSamples)
+          found[chunk.index].push_back(s);
+      }
+    }
+    counts[chunk.index] = count;
+    swept.add(chunk.end - chunk.begin);
+  });
+  deadlock_count_ = 0;
+  deadlock_samples_.clear();
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    deadlock_count_ += counts[c];
+    for (GlobalStateId s : found[c])
+      if (deadlock_samples_.size() < kMaxCachedSamples)
+        deadlock_samples_.push_back(s);
+  }
+  if (obs::enabled())
+    obs::counter("checker.invariant_states").add(mask.count());
+  obs::counter("checker.deadlocks_found").add(deadlock_count_);
+  inv_mask_ = std::move(mask);
+  census_done_ = true;
+}
+
+void GlobalChecker::ensure_graph() const {
+  if (graph_built_) return;
+  ensure_masks();
+  const GlobalStateId n = ring_->num_states();
+  const obs::Span span("checker.graph_build");
+  obs::Counter& swept = obs::counter("checker.states_swept");
+
+  // Rank structure: word_rank_[w] = number of ¬I states in words [0, w), so
+  // a successor's rank is one prefix read plus one popcount.
+  const std::uint64_t words = inv_mask_.num_words();
+  word_rank_.assign(words + 1, 0);
+  for (std::uint64_t w = 0; w < words; ++w) {
+    const std::uint64_t live = std::min<std::uint64_t>(64, n - w * 64);
+    word_rank_[w + 1] =
+        word_rank_[w] + live -
+        static_cast<std::uint64_t>(std::popcount(inv_mask_.word(w)));
+  }
+  const std::uint64_t nni = words == 0 ? 0 : word_rank_[words];
+  if (nni >> 32)
+    throw CapacityError("fused engine: more than 2^32 states outside I");
+
+  to_inv_.assign(nni);
+  ni_ids_.assign(nni, 0);
+  const std::uint64_t chunks = num_chunks(n, 0);
+  struct ChunkGraph {
+    std::vector<std::uint32_t> deg;  // per ¬I state of the chunk, ascending
+    std::vector<std::uint32_t> col;  // concatenated successor ranks
+    std::optional<std::pair<GlobalStateId, GlobalStateId>> violation;
+  };
+  std::vector<ChunkGraph> part(chunks);
+  parallel_for(n, num_threads_, 0, [&](const ChunkRange& chunk, std::size_t) {
+    ChunkGraph& mine = part[chunk.index];
+    auto cur = ring_->cursor(chunk.begin);
+    std::vector<RingInstance::Step> succ;
+    // chunk.begin is a multiple of 64, so its rank is a word prefix.
+    std::uint32_t r = static_cast<std::uint32_t>(word_rank_[chunk.begin >> 6]);
+    for (GlobalStateId s = chunk.begin; s < chunk.end; ++s, cur.advance()) {
+      if (inv_mask_.test(s)) {
+        // Closure duty: only the chunk's first violation matters (the merge
+        // below keeps the lowest), so later I-states skip the expansion.
+        if (mine.violation) continue;
+        cur.successors(succ);
+        for (const auto& step : succ)
+          if (!inv_mask_.test(step.target)) {
+            mine.violation = {s, step.target};
+            break;
+          }
+        continue;
+      }
+      cur.successors(succ);
+      std::uint32_t deg = 0;
+      bool into_inv = false;
+      for (const auto& step : succ) {
+        if (inv_mask_.test(step.target)) {
+          into_inv = true;
+          continue;
+        }
+        mine.col.push_back(rank_of(step.target));
+        ++deg;
+      }
+      mine.deg.push_back(deg);
+      // Rank-space bits are not chunk-word-aligned (chunks are 64-aligned
+      // in *state* space), so neighbor chunks may share a to_inv_ word.
+      if (into_inv) to_inv_.set_atomic(r);
+      ni_ids_[r] = s;
+      ++r;
+    }
+    swept.add(chunk.end - chunk.begin);
+  });
+
+  closure_ok_ = true;
+  closure_violation_.reset();
+  for (std::uint64_t c = 0; c < chunks && closure_ok_; ++c)
+    if (part[c].violation) {
+      closure_ok_ = false;
+      closure_violation_ = part[c].violation;
+    }
+
+  csr_.row.assign(nni + 1, 0);
+  std::vector<std::uint64_t> edge_base(chunks, 0);
+  std::uint64_t total_edges = 0;
+  {
+    std::uint64_t r = 0;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      edge_base[c] = total_edges;
+      for (const std::uint32_t d : part[c].deg) {
+        csr_.row[r + 1] = csr_.row[r] + d;
+        total_edges += d;
+        ++r;
+      }
+    }
+    RINGSTAB_ASSERT(r == nni, "rank bookkeeping out of sync");
+  }
+  csr_.col.assign(total_edges, 0);
+  parallel_for(chunks, num_threads_, 64,
+               [&](const ChunkRange& ck, std::size_t) {
+    for (std::uint64_t c = ck.begin; c < ck.end; ++c)
+      std::copy(part[c].col.begin(), part[c].col.end(),
+                csr_.col.begin() + edge_base[c]);
+  });
+  obs::counter("checker.graph_edges").add(total_edges);
+  graph_built_ = true;
+}
+
+void GlobalChecker::ensure_scc() const {
+  if (scc_done_) return;
+  ensure_graph();
+  const obs::Span span("checker.livelock_scc");
+  scc_ = parallel_scc(csr_, num_threads_);
+  scc_done_ = true;
+}
+
+std::size_t GlobalChecker::fused_weak_convergence() const {
+  const std::uint64_t nni = to_inv_.size();
+  const obs::Span span("checker.weak_convergence");
+  obs::Counter& rounds = obs::counter("checker.fixpoint_rounds");
+  obs::Counter& frontier = obs::counter("checker.frontier_states");
+  // Backward fixpoint in rank space, as synchronous (Jacobi) rounds over
+  // the CSR: to_inv_ acts as a constant edge into the (already reaching)
+  // invariant, so the per-round growth — and the round count — matches the
+  // full-space sweep of the unfused engine exactly.
+  PackedBitset reaches(nni);
+  PackedBitset next(nni);
+  const std::uint64_t chunks = num_chunks(nni, 0);
+  std::vector<std::uint8_t> chunk_changed(chunks, 0);
+  while (true) {
+    rounds.add(1);
+    next = reaches;
+    std::fill(chunk_changed.begin(), chunk_changed.end(), 0);
+    parallel_for(nni, num_threads_, 0,
+                 [&](const ChunkRange& chunk, std::size_t) {
+      bool changed = false;
+      std::uint64_t grew = 0;
+      const std::uint64_t w1 = (chunk.end + 63) >> 6;
+      for (std::uint64_t w = chunk.begin >> 6; w < w1;) {
+        // 64-byte tiling: skip 8 fully-settled words at a time, then
+        // whole words, so late rounds touch only the live frontier.
+        if ((w & 7) == 0 && w + 8 <= w1 && tile_full(reaches, w)) {
+          w += 8;
+          continue;
+        }
+        std::uint64_t todo = ~reaches.word(w);
+        const std::uint64_t base = w * 64;
+        ++w;
+        while (todo) {
+          const std::uint64_t r =
+              base + static_cast<std::uint64_t>(std::countr_zero(todo));
+          todo &= todo - 1;
+          if (r >= chunk.end) break;
+          bool hit = to_inv_.test(r);
+          for (std::uint64_t e = csr_.row[r]; !hit && e < csr_.row[r + 1];
+               ++e)
+            hit = reaches.test(csr_.col[e]);
+          if (hit) {
+            next.set(r);
+            changed = true;
+            ++grew;
+          }
+        }
+      }
+      chunk_changed[chunk.index] = changed;
+      frontier.add(grew);
+    });
+    if (std::find(chunk_changed.begin(), chunk_changed.end(), 1) ==
+        chunk_changed.end())
+      break;
+    std::swap(reaches, next);
+  }
+  return reaches.count();
+}
+
+std::size_t GlobalChecker::fused_recovery_steps() const {
+  const std::uint64_t nni = to_inv_.size();
+  const obs::Span span("checker.recovery_layering");
+  // Each ¬I state resolves its depth exactly once in both engines, so the
+  // total is thread-count-invariant: |¬I| states.
+  obs::Counter& resolved_ctr = obs::counter("checker.recovery_resolved");
+  if (num_threads_ <= 1) {
+    // Longest path to I over the CSR (valid when strongly converging):
+    // memoized DFS; to_inv_ contributes the 1-step edges into I.
+    constexpr std::uint32_t kUnknown = 0xfffffffeu;
+    constexpr std::uint32_t kInProgress = 0xfffffffdu;
+    std::vector<std::uint32_t> depth(nni, kUnknown);
+    std::size_t best = 0;
+    std::uint64_t serial_resolved = 0;
+    auto dfs = [&](auto&& self, std::uint32_t r) -> std::uint32_t {
+      if (depth[r] == kInProgress)
+        throw ModelError("cycle outside I: not strongly converging");
+      if (depth[r] != kUnknown) return depth[r];
+      depth[r] = kInProgress;
+      const std::uint64_t lo = csr_.row[r], hi = csr_.row[r + 1];
+      if (lo == hi && !to_inv_.test(r))
+        throw ModelError("deadlock outside I: not strongly converging");
+      std::uint32_t d = to_inv_.test(r) ? 1 : 0;
+      for (std::uint64_t e = lo; e < hi; ++e)
+        d = std::max(d, 1 + self(self, csr_.col[e]));
+      depth[r] = d;
+      ++serial_resolved;
+      return d;
+    };
+    for (std::uint32_t r = 0; r < nni; ++r)
+      best = std::max<std::size_t>(best, dfs(dfs, r));
+    resolved_ctr.add(serial_resolved);
+    return best;
+  }
+
+  // Parallel layering: a state resolves to max(1 if it steps into I, 1 +
+  // resolved successor depths) once every CSR successor has resolved.
+  // Depths are set at most once and never change, so in-place relaxed
+  // publication is safe and the fixpoint is schedule-independent.
+  constexpr std::uint32_t kUnknown = 0xffffffffu;
+  std::vector<std::uint32_t> depth(nni, kUnknown);
+  PackedBitset done(nni);  // chunk-private words: plain set() below
+  std::uint64_t remaining = nni;
+  const std::uint64_t chunks = num_chunks(nni, 0);
+  std::vector<std::uint64_t> resolved(chunks);
+  std::vector<std::uint32_t> chunk_best(chunks);
+  std::size_t best = 0;
+  while (remaining > 0) {
+    std::fill(resolved.begin(), resolved.end(), 0);
+    std::fill(chunk_best.begin(), chunk_best.end(), 0);
+    parallel_for(nni, num_threads_, 0,
+                 [&](const ChunkRange& chunk, std::size_t) {
+      const std::uint64_t w1 = (chunk.end + 63) >> 6;
+      for (std::uint64_t w = chunk.begin >> 6; w < w1;) {
+        if ((w & 7) == 0 && w + 8 <= w1 && tile_full(done, w)) {
+          w += 8;
+          continue;
+        }
+        std::uint64_t todo = ~done.word(w);
+        const std::uint64_t base = w * 64;
+        ++w;
+        while (todo) {
+          const std::uint64_t r =
+              base + static_cast<std::uint64_t>(std::countr_zero(todo));
+          todo &= todo - 1;
+          if (r >= chunk.end) break;
+          const std::uint64_t lo = csr_.row[r], hi = csr_.row[r + 1];
+          if (lo == hi && !to_inv_.test(r))
+            throw ModelError("deadlock outside I: not strongly converging");
+          std::uint32_t d = to_inv_.test(r) ? 1 : 0;
+          bool all_known = true;
+          for (std::uint64_t e = lo; e < hi; ++e) {
+            std::atomic_ref<std::uint32_t> theirs(depth[csr_.col[e]]);
+            const std::uint32_t t = theirs.load(std::memory_order_relaxed);
+            if (t == kUnknown) {
+              all_known = false;
+              break;
+            }
+            d = std::max(d, 1 + t);
+          }
+          if (!all_known) continue;
+          std::atomic_ref<std::uint32_t> mine(depth[r]);
+          mine.store(d, std::memory_order_relaxed);
+          done.set(r);
+          ++resolved[chunk.index];
+          chunk_best[chunk.index] = std::max(chunk_best[chunk.index], d);
+        }
+      }
+    });
+    std::uint64_t progress = 0;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      progress += resolved[c];
+      best = std::max<std::size_t>(best, chunk_best[c]);
+    }
+    if (progress == 0)
+      throw ModelError("cycle outside I: not strongly converging");
+    resolved_ctr.add(progress);
+    remaining -= progress;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Public interface: each query dispatches to the fused pipeline or to the
+// original pass-per-question engine.
+// ---------------------------------------------------------------------------
+
 const PackedBitset& GlobalChecker::invariant_mask() const {
+  if (fused_) {
+    ensure_masks();
+    return inv_mask_;
+  }
   const GlobalStateId n = ring_->num_states();
   if (inv_mask_.size() == n) return inv_mask_;  // already built (n > 0)
   const obs::Span span("checker.invariant_mask");
@@ -179,6 +517,19 @@ const PackedBitset& GlobalChecker::invariant_mask() const {
 
 std::size_t GlobalChecker::count_deadlocks_outside_invariant(
     std::vector<GlobalStateId>* samples, std::size_t max_samples) const {
+  if (fused_) {
+    ensure_masks();
+    const bool cache_covers =
+        !samples || max_samples <= kMaxCachedSamples ||
+        deadlock_samples_.size() >=
+            std::min<std::size_t>(deadlock_count_, max_samples);
+    if (cache_covers) {
+      if (samples)
+        for (GlobalStateId s : deadlock_samples_)
+          if (samples->size() < max_samples) samples->push_back(s);
+      return deadlock_count_;
+    }
+  }
   const GlobalStateId n = ring_->num_states();
   const PackedBitset& in_inv = invariant_mask();
   const obs::Span span("checker.deadlock_census");
@@ -210,24 +561,68 @@ std::size_t GlobalChecker::count_deadlocks_outside_invariant(
   return count;
 }
 
-std::optional<std::vector<GlobalStateId>> GlobalChecker::find_livelock()
-    const {
-  OutsideInvariantScc scc(*ring_, invariant_mask(), /*first_only=*/true);
-  const obs::Span span("checker.tarjan_livelock");
-  scc.run();
-  return scc.witness_cycle;
-}
-
-std::vector<GlobalStateId> GlobalChecker::livelock_states() const {
-  OutsideInvariantScc scc(*ring_, invariant_mask(), /*first_only=*/false);
+void GlobalChecker::ensure_tarjan() const {
+  if (tarjan_done_) return;
+  OutsideInvariantScc scc(*ring_, invariant_mask());
   const obs::Span span("checker.tarjan_livelock");
   scc.run();
   std::sort(scc.cycle_states.begin(), scc.cycle_states.end());
-  return scc.cycle_states;
+  tarjan_witness_ = std::move(scc.witness_cycle);
+  tarjan_states_ = std::move(scc.cycle_states);
+  tarjan_done_ = true;
+}
+
+std::optional<std::vector<GlobalStateId>> GlobalChecker::find_livelock()
+    const {
+  if (!fused_) {
+    ensure_tarjan();
+    return tarjan_witness_;
+  }
+  ensure_scc();
+  // Canonical witness anchor: the smallest-ranked state on any ¬I cycle.
+  std::uint64_t start = kUnvisited;
+  for (std::uint64_t w = 0; w < scc_.nontrivial.num_words(); ++w) {
+    const std::uint64_t word = scc_.nontrivial.word(w) | scc_.self_loop.word(w);
+    if (word) {
+      start = w * 64 + static_cast<std::uint64_t>(std::countr_zero(word));
+      break;
+    }
+  }
+  if (start == kUnvisited) return std::nullopt;
+  const auto ranks = extract_component_cycle(
+      csr_, scc_, static_cast<std::uint32_t>(start));
+  std::vector<GlobalStateId> cycle;
+  cycle.reserve(ranks.size());
+  for (const std::uint32_t r : ranks) cycle.push_back(ni_ids_[r]);
+  return cycle;
+}
+
+std::vector<GlobalStateId> GlobalChecker::livelock_states() const {
+  if (!fused_) {
+    ensure_tarjan();
+    return tarjan_states_;
+  }
+  ensure_scc();
+  std::vector<GlobalStateId> out;
+  for (std::uint64_t w = 0; w < scc_.nontrivial.num_words(); ++w) {
+    std::uint64_t word = scc_.nontrivial.word(w) | scc_.self_loop.word(w);
+    while (word) {
+      const std::uint64_t r =
+          w * 64 + static_cast<std::uint64_t>(std::countr_zero(word));
+      word &= word - 1;
+      out.push_back(ni_ids_[r]);
+    }
+  }
+  return out;  // ni_ids_ is ascending, so the result is sorted
 }
 
 bool GlobalChecker::check_closure(
     std::optional<std::pair<GlobalStateId, GlobalStateId>>* violation) const {
+  if (fused_) {
+    ensure_graph();
+    if (!closure_ok_ && violation) *violation = *closure_violation_;
+    return closure_ok_;
+  }
   const GlobalStateId n = ring_->num_states();
   const PackedBitset& in_inv = invariant_mask();
   const obs::Span span("checker.closure");
@@ -275,6 +670,10 @@ bool GlobalChecker::check_closure(
 }
 
 bool GlobalChecker::check_weak_convergence() const {
+  if (fused_) {
+    ensure_graph();
+    return fused_weak_convergence() == to_inv_.size();
+  }
   const GlobalStateId n = ring_->num_states();
   // Backward fixpoint over the implicit graph, as synchronous (Jacobi)
   // rounds: a round reads `reaches`, writes `next`, and the two swap. The
@@ -320,6 +719,10 @@ bool GlobalChecker::check_weak_convergence() const {
 }
 
 std::size_t GlobalChecker::max_recovery_steps() const {
+  if (fused_) {
+    ensure_graph();
+    return fused_recovery_steps();
+  }
   const GlobalStateId n = ring_->num_states();
   const PackedBitset& in_inv = invariant_mask();
   const obs::Span span("checker.recovery_layering");

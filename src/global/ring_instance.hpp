@@ -36,6 +36,10 @@ class RingInstance {
   GlobalStateId num_states() const { return num_states_; }
   std::size_t domain_size() const { return d_; }
 
+  /// Bits returned by Cursor::classify().
+  static constexpr std::uint8_t kClassInvariant = 1;  // s ∈ I(K)
+  static constexpr std::uint8_t kClassDeadlock = 2;   // no process enabled
+
   Value value(GlobalStateId s, std::size_t i) const {
     return static_cast<Value>((s / pow_[i]) % d_);
   }
@@ -135,6 +139,21 @@ class RingInstance {
       for (std::size_t i = 0; i < digits_.size(); ++i)
         if (ring_->enabled_local(local_state(i))) return false;
       return true;
+    }
+    /// Both sweep predicates in one walk over the processes: each local
+    /// state is read once and its flag byte settles both bits (an enabled
+    /// process kills kClassDeadlock, a non-legit one kills kClassInvariant),
+    /// with an early exit once neither bit survives. This is what lets the
+    /// fused census pass replace the separate in_invariant()/is_deadlock()
+    /// sweeps without touching a state twice.
+    std::uint8_t classify() const {
+      std::uint8_t out = kClassInvariant | kClassDeadlock;
+      for (std::size_t i = 0; i < digits_.size() && out; ++i) {
+        const std::uint8_t f = ring_->local_flags_[local_state(i)];
+        if (f & kEnabled) out &= ~kClassDeadlock;
+        if (!(f & kLegit)) out &= ~kClassInvariant;
+      }
+      return out;
     }
     std::size_t num_enabled() const {
       std::size_t n = 0;

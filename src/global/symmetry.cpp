@@ -5,6 +5,7 @@
 
 #include "core/fmt.hpp"
 #include "global/necklace.hpp"
+#include "graph/parallel_scc.hpp"
 #include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -272,122 +273,50 @@ bool check_quotient_weak_convergence(const Quotient& q,
   return std::find(reaches.begin(), reaches.end(), 0) == reaches.end();
 }
 
-/// Iterative Tarjan on the ¬I-restricted quotient graph. Unlike the full
+/// Livelock pass on the ¬I-restricted quotient graph, via the shared
+/// FB/FWBW parallel SCC engine (graph/parallel_scc.hpp). Unlike the full
 /// space, the quotient can have self-loops (a transition landing on a
-/// nontrivial rotation of its source); a self-loop is a cycle. Returns the
-/// first quotient cycle found, as ranks, or nullopt.
+/// nontrivial rotation of its source); a self-loop is a cycle. The witness
+/// is canonical — anchored at the smallest ¬I rank lying on any cycle — so
+/// it is bit-identical for every thread count. Returns quotient ranks, or
+/// nullopt when the ¬I quotient is acyclic.
 std::optional<std::vector<std::uint32_t>> find_quotient_cycle(
-    const Quotient& q) {
-  const obs::Span span("symmetry.tarjan_livelock");
+    const Quotient& q, std::size_t num_threads) {
+  const obs::Span span("symmetry.livelock_scc");
   const std::uint32_t n = q.size();
-  std::vector<std::uint32_t> index(n, kUnvisited), low(n, 0);
-  std::vector<std::uint8_t> on_stack(n, 0);
-  std::vector<std::uint32_t> stack;
-  std::uint32_t next_index = 0;
-
-  auto expand = [&](std::uint32_t v, std::vector<std::uint32_t>& out) {
-    out.clear();
-    for (std::uint64_t e = q.row[v]; e < q.row[v + 1]; ++e)
-      if (!q.in_inv(q.col[e])) out.push_back(q.col[e]);
-  };
-  auto has_self_loop = [&](std::uint32_t v) {
-    for (std::uint64_t e = q.row[v]; e < q.row[v + 1]; ++e)
-      if (q.col[e] == v) return true;
-    return false;
-  };
-
-  struct Frame {
-    std::uint32_t v;
-    std::vector<std::uint32_t> children;
-    std::size_t next_child = 0;
-  };
-
-  // A simple quotient cycle inside one nontrivial SCC: DFS from comp[0]
-  // back to itself, restricted to component members.
-  auto extract_cycle = [&](const std::vector<std::uint32_t>& comp) {
-    std::vector<std::uint32_t> sorted = comp;
-    std::sort(sorted.begin(), sorted.end());
-    auto in_comp = [&](std::uint32_t r) {
-      return std::binary_search(sorted.begin(), sorted.end(), r);
-    };
-    const std::uint32_t start = comp[0];
-    std::unordered_map<std::uint32_t, std::uint32_t> parent;
-    std::vector<std::uint32_t> dfs{start};
-    std::vector<std::uint32_t> kids;
-    parent.emplace(start, start);
-    while (!dfs.empty()) {
-      const std::uint32_t v = dfs.back();
-      dfs.pop_back();
-      expand(v, kids);
-      for (std::uint32_t w : kids) {
-        if (!in_comp(w)) continue;
-        if (w == start) {
-          std::vector<std::uint32_t> cyc{start};
-          for (std::uint32_t x = v; x != start; x = parent.at(x))
-            cyc.push_back(x);
-          std::reverse(cyc.begin() + 1, cyc.end());
-          return cyc;
-        }
-        if (!parent.emplace(w, v).second) continue;
-        dfs.push_back(w);
-      }
+  // Compact the ¬I ranks into a sub-CSR: sub[i] is the i-th rank outside I,
+  // edges into I are dropped (they cannot lie on a ¬I cycle), self-loops
+  // are kept.
+  std::vector<std::uint32_t> sub_of(n, kUnvisited), rank_of;
+  for (std::uint32_t r = 0; r < n; ++r)
+    if (!q.in_inv(r)) {
+      sub_of[r] = static_cast<std::uint32_t>(rank_of.size());
+      rank_of.push_back(r);
     }
-    RINGSTAB_ASSERT(false, "nontrivial quotient SCC without a cycle");
-    return std::vector<std::uint32_t>{};
-  };
-
-  std::optional<std::vector<std::uint32_t>> result;
-  for (std::uint32_t root = 0; root < n && !result; ++root) {
-    if (q.in_inv(root)) continue;
-    if (index[root] != kUnvisited) continue;
-    if (has_self_loop(root)) return std::vector<std::uint32_t>{root};
-
-    std::vector<Frame> call;
-    call.push_back({root, {}, 0});
-    expand(root, call.back().children);
-    index[root] = low[root] = next_index++;
-    stack.push_back(root);
-    on_stack[root] = 1;
-
-    while (!call.empty() && !result) {
-      Frame& f = call.back();
-      const std::uint32_t v = f.v;
-      bool descended = false;
-      while (f.next_child < f.children.size()) {
-        const std::uint32_t w = f.children[f.next_child++];
-        if (index[w] == kUnvisited) {
-          if (has_self_loop(w)) return std::vector<std::uint32_t>{w};
-          call.push_back({w, {}, 0});
-          expand(w, call.back().children);
-          index[w] = low[w] = next_index++;
-          stack.push_back(w);
-          on_stack[w] = 1;
-          descended = true;
-          break;
-        }
-        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+  CsrGraph g;
+  g.row.assign(rank_of.size() + 1, 0);
+  for (std::uint32_t i = 0; i < rank_of.size(); ++i) {
+    const std::uint32_t r = rank_of[i];
+    g.row[i + 1] = g.row[i];
+    for (std::uint64_t e = q.row[r]; e < q.row[r + 1]; ++e)
+      if (sub_of[q.col[e]] != kUnvisited) {
+        g.col.push_back(sub_of[q.col[e]]);
+        ++g.row[i + 1];
       }
-      if (descended) continue;
-
-      if (low[v] == index[v]) {
-        std::vector<std::uint32_t> comp;
-        while (true) {
-          const std::uint32_t w = stack.back();
-          stack.pop_back();
-          on_stack[w] = 0;
-          comp.push_back(w);
-          if (w == v) break;
-        }
-        if (comp.size() > 1) result = extract_cycle(comp);
-      }
-      if (result) break;
-      call.pop_back();
-      if (!call.empty())
-        low[call.back().v] = std::min(low[call.back().v], low[v]);
-    }
   }
-  obs::counter("symmetry.tarjan_states_visited").add(next_index);
-  return result;
+
+  const ParallelSccResult scc = parallel_scc(g, num_threads);
+  std::uint32_t start = kUnvisited;
+  for (std::uint32_t v = 0; v < rank_of.size(); ++v)
+    if (scc.on_cycle(v)) {
+      start = v;
+      break;
+    }
+  if (start == kUnvisited) return std::nullopt;
+  std::vector<std::uint32_t> cycle;
+  for (const std::uint32_t v : extract_component_cycle(g, scc, start))
+    cycle.push_back(rank_of[v]);
+  return cycle;
 }
 
 /// Lift a quotient cycle to a genuine full-space cycle: walk actual
@@ -510,7 +439,7 @@ SymmetricCheckResult check_symmetric(const RingInstance& ring,
   res.closure_ok =
       check_quotient_closure(ring, q, num_threads, &res.closure_violation);
   res.weakly_converges = check_quotient_weak_convergence(q, num_threads);
-  if (const auto cycle = find_quotient_cycle(q)) {
+  if (const auto cycle = find_quotient_cycle(q, num_threads)) {
     res.has_livelock = true;
     res.livelock_cycle = lift_quotient_cycle(ring, q, *cycle);
   }

@@ -102,9 +102,10 @@ struct SymmetricCheckResult {
 };
 
 /// `num_threads > 1` parallelizes the necklace enumeration, quotient-graph
-/// build, closure scan, and weak-convergence fixpoint on the shared pool
-/// (all results stay identical to the serial run); the quotient Tarjan pass
-/// stays serial, like the plain checker's.
+/// build, closure scan, weak-convergence fixpoint, and the FB/FWBW livelock
+/// SCC pass on the shared pool; all results — including the lifted livelock
+/// witness, which is anchored canonically — stay identical to the serial
+/// run at every thread count.
 SymmetricCheckResult check_symmetric(const RingInstance& ring,
                                      std::size_t max_samples = 8,
                                      std::size_t num_threads = 1);

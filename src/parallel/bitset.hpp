@@ -49,6 +49,15 @@ class PackedBitset {
     w.fetch_or(std::uint64_t{1} << (i & 63), std::memory_order_relaxed);
   }
 
+  /// Concurrent test-and-set: returns true iff this call flipped the bit
+  /// from 0 to 1 (exactly one of racing callers wins). Used by the parallel
+  /// BFS frontiers to deduplicate discovered vertices.
+  bool test_and_set_atomic(std::uint64_t i) {
+    std::atomic_ref<std::uint64_t> w(words_[i >> 6]);
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    return (w.fetch_or(bit, std::memory_order_relaxed) & bit) == 0;
+  }
+
   /// Number of set bits.
   std::uint64_t count() const {
     std::uint64_t n = 0;
