@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -15,7 +16,14 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/session.hpp"
+
 namespace ringstab::bench {
+
+/// Schema id stamped into every BENCH_*.json artifact; `ringstab-perf
+/// validate` rejects documents without it.
+inline constexpr const char* kBenchSchema = "ringstab.bench.v1";
 
 inline void header(const std::string& experiment, const std::string& artifact,
                    const std::string& claim) {
@@ -70,6 +78,12 @@ class Json {
            (i + 1 < objects.size() ? ",\n" : "\n");
     return raw(key, a + "  ]");
   }
+  /// Appends every field of `other`, preserving order (used to stamp
+  /// header fields ahead of a caller-built document).
+  Json& put_all(const Json& other) {
+    for (const auto& [k, v] : other.fields_) raw(k, v);
+    return *this;
+  }
 
   std::string render(bool inline_object = false) const {
     std::string out = inline_object ? "{" : "{\n";
@@ -100,21 +114,36 @@ class Json {
 };
 
 /// Write a BENCH_*.json artifact next to the binary and announce it in the
-/// report (EXPERIMENTS.md links these by name).
+/// report (EXPERIMENTS.md links these by name). Every artifact is stamped
+/// with the bench schema id and the build's `git describe`, so
+/// `ringstab-perf validate` / `diff` can check and provenance-label it.
 inline void write_bench_json(const std::string& filename, const Json& json) {
+  Json stamped;
+  stamped.put("schema", kBenchSchema);
+  stamped.put("git_describe", obs::git_describe());
+  stamped.put_all(json);
   std::ofstream out(filename);
-  out << json.render();
+  out << stamped.render();
   std::cout << "  wrote " << filename << "\n";
 }
 
-/// Custom main: print the report once, then run the timings.
-#define RINGSTAB_BENCH_MAIN(report_fn)               \
-  int main(int argc, char** argv) {                  \
-    report_fn();                                     \
-    ::benchmark::Initialize(&argc, argv);            \
-    ::benchmark::RunSpecifiedBenchmarks();           \
-    ::benchmark::Shutdown();                         \
-    return 0;                                        \
+/// Custom main: print the report once, then run the timings. When
+/// RINGSTAB_BENCH_METRICS=<path> is set, the whole bench runs under an
+/// observability session that writes a ringstab.metrics.v2 manifest there
+/// (the perf-smoke CI job validates it with `ringstab-perf validate`).
+#define RINGSTAB_BENCH_MAIN(report_fn)                                 \
+  int main(int argc, char** argv) {                                    \
+    ::ringstab::obs::SessionOptions obs_opts;                          \
+    if (const char* path = std::getenv("RINGSTAB_BENCH_METRICS")) {    \
+      obs_opts.metrics_path = path;                                    \
+      obs_opts.command = std::string("bench ") + argv[0];              \
+    }                                                                  \
+    const ::ringstab::obs::Session obs_session(obs_opts);              \
+    report_fn();                                                       \
+    ::benchmark::Initialize(&argc, argv);                              \
+    ::benchmark::RunSpecifiedBenchmarks();                             \
+    ::benchmark::Shutdown();                                           \
+    return 0;                                                          \
   }
 
 }  // namespace ringstab::bench

@@ -170,7 +170,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: ringstab-batch <directory> [--strict] [--check K] "
                  "[--symmetry] [--synth] [--lint] [--jobs N] [--stats] "
-                 "[--trace FILE] [--jsonl FILE] [--progress]\n";
+                 "[--trace FILE] [--jsonl FILE] [--metrics FILE] "
+                 "[--progress]\n";
     return 2;
   }
   bool strict = false;
@@ -203,11 +204,15 @@ int main(int argc, char** argv) {
       obs_opts.trace_path = take_value(argc, argv, i, "--trace");
     } else if (std::strcmp(argv[i], "--jsonl") == 0) {
       obs_opts.jsonl_path = take_value(argc, argv, i, "--jsonl");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      obs_opts.metrics_path = take_value(argc, argv, i, "--metrics");
     } else {
       std::cerr << "unknown option: " << argv[i] << "\n";
       return 2;
     }
   }
+  obs_opts.command = "batch";
+  for (int i = 1; i < argc; ++i) obs_opts.command += std::string(" ") + argv[i];
   const obs::Session obs_session(obs_opts);
 
   std::vector<std::filesystem::path> files;

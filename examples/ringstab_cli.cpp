@@ -66,6 +66,9 @@ int usage() {
       "  --stats         phase/counter summary on stderr at exit\n"
       "  --trace <file>  Chrome trace-event JSON (chrome://tracing, Perfetto)\n"
       "  --jsonl <file>  JSON-lines event stream\n"
+      "  --metrics <file> versioned run manifest (ringstab.metrics.v2:\n"
+      "                  per-phase self/total times, counters, histogram\n"
+      "                  quantiles, memory peaks; diffable by ringstab-perf)\n"
       "  --progress      periodic states/sec heartbeat on stderr\n";
   return 2;
 }
@@ -337,6 +340,9 @@ int main(int argc, char** argv) {
     obs_opts.progress = has_flag(argc, argv, "--progress");
     if (const char* f = arg_string(argc, argv, "--trace")) obs_opts.trace_path = f;
     if (const char* f = arg_string(argc, argv, "--jsonl")) obs_opts.jsonl_path = f;
+    if (const char* f = arg_string(argc, argv, "--metrics")) obs_opts.metrics_path = f;
+    obs_opts.command = command;
+    for (int i = 2; i < argc; ++i) obs_opts.command += cat(" ", argv[i]);
     const obs::Session obs_session(obs_opts);
 
     if (command == "lint") {

@@ -314,6 +314,10 @@ void GlobalChecker::ensure_graph() const {
                 csr_.col.begin() + edge_base[c]);
   });
   obs::counter("checker.graph_edges").add(total_edges);
+  if (obs::enabled())
+    obs::gauge("mem.csr_bytes")
+        .set(csr_.row.size() * sizeof(csr_.row[0]) +
+             csr_.col.size() * sizeof(csr_.col[0]));
   graph_built_ = true;
 }
 
@@ -629,7 +633,8 @@ bool GlobalChecker::check_closure(
   // Own counter, not states_swept: the early exit on a violation makes the
   // closure scan's coverage depend on chunk timing, while states_swept is
   // kept exact and thread-count-invariant.
-  obs::Counter& swept = obs::counter("checker.closure_states_scanned");
+  obs::Counter& swept =
+      obs::counter("checker.closure_states_scanned", /*approx=*/true);
   const std::uint64_t chunks = num_chunks(n, 0);
   using Violation = std::pair<GlobalStateId, GlobalStateId>;
   std::vector<std::optional<Violation>> found(chunks);

@@ -70,8 +70,14 @@ CensusBuild run_census(const RingInstance& ring, std::size_t max_samples,
   };
   std::vector<Chunk> tally(chunks);
 
+  // Per-FKM-block census latency: the necklace enumerator's blocks are
+  // uneven (prefix-dependent), so this distribution is the evidence for
+  // the block-size heuristic in slot_grain().
+  obs::Histogram* block_ns =
+      obs::enabled() ? &obs::histogram("symmetry.block_ns") : nullptr;
   parallel_for(slots, num_threads, grain,
                [&](const ChunkRange& chunk, std::size_t) {
+    const obs::Ticks t0 = block_ns != nullptr ? obs::now() : 0;
     Chunk& t = tally[chunk.index];
     enumerator.visit_slots(chunk.begin, chunk.end,
                            [&](const Value* digits, GlobalStateId id,
@@ -98,6 +104,7 @@ CensusBuild run_census(const RingInstance& ring, std::size_t max_samples,
                                                     (dead ? kDeadlock : 0)));
       }
     });
+    if (block_ns != nullptr) block_ns->record(obs::now() - t0);
   });
 
   CensusBuild out;
@@ -192,6 +199,9 @@ void build_quotient_graph(const RingInstance& ring, Quotient& q,
   for (const Chunk& c : built)
     q.col.insert(q.col.end(), c.col.begin(), c.col.end());
   obs::counter("symmetry.quotient_edges").add(edges);
+  if (obs::enabled())
+    obs::gauge("mem.csr_bytes")
+        .set(q.row.size() * sizeof(q.row[0]) + q.col.size() * sizeof(q.col[0]));
 }
 
 /// Closure of I on the quotient: a necklace in I with any successor orbit

@@ -303,6 +303,17 @@ ParallelSccResult parallel_scc(const CsrGraph& g, std::size_t num_threads) {
   }
   run.res.num_components = comps;
   obs::counter("scc.vertices").add(n);
+  if (obs::enabled()) {
+    // SCC size distribution. Component labels are canonical min-member ids
+    // (bit-identical at every thread count), so these are problem-shaped —
+    // the merged histogram must match at 1 vs N threads (test_obs locks
+    // this in over the zoo).
+    std::vector<std::uint32_t> size_of(n, 0);
+    for (std::uint32_t v = 0; v < n; ++v) ++size_of[run.res.component[v]];
+    obs::Histogram& region_size = obs::histogram("scc.region_size");
+    for (std::uint32_t v = 0; v < n; ++v)
+      if (size_of[v] > 0) region_size.record(size_of[v]);
+  }
   return std::move(run.res);
 }
 

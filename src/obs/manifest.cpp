@@ -1,0 +1,207 @@
+#include "obs/manifest.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace ringstab::obs {
+
+MetricsSink::MetricsSink(std::ostream& out, std::string command)
+    : out_(&out), command_(std::move(command)), created_at_(now()) {}
+
+void MetricsSink::on_span(const SpanRecord& rec) {
+  const std::uint64_t dur = rec.end - rec.start;
+  first_start_ = std::min(first_start_, rec.start);
+  last_end_ = std::max(last_end_, rec.end);
+  if (rec.chunk) {
+    // Chunk slices are leaves on worker lanes; aggregate them under a
+    // synthetic "<phase>/chunks" row rather than threading them into the
+    // self-time bookkeeping (their parent phase runs on another lane).
+    PhaseAgg& a = phases_[std::string(rec.name) + "/chunks"];
+    if (a.calls == 0) a.order = phases_.size();
+    ++a.calls;
+    a.total_ns += dur;
+    a.self_ns += dur;
+    return;
+  }
+  // Spans close child-before-parent on their thread, so when a span at
+  // depth d closes, child_ns_[tid][d+1] holds exactly the sum of its
+  // direct children's durations.
+  std::vector<std::uint64_t>& cs = child_ns_[rec.tid];
+  if (cs.size() < rec.depth + 2) cs.resize(rec.depth + 2, 0);
+  const std::uint64_t child_total = std::min(cs[rec.depth + 1], dur);
+  cs[rec.depth + 1] = 0;
+  cs[rec.depth] += dur;
+  PhaseAgg& a = phases_[rec.name];
+  if (a.calls == 0) a.order = phases_.size();
+  ++a.calls;
+  a.total_ns += dur;
+  a.self_ns += dur - child_total;
+}
+
+void MetricsSink::on_counters(const std::vector<CounterTotal>& totals) {
+  counters_ = totals;
+}
+
+void MetricsSink::on_histograms(const std::vector<HistogramSnapshot>& hists) {
+  histograms_ = hists;
+}
+
+void MetricsSink::on_gauges(const std::vector<GaugeSnapshot>& gauges) {
+  gauges_ = gauges;
+}
+
+json::Value MetricsSink::build() const {
+  using json::Value;
+  Value doc = Value::object();
+  doc.add("schema", Value::string(kManifestSchema));
+  doc.add("command", Value::string(command_));
+  doc.add("git_describe", Value::string(git_describe()));
+
+  Value hw = Value::object();
+  hw.add("threads_available",
+         Value::number_u64(std::max(1u, std::thread::hardware_concurrency())));
+  doc.add("hardware", std::move(hw));
+
+  const std::uint64_t wall =
+      first_start_ <= last_end_ && first_start_ != ~Ticks{0}
+          ? last_end_ - first_start_
+          : now() - created_at_;
+  doc.add("wall_time_ns", Value::number_u64(wall));
+
+  // Phases in first-seen order (matches the --stats table).
+  std::vector<std::pair<std::string, PhaseAgg>> rows(phases_.begin(),
+                                                     phases_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.order < b.second.order;
+  });
+  Value phases = Value::array();
+  for (const auto& [name, a] : rows) {
+    Value p = Value::object();
+    p.add("name", Value::string(name));
+    p.add("calls", Value::number_u64(a.calls));
+    p.add("total_ns", Value::number_u64(a.total_ns));
+    p.add("self_ns", Value::number_u64(a.self_ns));
+    phases.push(std::move(p));
+  }
+  doc.add("phases", std::move(phases));
+
+  Value counters = Value::array();
+  for (const auto& c : counters_) {
+    Value v = Value::object();
+    v.add("name", Value::string(c.name));
+    v.add("value", Value::number_u64(c.value));
+    if (c.approx) v.add("approx", Value::boolean_v(true));
+    counters.push(std::move(v));
+  }
+  doc.add("counters", std::move(counters));
+
+  Value hists = Value::array();
+  for (const auto& h : histograms_) {
+    Value v = Value::object();
+    v.add("name", Value::string(h.name));
+    v.add("count", Value::number_u64(h.count));
+    v.add("sum", Value::number_u64(h.sum));
+    v.add("min", Value::number_u64(h.min));
+    v.add("p50", Value::number_u64(h.quantile(0.50)));
+    v.add("p90", Value::number_u64(h.quantile(0.90)));
+    v.add("p99", Value::number_u64(h.quantile(0.99)));
+    v.add("max", Value::number_u64(h.max));
+    hists.push(std::move(v));
+  }
+  doc.add("histograms", std::move(hists));
+
+  Value gauges = Value::array();
+  for (const auto& g : gauges_) {
+    Value v = Value::object();
+    v.add("name", Value::string(g.name));
+    v.add("value", Value::number_u64(g.value));
+    v.add("peak", Value::number_u64(g.peak));
+    gauges.push(std::move(v));
+  }
+  doc.add("gauges", std::move(gauges));
+  return doc;
+}
+
+void MetricsSink::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  *out_ << json::dump(build()) << "\n";
+  out_->flush();
+}
+
+namespace {
+
+bool is_u64(const json::Value* v) {
+  return v != nullptr && v->is_number() && !v->number.empty() &&
+         v->number[0] != '-' &&
+         v->number.find_first_of(".eE") == std::string::npos;
+}
+
+std::string check_named_u64s(const json::Value& doc, const char* section,
+                             const std::vector<const char*>& fields) {
+  const json::Value* arr = doc.find(section);
+  if (arr == nullptr || !arr->is_array())
+    return std::string("missing or non-array \"") + section + "\"";
+  for (std::size_t i = 0; i < arr->items.size(); ++i) {
+    const json::Value& e = arr->items[i];
+    if (!e.is_object())
+      return std::string(section) + "[" + std::to_string(i) +
+             "] is not an object";
+    const json::Value* name = e.find("name");
+    if (name == nullptr || !name->is_string())
+      return std::string(section) + "[" + std::to_string(i) +
+             "] has no string \"name\"";
+    for (const char* f : fields)
+      if (!is_u64(e.find(f)))
+        return std::string(section) + " entry \"" + name->str +
+               "\": field \"" + f + "\" missing or not an unsigned integer";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string validate_manifest(const json::Value& doc) {
+  if (!doc.is_object()) return "document is not a JSON object";
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string())
+    return "missing string \"schema\"";
+  if (schema->str != kManifestSchema)
+    return "schema is \"" + schema->str + "\", expected \"" +
+           kManifestSchema + "\"";
+  for (const char* f : {"command", "git_describe"}) {
+    const json::Value* v = doc.find(f);
+    if (v == nullptr || !v->is_string())
+      return std::string("missing string \"") + f + "\"";
+  }
+  if (!is_u64(doc.find("wall_time_ns")))
+    return "missing unsigned integer \"wall_time_ns\"";
+  const json::Value* hw = doc.find("hardware");
+  if (hw == nullptr || !hw->is_object() ||
+      !is_u64(hw->find("threads_available")))
+    return "missing \"hardware\" object with \"threads_available\"";
+  if (std::string err = check_named_u64s(
+          doc, "phases", {"calls", "total_ns", "self_ns"});
+      !err.empty())
+    return err;
+  if (const json::Value* phases = doc.find("phases")) {
+    for (const json::Value& p : phases->items) {
+      if (p.find("self_ns")->as_u64() > p.find("total_ns")->as_u64())
+        return "phase \"" + p.find("name")->str + "\": self_ns > total_ns";
+    }
+  }
+  if (std::string err = check_named_u64s(doc, "counters", {"value"});
+      !err.empty())
+    return err;
+  if (std::string err = check_named_u64s(
+          doc, "histograms",
+          {"count", "sum", "min", "p50", "p90", "p99", "max"});
+      !err.empty())
+    return err;
+  if (std::string err = check_named_u64s(doc, "gauges", {"value", "peak"});
+      !err.empty())
+    return err;
+  return "";
+}
+
+}  // namespace ringstab::obs

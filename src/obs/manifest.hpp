@@ -1,0 +1,76 @@
+// The versioned run manifest: one JSON document per run capturing where
+// the time went (span tree folded into per-phase self/total times), how
+// much work happened (exact counters), the shape of the work (histogram
+// quantiles), and how much memory it took (gauge peaks, RSS high-water).
+//
+// Schema id: "ringstab.metrics.v2" (see docs/observability.md for the
+// field-by-field reference). Every numeric field is an unsigned integer
+// (times in nanoseconds), so emit → parse → re-emit is byte-identical —
+// the property `ringstab-perf` and the round-trip test rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_json.hpp"
+#include "obs/obs.hpp"
+
+namespace ringstab::obs {
+
+inline constexpr const char* kManifestSchema = "ringstab.metrics.v2";
+
+/// A Sink that folds the span stream into per-phase (name → calls,
+/// total_ns, self_ns) aggregates and emits the manifest document on
+/// flush(). Self time is a phase's total minus the totals of its direct
+/// children; chunk slices are aggregated under "<phase>/chunks" with
+/// self == total (they have no children).
+class MetricsSink : public Sink {
+ public:
+  /// `command` names the run (e.g. "check --symmetry", "bench.symmetry");
+  /// recorded verbatim in the manifest.
+  MetricsSink(std::ostream& out, std::string command);
+
+  void on_span(const SpanRecord& rec) override;
+  void on_counters(const std::vector<CounterTotal>& totals) override;
+  void on_histograms(const std::vector<HistogramSnapshot>& hists) override;
+  void on_gauges(const std::vector<GaugeSnapshot>& gauges) override;
+  void flush() override;
+
+  /// The manifest document (also what flush() writes). Exposed so benches
+  /// can embed a manifest into their BENCH_*.json without a temp file.
+  json::Value build() const;
+
+ private:
+  struct PhaseAgg {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;
+    std::size_t order = 0;  // first-seen rank, for stable emission order
+  };
+
+  std::ostream* out_;
+  std::string command_;
+  Ticks created_at_;
+  Ticks first_start_ = ~Ticks{0};
+  Ticks last_end_ = 0;
+  std::map<std::string, PhaseAgg> phases_;
+  // Per-lane running sum of closed child span durations, indexed by depth
+  // (children close before their parent on the same thread, so when a span
+  // at depth d closes, slot d+1 holds exactly its direct children's total).
+  std::map<std::uint32_t, std::vector<std::uint64_t>> child_ns_;
+  std::vector<CounterTotal> counters_;
+  std::vector<HistogramSnapshot> histograms_;
+  std::vector<GaugeSnapshot> gauges_;
+  bool flushed_ = false;
+};
+
+/// Validates the structural invariants `ringstab-perf validate` enforces:
+/// schema id, required top-level fields, numeric field types, and
+/// phases' self <= total. Returns an empty string when valid, else a
+/// one-line description of the first problem.
+std::string validate_manifest(const json::Value& doc);
+
+}  // namespace ringstab::obs

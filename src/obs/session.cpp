@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/manifest.hpp"
 #include "obs/obs.hpp"
 #include "obs/sinks.hpp"
 
@@ -12,12 +13,15 @@ namespace ringstab::obs {
 Session::Session(const SessionOptions& options) {
   const bool wanted = options.stats || options.progress ||
                       !options.trace_path.empty() ||
-                      !options.jsonl_path.empty();
+                      !options.jsonl_path.empty() ||
+                      !options.metrics_path.empty();
   if (!wanted) return;
 
   Registry& reg = Registry::global();
   reg.clear_sinks();
   reg.reset_counters();
+  reg.reset_histograms();
+  reg.reset_gauges();
   if (options.stats) reg.add_sink(std::make_shared<StatsSink>(std::cerr));
   if (!options.trace_path.empty()) {
     auto sink =
@@ -34,7 +38,16 @@ Session::Session(const SessionOptions& options) {
                                options.jsonl_path);
     reg.add_sink(std::move(sink));
   }
+  if (!options.metrics_path.empty()) {
+    auto sink = std::make_shared<FileSink<MetricsSink>>(options.metrics_path,
+                                                        options.command);
+    if (!sink->ok())
+      throw std::runtime_error("cannot open metrics file: " +
+                               options.metrics_path);
+    reg.add_sink(std::move(sink));
+  }
   g_enabled.store(true, std::memory_order_relaxed);
+  reg.sample_process_memory();  // baseline RSS before the run does work
   if (options.progress) reg.start_heartbeat(options.heartbeat_period);
   active_ = true;
 }

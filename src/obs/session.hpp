@@ -1,5 +1,5 @@
 // RAII configuration of process-wide observability from front-end flags
-// (--stats / --trace / --jsonl / --progress).
+// (--stats / --trace / --jsonl / --metrics / --progress).
 #pragma once
 
 #include <chrono>
@@ -12,6 +12,8 @@ struct SessionOptions {
   bool progress = false;       // periodic counter heartbeat on stderr
   std::string trace_path;      // Chrome trace-event JSON ("" = off)
   std::string jsonl_path;      // JSON-lines event stream ("" = off)
+  std::string metrics_path;    // versioned run manifest JSON ("" = off)
+  std::string command;         // run label recorded in the manifest
   std::chrono::milliseconds heartbeat_period{1000};
 };
 

@@ -56,6 +56,14 @@ void StatsSink::on_counters(const std::vector<CounterTotal>& totals) {
   counters_ = totals;
 }
 
+void StatsSink::on_histograms(const std::vector<HistogramSnapshot>& hists) {
+  histograms_ = hists;
+}
+
+void StatsSink::on_gauges(const std::vector<GaugeSnapshot>& gauges) {
+  gauges_ = gauges;
+}
+
 void StatsSink::flush() {
   if (flushed_) return;
   flushed_ = true;
@@ -87,9 +95,31 @@ void StatsSink::flush() {
   if (!counters_.empty()) {
     os << "── obs counters "
        << "───────────────────────────────────────────────\n";
+    // Approximate (schedule-dependent) counters carry a `~` prefix.
     for (const auto& c : counters_)
-      os << "  " << std::left << std::setw(40) << c.name << std::right
-         << std::setw(16) << c.value << "\n";
+      os << "  " << std::left << std::setw(40)
+         << (c.approx ? "~" + c.name : c.name) << std::right << std::setw(16)
+         << c.value << "\n";
+  }
+  if (!histograms_.empty()) {
+    os << "── obs histograms "
+       << "─────────────────────────────────────────────\n";
+    os << "  " << std::left << std::setw(30) << "histogram" << std::right
+       << std::setw(10) << "count" << std::setw(12) << "p50"
+       << std::setw(12) << "p90" << std::setw(12) << "p99" << std::setw(12)
+       << "max" << "\n";
+    for (const auto& h : histograms_)
+      os << "  " << std::left << std::setw(30) << h.name << std::right
+         << std::setw(10) << h.count << std::setw(12) << h.quantile(0.50)
+         << std::setw(12) << h.quantile(0.90) << std::setw(12)
+         << h.quantile(0.99) << std::setw(12) << h.max << "\n";
+  }
+  if (!gauges_.empty()) {
+    os << "── obs gauges "
+       << "─────────────────────────────────────────────────\n";
+    for (const auto& g : gauges_)
+      os << "  " << std::left << std::setw(40) << g.name << std::right
+         << std::setw(16) << g.value << "  peak " << g.peak << "\n";
   }
   os << "──────────────────────────────────────────"
      << "─────────────────────\n";
@@ -108,11 +138,19 @@ void JsonlSink::on_span(const SpanRecord& rec) {
 
 void JsonlSink::on_heartbeat(const Heartbeat& hb) {
   *out_ << "{\"type\":\"heartbeat\",\"elapsed_sec\":" << hb.elapsed_sec
-        << ",\"counters\":{";
+        << ",\"final\":" << (hb.final ? "true" : "false") << ",\"counters\":{";
   for (std::size_t i = 0; i < hb.lines.size(); ++i)
     *out_ << (i ? "," : "") << "\"" << json_escape(hb.lines[i].name)
           << "\":" << hb.lines[i].total;
-  *out_ << "}}\n";
+  *out_ << "}";
+  if (!hb.gauges.empty()) {
+    *out_ << ",\"gauges\":{";
+    for (std::size_t i = 0; i < hb.gauges.size(); ++i)
+      *out_ << (i ? "," : "") << "\"" << json_escape(hb.gauges[i].name)
+            << "\":" << hb.gauges[i].value;
+    *out_ << "}";
+  }
+  *out_ << "}\n";
 }
 
 void JsonlSink::on_counters(const std::vector<CounterTotal>& totals) {
@@ -120,6 +158,23 @@ void JsonlSink::on_counters(const std::vector<CounterTotal>& totals) {
   for (const auto& c : totals)
     *out_ << ",\"" << json_escape(c.name) << "\":" << c.value;
   *out_ << "}\n";
+}
+
+void JsonlSink::on_histograms(const std::vector<HistogramSnapshot>& hists) {
+  for (const auto& h : hists) {
+    *out_ << "{\"type\":\"histogram\",\"name\":\"" << json_escape(h.name)
+          << "\",\"count\":" << h.count << ",\"sum\":" << h.sum
+          << ",\"min\":" << h.min << ",\"max\":" << h.max
+          << ",\"p50\":" << h.quantile(0.50) << ",\"p90\":" << h.quantile(0.90)
+          << ",\"p99\":" << h.quantile(0.99) << "}\n";
+  }
+}
+
+void JsonlSink::on_gauges(const std::vector<GaugeSnapshot>& gauges) {
+  for (const auto& g : gauges) {
+    *out_ << "{\"type\":\"gauge\",\"name\":\"" << json_escape(g.name)
+          << "\",\"value\":" << g.value << ",\"peak\":" << g.peak << "}\n";
+  }
 }
 
 void JsonlSink::flush() { out_->flush(); }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -27,6 +28,8 @@ class StatsSink : public Sink {
 
   void on_span(const SpanRecord& rec) override;
   void on_counters(const std::vector<CounterTotal>& totals) override;
+  void on_histograms(const std::vector<HistogramSnapshot>& hists) override;
+  void on_gauges(const std::vector<GaugeSnapshot>& gauges) override;
   void flush() override;
 
  private:
@@ -40,6 +43,8 @@ class StatsSink : public Sink {
   std::ostream* out_;
   std::map<std::string, Agg> phases_;  // key: name, '\x01'+name for chunks
   std::vector<CounterTotal> counters_;
+  std::vector<HistogramSnapshot> histograms_;
+  std::vector<GaugeSnapshot> gauges_;
   bool flushed_ = false;
 };
 
@@ -52,6 +57,8 @@ class JsonlSink : public Sink {
   void on_span(const SpanRecord& rec) override;
   void on_heartbeat(const Heartbeat& hb) override;
   void on_counters(const std::vector<CounterTotal>& totals) override;
+  void on_histograms(const std::vector<HistogramSnapshot>& hists) override;
+  void on_gauges(const std::vector<GaugeSnapshot>& gauges) override;
   void flush() override;
 
  private:
@@ -83,13 +90,23 @@ class ChromeTraceSink : public Sink {
 template <typename InnerSink>
 class FileSink : public Sink {
  public:
-  explicit FileSink(const std::string& path)
-      : file_(std::make_unique<std::ofstream>(path)), inner_(*file_) {}
+  /// Extra arguments are forwarded to the inner sink after the stream
+  /// (e.g. the command string for MetricsSink).
+  template <typename... Args>
+  explicit FileSink(const std::string& path, Args&&... args)
+      : file_(std::make_unique<std::ofstream>(path)),
+        inner_(*file_, std::forward<Args>(args)...) {}
   bool ok() const { return file_->good(); }
   void on_span(const SpanRecord& r) override { inner_.on_span(r); }
   void on_heartbeat(const Heartbeat& h) override { inner_.on_heartbeat(h); }
   void on_counters(const std::vector<CounterTotal>& t) override {
     inner_.on_counters(t);
+  }
+  void on_histograms(const std::vector<HistogramSnapshot>& h) override {
+    inner_.on_histograms(h);
+  }
+  void on_gauges(const std::vector<GaugeSnapshot>& g) override {
+    inner_.on_gauges(g);
   }
   void flush() override {
     inner_.flush();

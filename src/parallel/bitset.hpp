@@ -5,6 +5,13 @@
 // no atomic writes. PackedBitset exposes all three; writers that cannot
 // guarantee word-private chunks use set_atomic() (relaxed fetch_or —
 // publication happens at the parallel region join, never through the bits).
+//
+// Memory telemetry: while observability is enabled, every bitset keeps the
+// `mem.bitset_bytes` gauge in sync with its word storage (allocation-
+// grained — assign/copy/destroy, never per-bit), so the run manifest
+// reports the live and peak bitset footprint of a sweep. With observability
+// off the accounting path is one relaxed load; bitsets allocated while
+// disabled are simply not counted.
 #pragma once
 
 #include <atomic>
@@ -12,6 +19,8 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace ringstab {
 
@@ -21,11 +30,45 @@ class PackedBitset {
   explicit PackedBitset(std::uint64_t size, bool value = false) {
     assign(size, value);
   }
+  PackedBitset(const PackedBitset& other)
+      : size_(other.size_), words_(other.words_) {
+    account();
+  }
+  PackedBitset(PackedBitset&& other) noexcept
+      : size_(other.size_),
+        words_(std::move(other.words_)),
+        reported_(other.reported_) {
+    other.size_ = 0;
+    other.words_.clear();
+    other.reported_ = 0;
+  }
+  PackedBitset& operator=(const PackedBitset& other) {
+    if (this != &other) {
+      size_ = other.size_;
+      words_ = other.words_;
+      account();
+    }
+    return *this;
+  }
+  PackedBitset& operator=(PackedBitset&& other) noexcept {
+    if (this != &other) {
+      release();
+      size_ = other.size_;
+      words_ = std::move(other.words_);
+      reported_ = other.reported_;
+      other.size_ = 0;
+      other.words_.clear();
+      other.reported_ = 0;
+    }
+    return *this;
+  }
+  ~PackedBitset() { release(); }
 
   void assign(std::uint64_t size, bool value = false) {
     size_ = size;
     words_.assign((size + 63) / 64, value ? ~std::uint64_t{0} : 0);
     trim();
+    account();
   }
 
   std::uint64_t size() const { return size_; }
@@ -77,7 +120,11 @@ class PackedBitset {
   std::uint64_t word(std::uint64_t w) const { return words_[w]; }
   std::uint64_t num_words() const { return words_.size(); }
 
-  bool operator==(const PackedBitset& other) const = default;
+  /// Compares contents only — never the telemetry bookkeeping, so two
+  /// equal bitsets compare equal regardless of when observability was on.
+  bool operator==(const PackedBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
 
  private:
   void trim() {
@@ -86,8 +133,37 @@ class PackedBitset {
       words_.back() &= (std::uint64_t{1} << (size_ & 63)) - 1;
   }
 
+  static obs::Gauge& live_bytes_gauge() {
+    // The registry reference is process-lifetime; one lookup ever.
+    static obs::Gauge& g = obs::gauge("mem.bitset_bytes");
+    return g;
+  }
+
+  /// Reconciles the gauge with the current word storage. Enabled: report
+  /// the live byte count. Disabled: withdraw whatever this bitset had
+  /// reported (keeps the gauge balanced across enable/disable toggles).
+  void account() {
+    const bool on = obs::enabled();
+    if (reported_ == 0 && !on) return;  // the off fast path: one load
+    const std::uint64_t target =
+        on ? words_.size() * sizeof(std::uint64_t) : 0;
+    if (target == reported_) return;
+    if (target > reported_)
+      live_bytes_gauge().add(target - reported_);
+    else
+      live_bytes_gauge().sub(reported_ - target);
+    reported_ = target;
+  }
+
+  void release() {
+    if (reported_ == 0) return;
+    live_bytes_gauge().sub(reported_);
+    reported_ = 0;
+  }
+
   std::uint64_t size_ = 0;
   std::vector<std::uint64_t> words_;
+  std::uint64_t reported_ = 0;  // bytes currently counted in the gauge
 };
 
 }  // namespace ringstab

@@ -141,11 +141,18 @@ void parallel_for(
   const bool traced = obs::enabled();
   const char* region = traced ? obs::current_span_name() : nullptr;
   if (region == nullptr) region = "parallel_for";
+  // Per-chunk sweep latency distribution (p99 chunk time is the load-balance
+  // health metric). Timing-shaped, so NOT thread-count-invariant.
+  obs::Histogram* chunk_ns = traced ? &obs::histogram("pool.chunk_ns") : nullptr;
   if (num_threads <= 1 || chunks == 1) {
     for (std::uint64_t c = 0; c < chunks; ++c) {
       if (traced) {
-        obs::Span span(region, /*chunk=*/true);
-        body(chunk_at(c), 0);
+        const obs::Ticks t0 = obs::now();
+        {
+          obs::Span span(region, /*chunk=*/true);
+          body(chunk_at(c), 0);
+        }
+        chunk_ns->record(obs::now() - t0);
       } else {
         body(chunk_at(c), 0);
       }
@@ -159,8 +166,12 @@ void parallel_for(
       const std::uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
       if (traced) {
-        obs::Span span(region, /*chunk=*/true);
-        body(chunk_at(c), lane);
+        const obs::Ticks t0 = obs::now();
+        {
+          obs::Span span(region, /*chunk=*/true);
+          body(chunk_at(c), lane);
+        }
+        chunk_ns->record(obs::now() - t0);
       } else {
         body(chunk_at(c), lane);
       }

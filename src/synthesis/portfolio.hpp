@@ -66,19 +66,16 @@ struct CachedVerdict {
 class VerdictMemo {
  public:
   VerdictMemo()
-      : hits_(obs::counter("synth.memo_hits")),
-        misses_(obs::counter("synth.memo_misses")) {}
+      : hits_(obs::counter("synth.memo_hits", /*approx=*/true)),
+        misses_(obs::counter("synth.memo_misses", /*approx=*/true)),
+        lookup_ns_(obs::histogram("synth.memo_lookup_ns")) {}
 
   std::optional<CachedVerdict> get(const std::string& key) const {
-    Shard& s = shard(key);
-    std::lock_guard lock(s.mu);
-    const auto it = s.map.find(key);
-    if (it == s.map.end()) {
-      misses_.add(1);
-      return std::nullopt;
-    }
-    hits_.add(1);
-    return it->second;
+    if (!obs::enabled()) return get_untimed(key);
+    const obs::Ticks t0 = obs::now();
+    auto v = get_untimed(key);
+    lookup_ns_.record(obs::now() - t0);
+    return v;
   }
 
   /// First write wins; verdicts are pure functions of the key, so a racing
@@ -107,8 +104,22 @@ class VerdictMemo {
   Shard& shard(const std::string& key) const {
     return shards_[std::hash<std::string>{}(key) % kShards];
   }
+
+  std::optional<CachedVerdict> get_untimed(const std::string& key) const {
+    Shard& s = shard(key);
+    std::lock_guard lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      misses_.add(1);
+      return std::nullopt;
+    }
+    hits_.add(1);
+    return it->second;
+  }
+
   obs::Counter& hits_;    // registry references live for the process
   obs::Counter& misses_;  // lifetime; cached to keep get() mutex-light
+  obs::Histogram& lookup_ns_;  // memo lookup latency (hit + miss)
   mutable Shard shards_[kShards];
 };
 
@@ -177,7 +188,18 @@ void run_portfolio(std::size_t n, std::size_t num_threads,
   if (n == 0) return;
   std::vector<std::optional<Verdict>> slots(n);
   std::atomic<std::size_t> claims{0};
-  obs::Counter& skipped = obs::counter("synth.candidates_skipped_quota");
+  // How many lanes had already seen the quota satisfied is a race, hence
+  // approx; verdict latency is timing-shaped (p99 = the hard candidates).
+  obs::Counter& skipped =
+      obs::counter("synth.candidates_skipped_quota", /*approx=*/true);
+  obs::Histogram& verdict_ns = obs::histogram("synth.candidate_verdict_ns");
+  const auto timed_evaluate = [&](std::size_t i) {
+    if (!obs::enabled()) return evaluate(i);
+    const obs::Ticks t0 = obs::now();
+    auto v = evaluate(i);
+    verdict_ns.record(obs::now() - t0);
+    return v;
+  };
   parallel_for(n, num_threads, /*grain=*/1,
                [&](const ChunkRange& chunk, std::size_t) {
                  for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
@@ -186,13 +208,13 @@ void run_portfolio(std::size_t n, std::size_t num_threads,
                      skipped.add(1);
                      continue;
                    }
-                   slots[i].emplace(evaluate(static_cast<std::size_t>(i)));
+                   slots[i].emplace(timed_evaluate(static_cast<std::size_t>(i)));
                    if (is_accepted(*slots[i]))
                      claims.fetch_add(1, std::memory_order_relaxed);
                  }
                });
   for (std::size_t i = 0; i < n; ++i) {
-    if (!slots[i]) slots[i].emplace(evaluate(i));  // skipped but needed
+    if (!slots[i]) slots[i].emplace(timed_evaluate(i));  // skipped but needed
     if (merge(i, std::move(*slots[i])) == PortfolioStep::kStop) return;
   }
 }

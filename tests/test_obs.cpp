@@ -1,6 +1,7 @@
-// The observability subsystem: sharded counter exactness under threads,
-// per-thread span nesting, Chrome trace-event export, and — the contract
-// that matters — checker results bit-identical with instrumentation on.
+// The observability subsystem: sharded counter/histogram exactness under
+// threads, per-thread span nesting, Chrome trace-event export, the
+// manifest round-trip, and — the contract that matters — checker results
+// bit-identical with instrumentation on.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -9,6 +10,8 @@
 
 #include "global/checker.hpp"
 #include "helpers.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics_json.hpp"
 #include "obs/obs.hpp"
 #include "obs/sinks.hpp"
 #include "parallel/thread_pool.hpp"
@@ -17,31 +20,43 @@ namespace ringstab {
 namespace {
 
 /// Flips the global instrumentation switch for one test body and restores
-/// a clean registry (no sinks, zeroed counters) on the way out.
+/// a clean registry (no sinks, zeroed counters/histograms/gauges) on the
+/// way out.
 class ObsGuard {
  public:
   ObsGuard() {
-    obs::Registry::global().clear_sinks();
-    obs::Registry::global().reset_counters();
+    reset();
     obs::g_enabled.store(true);
   }
   ~ObsGuard() {
     obs::g_enabled.store(false);
+    reset();
+  }
+
+ private:
+  static void reset() {
     obs::Registry::global().clear_sinks();
     obs::Registry::global().reset_counters();
+    obs::Registry::global().reset_histograms();
+    obs::Registry::global().reset_gauges();
   }
 };
 
-/// Collects every span record delivered to it, for nesting assertions.
+/// Collects every span record and heartbeat delivered to it.
 class CaptureSink : public obs::Sink {
  public:
   void on_span(const obs::SpanRecord& rec) override {
     spans_.push_back(rec);
   }
+  void on_heartbeat(const obs::Heartbeat& hb) override {
+    heartbeats_.push_back(hb);
+  }
   const std::vector<obs::SpanRecord>& spans() const { return spans_; }
+  const std::vector<obs::Heartbeat>& heartbeats() const { return heartbeats_; }
 
  private:
   std::vector<obs::SpanRecord> spans_;
+  std::vector<obs::Heartbeat> heartbeats_;
 };
 
 TEST(ObsCounter, ShardedTotalsAreExactUnderThreads) {
@@ -232,6 +247,241 @@ TEST(ObsTrace, JsonlSinkEmitsOneObjectPerLine) {
     EXPECT_EQ(line.front(), '{');
   }
   EXPECT_GE(n, 2u);  // the span event + the final counter totals
+}
+
+// ── Histograms ──────────────────────────────────────────────────────
+
+/// Every recorded value must land in a bucket whose [lower, upper] range
+/// contains it, and bucket bounds must tile the u64 axis monotonically.
+TEST(ObsHistogram, BucketBoundsContainEveryValue) {
+  std::uint64_t probes[] = {0,  1,  7,   8,   9,    15,   16,        17,
+                            63, 64, 100, 255, 1000, 4095, 1u << 20,  ~0ull};
+  for (std::uint64_t v : probes) {
+    const std::uint32_t idx = obs::Histogram::bucket_index(v);
+    ASSERT_LT(idx, obs::Histogram::kBuckets) << v;
+    EXPECT_LE(obs::Histogram::bucket_lower_bound(idx), v) << v;
+    EXPECT_GE(obs::Histogram::bucket_upper_bound(idx), v) << v;
+  }
+  for (std::uint32_t i = 1; i < obs::Histogram::kBuckets; ++i) {
+    EXPECT_EQ(obs::Histogram::bucket_lower_bound(i),
+              obs::Histogram::bucket_upper_bound(i - 1) + 1)
+        << "gap or overlap at bucket " << i;
+  }
+}
+
+/// Sharded recording loses nothing: after all writers quiesce, the merged
+/// snapshot's count and sum are exact, and min/max are the true extremes.
+TEST(ObsHistogram, MergedTotalsAreExactUnderThreads) {
+  const ObsGuard guard;
+  obs::Histogram& h = obs::histogram("test.hist");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t)
+      workers.emplace_back([&h, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i)
+          h.record(t * kPerThread + i);
+      });
+  }
+  const obs::HistogramSnapshot snap = h.snapshot();
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(snap.count, kTotal);
+  EXPECT_EQ(snap.sum, kTotal * (kTotal - 1) / 2);  // 0 + 1 + ... + kTotal-1
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, kTotal - 1);
+  std::uint64_t bucket_total = 0;
+  for (const auto& [index, count] : snap.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+TEST(ObsHistogram, DisabledRecordIsANoop) {
+  obs::Registry::global().reset_histograms();
+  ASSERT_FALSE(obs::enabled());
+  obs::histogram("test.hist_off").record(42);
+  EXPECT_EQ(obs::histogram("test.hist_off").snapshot().count, 0u);
+}
+
+/// Quantiles are monotone in q, clamped into [min, max], and hit the exact
+/// extremes at q=0 / q=1 (the bucket upper bound never overshoots max).
+TEST(ObsHistogram, QuantilesAreMonotoneAndClamped) {
+  const ObsGuard guard;
+  obs::Histogram& h = obs::histogram("test.quant");
+  for (std::uint64_t v = 3; v <= 100'000; v = v * 3 + 1) h.record(v);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  ASSERT_GT(snap.count, 0u);
+  EXPECT_EQ(snap.quantile(0.0), snap.min);
+  EXPECT_EQ(snap.quantile(1.0), snap.max);
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t at = snap.quantile(q);
+    EXPECT_GE(at, prev) << "quantile not monotone at q=" << q;
+    EXPECT_GE(at, snap.min);
+    EXPECT_LE(at, snap.max);
+    prev = at;
+  }
+}
+
+/// The SCC region-size histogram is problem-shaped, not schedule-shaped:
+/// its merged buckets must be identical at 1 and 4 threads on every
+/// bundled protocol (SCC labels are canonical min-member ids, so the
+/// multiset of component sizes is deterministic).
+TEST(ObsHistogram, SccRegionSizesMatchSerialUnderFourThreads) {
+  const ObsGuard guard;
+  const auto grab = [] {
+    for (const auto& snap : obs::Registry::global().snapshot_histograms())
+      if (snap.name == "scc.region_size") return snap;
+    return obs::HistogramSnapshot{};
+  };
+  for (const Protocol& p : testing::protocol_zoo()) {
+    RingInstance ring(p, 5);
+    obs::Registry::global().reset_histograms();
+    GlobalChecker(ring, 1).check_all();
+    const obs::HistogramSnapshot serial = grab();
+
+    obs::Registry::global().reset_histograms();
+    GlobalChecker(ring, 4).check_all();
+    const obs::HistogramSnapshot parallel = grab();
+
+    EXPECT_GT(serial.count, 0u) << p.name();
+    EXPECT_EQ(parallel.count, serial.count) << p.name();
+    EXPECT_EQ(parallel.sum, serial.sum) << p.name();
+    EXPECT_EQ(parallel.min, serial.min) << p.name();
+    EXPECT_EQ(parallel.max, serial.max) << p.name();
+    EXPECT_EQ(parallel.buckets, serial.buckets) << p.name();
+  }
+}
+
+// ── Gauges ──────────────────────────────────────────────────────────
+
+TEST(ObsGauge, PeakTracksHighWaterAndSubSaturates) {
+  const ObsGuard guard;
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.add(100);
+  g.add(50);
+  g.sub(120);
+  EXPECT_EQ(g.value(), 30u);
+  EXPECT_EQ(g.peak(), 150u);
+  g.sub(1'000'000);  // under-reporting must clamp at zero, not wrap
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(g.peak(), 150u);
+  const auto gauges = obs::Registry::global().snapshot_gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].name, "test.gauge");
+  EXPECT_EQ(gauges[0].peak, 150u);
+}
+
+// ── Heartbeats ──────────────────────────────────────────────────────
+
+/// Stopping the heartbeat emits one closing beat flagged `final`, so runs
+/// shorter than a beat interval still report totals (and memory gauges).
+TEST(ObsHeartbeat, StopEmitsAFinalBeat) {
+  const ObsGuard guard;
+  auto capture = std::make_shared<CaptureSink>();
+  obs::Registry::global().add_sink(capture);
+  obs::counter("test.beat").add(9);
+  obs::Registry::global().start_heartbeat(std::chrono::milliseconds(60'000));
+  obs::Registry::global().stop_heartbeat();
+
+  const auto& beats = capture->heartbeats();
+  ASSERT_GE(beats.size(), 1u);
+  EXPECT_TRUE(beats.back().final);
+  bool saw_counter = false;
+  for (const auto& line : beats.back().lines)
+    if (line.name == "test.beat" && line.total == 9) saw_counter = true;
+  EXPECT_TRUE(saw_counter);
+  bool saw_rss = false;
+  for (const auto& g : beats.back().gauges)
+    if (g.name == "mem.rss_bytes" && g.value > 0) saw_rss = true;
+  EXPECT_TRUE(saw_rss);  // memory telemetry rides along on every beat
+}
+
+// ── Approx counters ─────────────────────────────────────────────────
+
+TEST(ObsCounter, ApproxCountersAreFlaggedAndTildePrefixed) {
+  const ObsGuard guard;
+  obs::counter("test.approx", /*approx=*/true).add(3);
+  obs::counter("test.exact").add(4);
+  const auto totals = obs::Registry::global().snapshot_counters();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_TRUE(totals[0].approx);
+  EXPECT_FALSE(totals[1].approx);
+
+  std::ostringstream out;
+  obs::Registry::global().add_sink(std::make_shared<obs::StatsSink>(out));
+  obs::Registry::global().finish();
+  EXPECT_NE(out.str().find("~test.approx"), std::string::npos) << out.str();
+  EXPECT_EQ(out.str().find("~test.exact"), std::string::npos) << out.str();
+}
+
+// ── The run manifest ────────────────────────────────────────────────
+
+/// Emit → parse → re-emit must be byte-identical (the property every
+/// downstream diff tool leans on), and the emitted document must pass the
+/// same structural validation `ringstab-perf validate` applies.
+TEST(ObsManifest, RoundTripIsBitIdenticalAndValid) {
+  const ObsGuard guard;
+  std::ostringstream out;
+  auto sink = std::make_shared<obs::MetricsSink>(out, "test --metrics");
+  obs::Registry::global().add_sink(sink);
+  {
+    const obs::Span outer("manifest.outer");
+    {
+      const obs::Span inner("manifest.inner");
+    }
+  }
+  obs::counter("manifest.counter").add(11);
+  obs::counter("manifest.approx", /*approx=*/true).add(2);
+  obs::histogram("manifest.hist").record(123);
+  obs::histogram("manifest.hist").record(456);
+  obs::gauge("manifest.gauge").set(789);
+  obs::Registry::global().finish();
+
+  const std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  const obs::json::Value doc = obs::json::parse(text);
+  EXPECT_EQ(obs::validate_manifest(doc), "");
+  EXPECT_EQ(obs::json::dump(doc) + "\n", text);
+
+  // Spot-check content: schema id, command, both phases with self <= total,
+  // the approx flag, and the histogram/gauge rows.
+  EXPECT_EQ(doc.find("schema")->str, obs::kManifestSchema);
+  EXPECT_EQ(doc.find("command")->str, "test --metrics");
+  const obs::json::Value* phases = doc.find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->items.size(), 2u);
+  bool saw_outer = false;
+  for (const auto& phase : phases->items) {
+    EXPECT_LE(phase.find("self_ns")->as_u64(), phase.find("total_ns")->as_u64());
+    if (phase.find("name")->str == "manifest.outer") saw_outer = true;
+  }
+  EXPECT_TRUE(saw_outer);
+  bool saw_approx = false;
+  for (const auto& ctr : doc.find("counters")->items)
+    if (ctr.find("name")->str == "manifest.approx") {
+      const obs::json::Value* flag = ctr.find("approx");
+      saw_approx = flag != nullptr && flag->boolean;
+    }
+  EXPECT_TRUE(saw_approx);
+  const obs::json::Value* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_EQ(hists->items.size(), 1u);
+  EXPECT_EQ(hists->items[0].find("count")->as_u64(), 2u);
+  EXPECT_EQ(hists->items[0].find("sum")->as_u64(), 579u);
+  EXPECT_EQ(hists->items[0].find("max")->as_u64(), 456u);
+}
+
+TEST(ObsManifest, ValidatorRejectsWrongSchemaAndBadNumbers) {
+  using obs::json::Value;
+  Value wrong = obs::json::parse(R"({"schema":"something.else"})");
+  EXPECT_NE(obs::validate_manifest(wrong), "");
+  // A phase whose self exceeds total is structurally invalid.
+  Value doc = obs::json::parse(
+      R"({"schema":"ringstab.metrics.v2","command":"x","git_describe":"g",)"
+      R"("hardware":{"threads_available":1},"wall_time_ns":5,)"
+      R"("phases":[{"name":"p","calls":1,"total_ns":10,"self_ns":11}],)"
+      R"("counters":[],"histograms":[],"gauges":[]})");
+  EXPECT_NE(obs::validate_manifest(doc), "");
 }
 
 TEST(ObsOverhead, NullSinkLeavesCheckerResultsBitIdentical) {

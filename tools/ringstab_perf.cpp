@@ -1,0 +1,400 @@
+// ringstab-perf: validate, diff, and report the project's performance
+// artifacts — ringstab.metrics.v2 run manifests (`--metrics out.json`,
+// RINGSTAB_BENCH_METRICS) and ringstab.bench.v1 BENCH_*.json documents.
+//
+//   ringstab-perf validate FILE...
+//       Schema-check each file. Exit 0 when all valid, 2 otherwise.
+//   ringstab-perf diff BASE CURRENT [--threshold R] [--min-abs-ms M]
+//       Compare matching timing rows with a noise-aware gate: a row
+//       regresses only when current > base*(1+R) AND current-base > M ms
+//       (relative delta alone flags microsecond noise; the absolute floor
+//       alone misses slow creep on big runs). Exit 0 clean, 1 regression,
+//       2 usage/schema error.
+//   ringstab-perf report FILE
+//       Render one artifact as a markdown perf report on stdout.
+//
+// Matching model for diff: every top-level array of objects is a run
+// table; within a row, numeric fields named *ms / *_ms are measurements,
+// and strings plus integer-valued numbers (engine, threads, ring_size, …)
+// are identity. Derived per-run fields — floats, speedup*, *per_sec — are
+// neither: they vary run to run, so folding them into identity would
+// leave a fresh run with zero matching rows against a committed baseline.
+// Rows pair up when section + identity agree, so reordering rows or adding
+// new configurations never misreports a regression. Manifests contribute
+// wall_time_ns and per-phase total_ns as measurement rows the same way.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics_json.hpp"
+
+namespace {
+
+using ringstab::obs::json::Value;
+
+constexpr const char* kBenchSchema = "ringstab.bench.v1";
+constexpr const char* kMetricsSchema = "ringstab.metrics.v2";
+
+int usage() {
+  std::cerr <<
+      "usage: ringstab-perf <command> ...\n"
+      "  validate FILE...                      schema-check manifests /\n"
+      "                                        BENCH_*.json (exit 2 if bad)\n"
+      "  diff BASE CURRENT [--threshold R]     compare timing rows; exit 1\n"
+      "       [--min-abs-ms M]                 iff any regresses beyond\n"
+      "                                        both thresholds (defaults\n"
+      "                                        R=0.25, M=5ms)\n"
+      "  report FILE                           markdown perf report\n";
+  return 2;
+}
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Parse a file; on any I/O or JSON error print it and return nullopt
+/// (callers turn that into exit code 2).
+std::optional<Value> load(const std::string& path) {
+  const auto text = slurp(path);
+  if (!text) {
+    std::cerr << "ringstab-perf: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  try {
+    return ringstab::obs::json::parse(*text);
+  } catch (const std::exception& e) {
+    std::cerr << "ringstab-perf: " << path << ": " << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+std::string schema_of(const Value& doc) {
+  const Value* s = doc.find("schema");
+  return s != nullptr && s->is_string() ? s->str : "";
+}
+
+/// Structural check for bench documents (the manifest check lives in
+/// validate_manifest). Returns "" when valid.
+std::string validate_bench(const Value& doc) {
+  if (!doc.is_object()) return "document is not a JSON object";
+  const Value* git = doc.find("git_describe");
+  if (git == nullptr || !git->is_string())
+    return "missing string \"git_describe\"";
+  for (const auto& [key, v] : doc.members) {
+    if (!v.is_array()) continue;
+    for (std::size_t i = 0; i < v.items.size(); ++i)
+      if (!v.items[i].is_object())
+        return "\"" + key + "\"[" + std::to_string(i) + "] is not an object";
+  }
+  return "";
+}
+
+std::string validate_any(const Value& doc) {
+  const std::string schema = schema_of(doc);
+  if (schema == kMetricsSchema) return ringstab::obs::validate_manifest(doc);
+  if (schema == kBenchSchema) return validate_bench(doc);
+  if (schema.empty()) return "missing string \"schema\"";
+  return "unknown schema \"" + schema + "\"";
+}
+
+int cmd_validate(const std::vector<std::string>& files) {
+  if (files.empty()) return usage();
+  bool ok = true;
+  for (const std::string& f : files) {
+    const auto doc = load(f);
+    if (!doc) {
+      ok = false;
+      continue;
+    }
+    const std::string err = validate_any(*doc);
+    if (err.empty()) {
+      std::cout << f << ": valid " << schema_of(*doc) << "\n";
+    } else {
+      std::cerr << "ringstab-perf: " << f << ": " << err << "\n";
+      ok = false;
+    }
+  }
+  return ok ? 0 : 2;
+}
+
+// ── measurement extraction ──────────────────────────────────────────────
+
+struct Measurement {
+  std::string key;   // "section {identity}" + metric field name
+  std::string label; // human-readable row label
+  double ms = 0;
+};
+
+bool is_ms_field(const std::string& name) {
+  return name == "ms" || (name.size() > 3 &&
+                          name.compare(name.size() - 3, 3, "_ms") == 0);
+}
+
+/// True for numbers whose source text is a plain integer. Floats are
+/// derived quantities (speedup, states_per_sec) — stable identity fields
+/// are configuration integers and strings only.
+bool is_integer_number(const Value& v) {
+  return v.is_number() &&
+         v.number.find_first_of(".eE") == std::string::npos;
+}
+
+/// Derived per-run quantities that must never be identity, even when a
+/// particular run happens to round them to an integer (a rate of exactly
+/// 370904/s would otherwise split rows across runs).
+bool is_derived_field(const std::string& name) {
+  return is_ms_field(name) || name.find("per_sec") != std::string::npos ||
+         name.rfind("speedup", 0) == 0;
+}
+
+/// Flatten one document into named timing measurements (see file header
+/// for the matching model).
+std::vector<Measurement> measurements_of(const Value& doc) {
+  std::vector<Measurement> out;
+  if (schema_of(doc) == kMetricsSchema) {
+    if (const Value* wall = doc.find("wall_time_ns"))
+      out.push_back({"wall_time", "wall time",
+                     static_cast<double>(wall->as_u64()) / 1e6});
+    if (const Value* phases = doc.find("phases"); phases && phases->is_array())
+      for (const Value& p : phases->items) {
+        const Value* name = p.find("name");
+        const Value* total = p.find("total_ns");
+        if (name == nullptr || total == nullptr) continue;
+        out.push_back({"phase " + name->str, "phase " + name->str,
+                       static_cast<double>(total->as_u64()) / 1e6});
+      }
+    return out;
+  }
+  for (const auto& [section, v] : doc.members) {
+    if (!v.is_array()) continue;
+    for (const Value& row : v.items) {
+      if (!row.is_object()) continue;
+      std::string identity;
+      for (const auto& [field, fv] : row.members) {
+        if (fv.is_string())
+          identity += " " + field + "=" + fv.str;
+        else if (is_integer_number(fv) && !is_derived_field(field))
+          identity += " " + field + "=" + fv.number;
+      }
+      for (const auto& [field, fv] : row.members) {
+        if (!fv.is_number() || !is_ms_field(field)) continue;
+        const std::string label = section + identity + " " + field;
+        out.push_back({label, label, fv.as_double()});
+      }
+    }
+  }
+  return out;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  double threshold = 0.25;
+  double min_abs_ms = 5.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold" || args[i] == "--min-abs-ms") {
+      if (i + 1 >= args.size() || args[i + 1].rfind("--", 0) == 0) {
+        std::cerr << "ringstab-perf: flag " << args[i]
+                  << " requires a value\n";
+        return 2;
+      }
+      char* end = nullptr;
+      const double v = std::strtod(args[i + 1].c_str(), &end);
+      if (end == args[i + 1].c_str() || *end != '\0' || !(v >= 0)) {
+        std::cerr << "ringstab-perf: invalid " << args[i] << " value '"
+                  << args[i + 1] << "'\n";
+        return 2;
+      }
+      (args[i] == "--threshold" ? threshold : min_abs_ms) = v;
+      ++i;
+    } else if (args[i].rfind("--", 0) == 0) {
+      std::cerr << "ringstab-perf: unknown option " << args[i] << "\n";
+      return 2;
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.size() != 2) return usage();
+
+  const auto base = load(files[0]);
+  const auto cur = load(files[1]);
+  if (!base || !cur) return 2;
+  for (const auto* doc : {&*base, &*cur}) {
+    const std::string err = validate_any(*doc);
+    if (!err.empty()) {
+      std::cerr << "ringstab-perf: "
+                << (doc == &*base ? files[0] : files[1]) << ": " << err
+                << "\n";
+      return 2;
+    }
+  }
+  if (schema_of(*base) != schema_of(*cur)) {
+    std::cerr << "ringstab-perf: schema mismatch: " << schema_of(*base)
+              << " vs " << schema_of(*cur) << "\n";
+    return 2;
+  }
+
+  std::map<std::string, double> base_ms;
+  for (const Measurement& m : measurements_of(*base)) base_ms[m.key] = m.ms;
+
+  std::size_t matched = 0, regressions = 0, improvements = 0;
+  std::printf("| measurement | base ms | current ms | delta | verdict |\n");
+  std::printf("|---|---:|---:|---:|---|\n");
+  for (const Measurement& m : measurements_of(*cur)) {
+    const auto it = base_ms.find(m.key);
+    if (it == base_ms.end()) continue;
+    ++matched;
+    const double b = it->second;
+    const double delta = m.ms - b;
+    const double rel = b > 0 ? delta / b : 0;
+    const bool regressed = delta > min_abs_ms && m.ms > b * (1.0 + threshold);
+    const bool improved = -delta > min_abs_ms && b > m.ms * (1.0 + threshold);
+    if (regressed) ++regressions;
+    if (improved) ++improvements;
+    std::printf("| %s | %.3f | %.3f | %+.1f%% | %s |\n", m.label.c_str(), b,
+                m.ms, rel * 100,
+                regressed ? "REGRESSED" : improved ? "improved" : "ok");
+  }
+  std::printf(
+      "\n%zu measurements matched, %zu regressed, %zu improved "
+      "(threshold +%.0f%% and >%.1f ms)\n",
+      matched, regressions, improvements, threshold * 100, min_abs_ms);
+  if (matched == 0) {
+    std::cerr << "ringstab-perf: no matching measurements between "
+              << files[0] << " and " << files[1] << "\n";
+    return 2;
+  }
+  return regressions > 0 ? 1 : 0;
+}
+
+// ── report ──────────────────────────────────────────────────────────────
+
+void report_manifest(const std::string& path, const Value& doc) {
+  const Value* cmd = doc.find("command");
+  const Value* git = doc.find("git_describe");
+  std::printf("# ringstab run manifest — %s\n\n", path.c_str());
+  std::printf("- command: `%s`\n", cmd ? cmd->str.c_str() : "?");
+  std::printf("- build: `%s`\n", git ? git->str.c_str() : "?");
+  if (const Value* hw = doc.find("hardware"))
+    if (const Value* t = hw->find("threads_available"))
+      std::printf("- hardware threads: %llu\n",
+                  static_cast<unsigned long long>(t->as_u64()));
+  if (const Value* wall = doc.find("wall_time_ns"))
+    std::printf("- wall time: %.3f ms\n",
+                static_cast<double>(wall->as_u64()) / 1e6);
+  if (const Value* phases = doc.find("phases");
+      phases && !phases->items.empty()) {
+    std::printf("\n## Phases\n\n");
+    std::printf("| phase | calls | total ms | self ms |\n|---|---:|---:|---:|\n");
+    for (const Value& p : phases->items)
+      std::printf("| %s | %llu | %.3f | %.3f |\n",
+                  p.find("name")->str.c_str(),
+                  static_cast<unsigned long long>(p.find("calls")->as_u64()),
+                  static_cast<double>(p.find("total_ns")->as_u64()) / 1e6,
+                  static_cast<double>(p.find("self_ns")->as_u64()) / 1e6);
+  }
+  if (const Value* hists = doc.find("histograms");
+      hists && !hists->items.empty()) {
+    std::printf("\n## Histograms\n\n");
+    std::printf("| histogram | count | p50 | p90 | p99 | max |\n"
+                "|---|---:|---:|---:|---:|---:|\n");
+    for (const Value& h : hists->items)
+      std::printf("| %s | %llu | %llu | %llu | %llu | %llu |\n",
+                  h.find("name")->str.c_str(),
+                  static_cast<unsigned long long>(h.find("count")->as_u64()),
+                  static_cast<unsigned long long>(h.find("p50")->as_u64()),
+                  static_cast<unsigned long long>(h.find("p90")->as_u64()),
+                  static_cast<unsigned long long>(h.find("p99")->as_u64()),
+                  static_cast<unsigned long long>(h.find("max")->as_u64()));
+  }
+  if (const Value* gauges = doc.find("gauges");
+      gauges && !gauges->items.empty()) {
+    std::printf("\n## Memory / gauges\n\n");
+    std::printf("| gauge | value | peak |\n|---|---:|---:|\n");
+    for (const Value& g : gauges->items)
+      std::printf("| %s | %llu | %llu |\n", g.find("name")->str.c_str(),
+                  static_cast<unsigned long long>(g.find("value")->as_u64()),
+                  static_cast<unsigned long long>(g.find("peak")->as_u64()));
+  }
+  if (const Value* counters = doc.find("counters");
+      counters && !counters->items.empty()) {
+    std::printf("\n## Counters\n\n| counter | value |\n|---|---:|\n");
+    for (const Value& c : counters->items) {
+      const Value* approx = c.find("approx");
+      std::printf("| %s%s | %llu |\n",
+                  approx != nullptr && approx->boolean ? "~" : "",
+                  c.find("name")->str.c_str(),
+                  static_cast<unsigned long long>(c.find("value")->as_u64()));
+    }
+  }
+}
+
+void report_bench(const std::string& path, const Value& doc) {
+  std::printf("# ringstab bench report — %s\n\n", path.c_str());
+  for (const auto& [key, v] : doc.members) {
+    if (v.is_string())
+      std::printf("- %s: `%s`\n", key.c_str(), v.str.c_str());
+    else if (v.is_number())
+      std::printf("- %s: %s\n", key.c_str(), v.number.c_str());
+  }
+  for (const auto& [key, v] : doc.members) {
+    if (!v.is_array() || v.items.empty() || !v.items[0].is_object()) continue;
+    std::printf("\n## %s\n\n|", key.c_str());
+    for (const auto& [field, fv] : v.items[0].members)
+      std::printf(" %s |", field.c_str());
+    std::printf("\n|");
+    for (const auto& [field, fv] : v.items[0].members)
+      std::printf(fv.is_number() ? "---:|" : "---|");
+    std::printf("\n");
+    for (const Value& row : v.items) {
+      std::printf("|");
+      for (const auto& [field, fv] : row.members) {
+        if (fv.is_string())
+          std::printf(" %s |", fv.str.c_str());
+        else if (fv.is_number())
+          std::printf(" %s |", fv.number.c_str());
+        else
+          std::printf(" %s |", fv.boolean ? "true" : "false");
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+int cmd_report(const std::vector<std::string>& files) {
+  if (files.size() != 1) return usage();
+  const auto doc = load(files[0]);
+  if (!doc) return 2;
+  const std::string err = validate_any(*doc);
+  if (!err.empty()) {
+    std::cerr << "ringstab-perf: " << files[0] << ": " << err << "\n";
+    return 2;
+  }
+  if (schema_of(*doc) == kMetricsSchema)
+    report_manifest(files[0], *doc);
+  else
+    report_bench(files[0], *doc);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "validate") return cmd_validate(args);
+  if (command == "diff") return cmd_diff(args);
+  if (command == "report") return cmd_report(args);
+  return usage();
+}
