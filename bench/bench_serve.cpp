@@ -1,0 +1,201 @@
+// EXP-SRV: ringstab-serve warm-cache throughput — requests/sec against the
+// daemon with a cold cache (every request computes) vs a warm cache (every
+// request is answered out of the exact-key verdict cache), over a request
+// mix drawn from the built-in protocol suite (checks at several K, lint,
+// synthesize, batch-style analyze).
+//
+// The headline number is the warm/cold speedup: a cache hit skips the
+// whole engine run, so warm throughput is bounded by JSONL framing + one
+// sharded-LRU lookup per request. The report also asserts the serve-side
+// contract the tests lock in: cached bytes identical to cold bytes, and
+// hits + misses == requests.
+//
+// Artifact: BENCH_serve.json. RINGSTAB_BENCH_SMOKE=1 shrinks the mix and
+// the warm repeat count for the CI smoke job.
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "core/ring_writer.hpp"
+#include "core/types.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/sum_not_two.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+double ms_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+std::vector<serve::Request> request_mix(bool smoke) {
+  struct Named {
+    const char* label;
+    Protocol p;
+  };
+  std::vector<Named> suite;
+  suite.push_back({"sum_not_two", protocols::sum_not_two_solution()});
+  suite.push_back({"three_coloring", protocols::three_coloring_rotation()});
+  if (!smoke) {
+    suite.push_back({"matching_gen", protocols::matching_generalizable()});
+    suite.push_back({"agreement_both", protocols::agreement_both()});
+  }
+
+  const std::vector<std::size_t> ks =
+      smoke ? std::vector<std::size_t>{4, 5} : std::vector<std::size_t>{4, 6, 8};
+  std::vector<serve::Request> mix;
+  for (const Named& n : suite) {
+    const std::string source = to_ring_source(n.p);
+    for (const std::size_t k : ks) {
+      serve::Request req;
+      req.cmd = "check";
+      req.source = source;
+      req.name = n.label;
+      req.k = k;
+      mix.push_back(req);
+    }
+    serve::Request lint;
+    lint.cmd = "lint";
+    lint.source = source;
+    lint.name = n.label;
+    mix.push_back(lint);
+    serve::Request analyze;
+    analyze.cmd = "analyze";
+    analyze.source = source;
+    analyze.name = n.label;
+    analyze.options.lint = true;
+    mix.push_back(analyze);
+  }
+  return mix;
+}
+
+void report() {
+  const bool smoke = std::getenv("RINGSTAB_BENCH_SMOKE") != nullptr;
+  bench::header(
+      "EXP-SRV", "ringstab-serve warm verdict cache",
+      "a daemon answering out of an exact-key verdict cache serves repeated "
+      "requests at framing speed: the warm pass never re-runs an engine");
+
+  // cwd-relative socket path: sockaddr_un caps paths at ~107 bytes and CI
+  // work dirs can exceed that; a relative bind is resolved by the kernel.
+  const std::string socket_path =
+      "bench_serve_" + std::to_string(::getpid()) + ".sock";
+  serve::ServerOptions opts;
+  opts.socket_path = socket_path;
+  opts.cache_capacity = 4096;
+  serve::Server server(opts);
+  server.start();
+
+  const std::vector<serve::Request> mix = request_mix(smoke);
+  const std::size_t warm_rounds = smoke ? 5 : 50;
+
+  serve::Client client(socket_path);
+  std::vector<std::string> cold_outputs;
+  const double cold_ms = ms_of([&] {
+    for (const serve::Request& req : mix) {
+      const serve::Response resp = client.request(req);
+      if (!resp.ok)
+        throw ModelError("bench_serve: cold request failed: " + resp.error);
+      if (resp.cached)
+        throw ModelError("bench_serve: cold request answered from cache");
+      cold_outputs.push_back(resp.output);
+    }
+  });
+
+  std::size_t warm_requests = 0;
+  const double warm_ms = ms_of([&] {
+    for (std::size_t round = 0; round < warm_rounds; ++round) {
+      for (std::size_t i = 0; i < mix.size(); ++i) {
+        const serve::Response resp = client.request(mix[i]);
+        if (!resp.ok)
+          throw ModelError("bench_serve: warm request failed: " + resp.error);
+        if (!resp.cached)
+          throw ModelError("bench_serve: warm request missed the cache");
+        if (resp.output != cold_outputs[i])
+          throw ModelError(
+              "bench_serve: cached bytes differ from cold bytes");
+        ++warm_requests;
+      }
+    }
+  });
+
+  const serve::ServerStats stats = client.stats();
+  if (stats.cache_hits != warm_requests ||
+      stats.cache_misses != mix.size())
+    throw ModelError("bench_serve: hit/miss accounting is off");
+  server.stop();
+
+  const double cold_rps = static_cast<double>(mix.size()) / (cold_ms / 1000.0);
+  const double warm_rps =
+      static_cast<double>(warm_requests) / (warm_ms / 1000.0);
+  const double speedup = warm_rps / cold_rps;
+
+  bench::row("cold pass (every request computes)",
+             "n/a (implementation throughput)",
+             cat(mix.size(), " requests in ", cold_ms, " ms = ",
+                            static_cast<std::uint64_t>(cold_rps), " req/s"));
+  bench::row("warm pass (every request cached)",
+             "hits skip the engines entirely",
+             cat(warm_requests, " requests in ", warm_ms,
+                            " ms = ", static_cast<std::uint64_t>(warm_rps),
+                            " req/s"));
+  bench::note(cat(
+      "warm/cold speedup ", speedup, "x; cached bytes asserted identical to "
+      "cold bytes for all ", mix.size(), " distinct requests",
+      smoke ? " — SMOKE RUN, reduced mix" : ""));
+
+  bench::write_bench_json(
+      "BENCH_serve.json",
+      bench::Json()
+          .put("experiment", "serve_warm_cache")
+          .put("distinct_requests", mix.size())
+          .put("warm_rounds", warm_rounds)
+          .put("cold_ms", cold_ms)
+          .put("warm_ms", warm_ms)
+          .put("cold_requests_per_sec", cold_rps)
+          .put("warm_requests_per_sec", warm_rps)
+          .put("warm_speedup", speedup)
+          .put("cache_hits", stats.cache_hits)
+          .put("cache_misses", stats.cache_misses)
+          .put("cache_evictions", stats.cache_evictions)
+          .put("smoke", smoke));
+  bench::footer();
+}
+
+void BM_ServeCacheHit(benchmark::State& state) {
+  const std::string socket_path =
+      "bench_serve_bm_" + std::to_string(::getpid()) + ".sock";
+  serve::ServerOptions opts;
+  opts.socket_path = socket_path;
+  serve::Server server(opts);
+  server.start();
+  serve::Client client(socket_path);
+  serve::Request req;
+  req.cmd = "check";
+  req.source = to_ring_source(protocols::sum_not_two_solution());
+  req.k = 4;
+  (void)client.request(req);  // prime the cache
+  for (auto _ : state) {
+    const serve::Response resp = client.request(req);
+    benchmark::DoNotOptimize(resp.cached);
+  }
+  server.stop();
+}
+BENCHMARK(BM_ServeCacheHit);
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

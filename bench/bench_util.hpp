@@ -7,7 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -113,24 +115,54 @@ class Json {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Write a BENCH_*.json artifact next to the binary and announce it in the
-/// report (EXPERIMENTS.md links these by name). Every artifact is stamped
-/// with the bench schema id and the build's `git describe`, so
-/// `ringstab-perf validate` / `diff` can check and provenance-label it.
-inline void write_bench_json(const std::string& filename, const Json& json) {
+/// Set when any write_bench_json call failed; RINGSTAB_BENCH_MAIN folds it
+/// into the process exit code so CI can't mistake a bench whose artifact
+/// never landed for a successful run.
+inline bool g_bench_artifact_failed = false;
+
+/// Write a BENCH_*.json artifact, checking every step: returns false (with
+/// the errno cause on stderr) when the file can't be opened or the bytes
+/// don't all land. Callers who can choose their own exit code use this.
+inline bool try_write_bench_json(const std::string& filename,
+                                 const Json& json) {
   Json stamped;
   stamped.put("schema", kBenchSchema);
   stamped.put("git_describe", obs::git_describe());
   stamped.put_all(json);
+  errno = 0;
   std::ofstream out(filename);
+  if (!out.is_open()) {
+    std::cerr << "  ERROR: cannot open " << filename << " ("
+              << (errno != 0 ? std::strerror(errno) : "open failed") << ")\n";
+    return false;
+  }
   out << stamped.render();
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "  ERROR: write to " << filename << " failed ("
+              << (errno != 0 ? std::strerror(errno) : "stream error") << ")\n";
+    return false;
+  }
   std::cout << "  wrote " << filename << "\n";
+  return true;
+}
+
+/// Write a BENCH_*.json artifact next to the binary and announce it in the
+/// report (EXPERIMENTS.md links these by name). Every artifact is stamped
+/// with the bench schema id and the build's `git describe`, so
+/// `ringstab-perf validate` / `diff` can check and provenance-label it.
+/// A failed write is reported on stderr and turns the bench's exit code
+/// nonzero (via RINGSTAB_BENCH_MAIN) instead of passing silently.
+inline void write_bench_json(const std::string& filename, const Json& json) {
+  if (!try_write_bench_json(filename, json)) g_bench_artifact_failed = true;
 }
 
 /// Custom main: print the report once, then run the timings. When
 /// RINGSTAB_BENCH_METRICS=<path> is set, the whole bench runs under an
 /// observability session that writes a ringstab.metrics.v2 manifest there
 /// (the perf-smoke CI job validates it with `ringstab-perf validate`).
+/// Exits nonzero when any artifact write failed or a metrics sink went
+/// unhealthy — a bench whose outputs didn't land is a failed bench.
 #define RINGSTAB_BENCH_MAIN(report_fn)                                 \
   int main(int argc, char** argv) {                                    \
     ::ringstab::obs::SessionOptions obs_opts;                          \
@@ -138,12 +170,15 @@ inline void write_bench_json(const std::string& filename, const Json& json) {
       obs_opts.metrics_path = path;                                    \
       obs_opts.command = std::string("bench ") + argv[0];              \
     }                                                                  \
-    const ::ringstab::obs::Session obs_session(obs_opts);              \
+    ::ringstab::obs::Session obs_session(obs_opts);                    \
     report_fn();                                                       \
     ::benchmark::Initialize(&argc, argv);                              \
     ::benchmark::RunSpecifiedBenchmarks();                             \
     ::benchmark::Shutdown();                                           \
-    return 0;                                                          \
+    int bench_rc = 0;                                                  \
+    if (::ringstab::bench::g_bench_artifact_failed) bench_rc = 1;      \
+    if (!obs_session.finish()) bench_rc = 1;                           \
+    return bench_rc;                                                   \
   }
 
 }  // namespace ringstab::bench

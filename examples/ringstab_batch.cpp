@@ -13,11 +13,14 @@
 // rotation-quotient engine — same verdicts, ~K× fewer states); `--synth`
 // runs the Problem 3.1 synthesizer on every uncertified ring protocol (one
 // verdict memo shared across the whole directory, so repeated candidate
-// signatures are verified once); `--jobs N` runs those checks and the
-// synthesis candidate portfolio on N worker threads (0 = all cores);
-// `--lint` runs the RS0xx lint passes on every file (honoring `# lint:
-// allow(...)` directives) and, with `--strict`, fails on error-level
-// diagnostics.
+// signatures are verified once); `--lint` runs the RS0xx lint passes on
+// every file (honoring `# lint: allow(...)` directives) and, with
+// `--strict`, fails on error-level diagnostics.
+//
+// `--serve <socket>` sends each file to a ringstab-serve daemon instead of
+// analyzing locally. The row logic (serve::batch_outcome) is shared, so the
+// table is byte-identical either way — warm daemon caches just make it
+// faster (docs/serve.md).
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -25,39 +28,26 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
-#include "analysis/lint.hpp"
-#include "core/parser.hpp"
-#include "global/checker.hpp"
-#include "global/symmetry.hpp"
-#include "local/array.hpp"
-#include "local/convergence.hpp"
+#include "core/types.hpp"
 #include "obs/session.hpp"
 #include "parallel/thread_pool.hpp"
-#include "synthesis/local_synthesizer.hpp"
+#include "serve/client.hpp"
+#include "serve/exec.hpp"
+#include "serve/shutdown.hpp"
+#include "synthesis/portfolio.hpp"
 
 namespace {
 
 using namespace ringstab;
-
-struct FileOutcome {
-  std::string file;
-  std::string name;
-  std::string verdict;
-  std::string expectation;  // "", "converges", "fails"
-  bool ok = true;           // expectation met (or none given)
-};
 
 std::string slurp(const std::filesystem::path& path) {
   std::ifstream in(path);
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
-}
-
-bool has_marker(const std::string& text, const std::string& marker) {
-  return text.find(marker) != std::string::npos;
 }
 
 /// Strict non-negative integer parse for --check / --jobs values.
@@ -81,87 +71,69 @@ const char* take_value(int argc, char** argv, int& i, const char* flag) {
   return argv[++i];
 }
 
-FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
-                    std::size_t jobs, bool symmetry, bool lint,
-                    const std::shared_ptr<VerdictMemo>& synth_memo) {
-  FileOutcome out;
-  out.file = path.filename().string();
-  const std::string text = slurp(path);
-  const bool array = has_marker(text, "topology: array");
-  if (has_marker(text, "expect: converges")) out.expectation = "converges";
-  if (has_marker(text, "expect: fails")) out.expectation = "fails";
+struct BatchConfig {
+  std::string dir;
+  std::string serve_socket;  // "" = analyze locally
+  bool strict = false;
+  serve::RequestOptions options;  // symmetry/lint/synth/check_k/jobs
+};
 
-  std::string lint_note;
-  try {
-    const ProtocolSource src = parse_protocol_source(text, out.file);
-    if (lint) {
-      const LintResult lr = lint_source(src);
-      lint_note = lr.diagnostics.empty()
-                      ? " [lint: clean]"
-                      : " [lint: " + std::to_string(lr.count(Severity::kError)) +
-                            " err, " +
-                            std::to_string(lr.count(Severity::kWarning)) +
-                            " warn]";
-      if (lr.has_error()) out.ok = false;
-    }
-    const Protocol p = build_protocol(src);
-    out.name = p.name();
-    bool certified = false;
-    if (array) {
-      const auto res = analyze_array_deadlocks(p);
-      certified = res.deadlock_free_all_n && array_terminates_always(p);
-      out.verdict = certified ? "converges (array, every length)"
-                              : "deadlocks (array)";
-    } else {
-      const auto res = check_convergence(p);
-      certified = res.verdict == ConvergenceAnalysis::Verdict::kConverges;
-      switch (res.verdict) {
-        case ConvergenceAnalysis::Verdict::kConverges:
-          out.verdict = "converges (every ring size)";
-          break;
-        case ConvergenceAnalysis::Verdict::kDeadlock:
-          out.verdict = "deadlocks";
-          break;
-        case ConvergenceAnalysis::Verdict::kTrailFound:
-          out.verdict = "trail found (uncertifiable)";
-          break;
-        case ConvergenceAnalysis::Verdict::kInconclusive:
-          out.verdict = "inconclusive";
-          break;
-      }
-      if (check_k >= 2) {
-        const RingInstance ring(p, check_k);
-        const bool global_ok =
-            symmetry ? check_symmetric(ring, 8, jobs).strongly_converges()
-                     : strongly_stabilizing(ring, jobs);
-        out.verdict += global_ok ? " [global@K ok]" : " [global@K FAILS]";
-        // A local certificate must never contradict the exhaustive check.
-        if (certified && !global_ok) out.ok = false;
-      }
-      if (synth_memo != nullptr && !certified) {
-        // Diagnostic only (never affects ok): can Problem 3.1 repair this
-        // input? The directory-wide memo makes repeated signatures cheap.
-        SynthesisOptions opts;
-        opts.num_threads = jobs;
-        opts.memo = synth_memo;
-        opts.keep_rejected_reports = false;
-        opts.require_closed_invariant = false;
-        const auto synth = synthesize_convergence(p, opts);
-        out.verdict += synth.success
-                           ? " [synth: " +
-                                 std::to_string(synth.solutions.size()) +
-                                 " solutions]"
-                           : " [synth: none]";
-      }
-    }
-    if (out.expectation == "converges") out.ok = out.ok && certified;
-    if (out.expectation == "fails") out.ok = out.ok && !certified;
-  } catch (const Error& e) {
-    out.verdict = std::string("ERROR: ") + e.what();
-    out.ok = out.expectation.empty() && lint_note.empty();
+int run(const BatchConfig& cfg) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(cfg.dir))
+    if (entry.path().extension() == ".ring") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "no .ring files under " << cfg.dir << "\n";
+    return 2;
   }
-  out.verdict += lint_note;
-  return out;
+
+  // Local mode shares one verdict memo across the directory; in serve mode
+  // the daemon holds its own process-lifetime memo instead.
+  const std::shared_ptr<VerdictMemo> synth_memo =
+      cfg.options.synth && cfg.serve_socket.empty()
+          ? std::make_shared<VerdictMemo>()
+          : nullptr;
+  std::optional<serve::Client> client;
+  if (!cfg.serve_socket.empty()) client.emplace(cfg.serve_socket);
+
+  const bool wide =
+      cfg.options.check_k >= 2 || cfg.options.synth || cfg.options.lint;
+  const int verdict_w = wide ? 52 : 36;
+  std::size_t failures = 0;
+  std::cout << std::left << std::setw(28) << "file" << std::setw(22)
+            << "protocol" << std::setw(verdict_w) << "verdict"
+            << "expectation\n"
+            << std::string(60 + verdict_w, '-') << "\n";
+  for (const auto& path : files) {
+    const std::string file = path.filename().string();
+    serve::BatchOutcome out;
+    if (client) {
+      serve::Request req;
+      req.cmd = "analyze";
+      req.source = slurp(path);
+      req.name = file;
+      req.options = cfg.options;
+      const serve::Response resp = client->request(req);
+      if (!resp.ok)
+        throw ModelError("serve: request for " + file +
+                         " failed: " + resp.error);
+      out = serve::parse_batch_outcome(resp.output);
+    } else {
+      out = serve::batch_outcome(slurp(path), file, cfg.options, synth_memo);
+    }
+    std::cout << std::left << std::setw(28) << file << std::setw(22)
+              << out.name << std::setw(verdict_w) << out.verdict
+              << (out.expectation.empty()
+                      ? "-"
+                      : out.expectation + (out.ok ? " ✓" : " ✗ MISMATCH"))
+              << "\n";
+    if (!out.ok) ++failures;
+  }
+  std::cout << std::string(96, '-') << "\n"
+            << files.size() << " protocols, " << failures
+            << " expectation mismatches\n";
+  return cfg.strict && failures > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -169,33 +141,32 @@ FileOutcome process(const std::filesystem::path& path, std::size_t check_k,
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: ringstab-batch <directory> [--strict] [--check K] "
-                 "[--symmetry] [--synth] [--lint] [--jobs N] [--stats] "
-                 "[--trace FILE] [--jsonl FILE] [--metrics FILE] "
-                 "[--progress]\n";
+                 "[--symmetry] [--synth] [--lint] [--jobs N] "
+                 "[--serve SOCKET] [--stats] [--trace FILE] [--jsonl FILE] "
+                 "[--metrics FILE] [--progress]\n";
     return 2;
   }
-  bool strict = false;
-  bool symmetry = false;  // --check via the rotation-quotient engine
-  bool synth = false;     // try Problem 3.1 on uncertified ring protocols
-  bool lint = false;      // run the RS0xx lint passes on every file
-  std::size_t check_k = 0;  // 0 = local analysis only
-  std::size_t jobs = 1;
+  BatchConfig cfg;
+  cfg.dir = argv[1];
   obs::SessionOptions obs_opts;
   try {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) {
-      strict = true;
+      cfg.strict = true;
     } else if (std::strcmp(argv[i], "--symmetry") == 0) {
-      symmetry = true;
+      cfg.options.symmetry = true;
     } else if (std::strcmp(argv[i], "--synth") == 0) {
-      synth = true;
+      cfg.options.synth = true;
     } else if (std::strcmp(argv[i], "--lint") == 0) {
-      lint = true;
+      cfg.options.lint = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
-      check_k = parse_count("--check", take_value(argc, argv, i, "--check"));
+      cfg.options.check_k =
+          parse_count("--check", take_value(argc, argv, i, "--check"));
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
-      jobs = ringstab::resolve_threads(
+      cfg.options.jobs = ringstab::resolve_threads(
           parse_count("--jobs", take_value(argc, argv, i, "--jobs")));
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      cfg.serve_socket = take_value(argc, argv, i, "--serve");
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       obs_opts.stats = true;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
@@ -213,40 +184,16 @@ int main(int argc, char** argv) {
   }
   obs_opts.command = "batch";
   for (int i = 1; i < argc; ++i) obs_opts.command += std::string(" ") + argv[i];
-  const obs::Session obs_session(obs_opts);
 
-  std::vector<std::filesystem::path> files;
-  for (const auto& entry : std::filesystem::directory_iterator(argv[1]))
-    if (entry.path().extension() == ".ring") files.push_back(entry.path());
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
-    std::cerr << "no .ring files under " << argv[1] << "\n";
-    return 2;
-  }
+  // Installed before the session and before any worker threads exist, so an
+  // interrupt mid-directory flushes a partial ("interrupted":true) manifest
+  // instead of losing the run's metrics.
+  const serve::ShutdownWatcher watcher(serve::flush_and_exit_on_signal);
+  obs::Session obs_session(obs_opts);
 
-  const std::shared_ptr<VerdictMemo> synth_memo =
-      synth ? std::make_shared<VerdictMemo>() : nullptr;
-  const int verdict_w = check_k >= 2 || synth || lint ? 52 : 36;
-  std::size_t failures = 0;
-  std::cout << std::left << std::setw(28) << "file" << std::setw(22)
-            << "protocol" << std::setw(verdict_w) << "verdict"
-            << "expectation\n"
-            << std::string(60 + verdict_w, '-') << "\n";
-  for (const auto& path : files) {
-    const FileOutcome out =
-        process(path, check_k, jobs, symmetry, lint, synth_memo);
-    std::cout << std::left << std::setw(28) << out.file << std::setw(22)
-              << out.name << std::setw(verdict_w) << out.verdict
-              << (out.expectation.empty()
-                      ? "-"
-                      : out.expectation + (out.ok ? " ✓" : " ✗ MISMATCH"))
-              << "\n";
-    if (!out.ok) ++failures;
-  }
-  std::cout << std::string(96, '-') << "\n"
-            << files.size() << " protocols, " << failures
-            << " expectation mismatches\n";
-  return strict && failures > 0 ? 1 : 0;
+  int rc = run(cfg);
+  if (!obs_session.finish() && rc == 0) rc = 1;
+  return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -8,6 +8,9 @@
 //   ringstab simulate   <file.ring> -k <K> [--trials N] [--seed S]
 //   ringstab emit       <file.ring>             round-trip to .ring source
 //   ringstab lint       <file.ring> [--json]    structured diagnostics
+//
+// The check/synthesize/lint output paths live in src/serve/exec.cpp and are
+// shared byte-for-byte with the ringstab-serve daemon (docs/serve.md).
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
@@ -21,15 +24,15 @@
 #include "core/parser.hpp"
 #include "core/printer.hpp"
 #include "core/ring_writer.hpp"
-#include "global/checker.hpp"
 #include "global/cutoff.hpp"
-#include "global/symmetry.hpp"
 #include "local/array.hpp"
 #include "report/report.hpp"
 #include "graph/dot.hpp"
 #include "local/convergence.hpp"
 #include "local/rcg.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/exec.hpp"
+#include "serve/shutdown.hpp"
 #include "sim/simulator.hpp"
 #include "synthesis/array_synthesizer.hpp"
 #include "synthesis/local_synthesizer.hpp"
@@ -125,38 +128,6 @@ std::size_t parse_jobs(int argc, char** argv) {
   return resolve_threads(static_cast<std::size_t>(n));
 }
 
-/// `check --symmetry`: the rotation-quotient engine (necklace.hpp) instead
-/// of the full-space sweep. Same verdicts and counts, ~K× fewer states.
-int cmd_check_symmetric(const Protocol& p, std::size_t k, std::size_t jobs) {
-  const RingInstance ring(p, k);
-  const auto res = check_symmetric(ring, 8, jobs);
-  std::cout << p.name() << " at K=" << k << " (rotation quotient: "
-            << res.num_necklaces << " necklaces for " << res.num_states
-            << " states):\n"
-            << "  closure of I:            "
-            << (res.closure_ok ? "ok" : "VIOLATED")
-            << "\n  deadlocks outside I:     " << res.num_deadlocks_outside_i;
-  if (!res.deadlock_orbit_reps.empty())
-    std::cout << "  (e.g. " << ring.brief(res.deadlock_orbit_reps[0]) << ")";
-  std::cout << "\n  livelock:                "
-            << (res.has_livelock ? "YES" : "none");
-  if (res.has_livelock) {
-    std::cout << "  cycle:";
-    for (std::size_t i = 0;
-         i < std::min<std::size_t>(6, res.livelock_cycle.size()); ++i)
-      std::cout << " " << ring.brief(res.livelock_cycle[i]);
-    if (res.livelock_cycle.size() > 6) std::cout << " …";
-  }
-  std::cout << "\n  weak convergence:        "
-            << (res.weakly_converges ? "yes" : "no")
-            << "\n  strong self-stabilization: "
-            << (res.strongly_converges() ? "YES" : "no") << "\n";
-  if (res.strongly_converges())
-    std::cout << "  worst-case recovery:     " << res.max_recovery_steps
-              << " steps\n";
-  return res.strongly_converges() ? 0 : 1;
-}
-
 int cmd_analyze_array(const Protocol& p) {
   std::cout << describe(p) << "\n";
   const auto res = analyze_array_deadlocks(p);
@@ -196,48 +167,6 @@ int cmd_analyze(const Protocol& p) {
     std::cout << "witness trail: " << res.livelocks.trail()->to_string(p)
               << "\n";
   return res.verdict == ConvergenceAnalysis::Verdict::kConverges ? 0 : 1;
-}
-
-int cmd_synthesize(const Protocol& p, bool all, std::size_t jobs) {
-  SynthesisOptions options;
-  options.num_threads = jobs;
-  const auto res = synthesize_convergence(p, options);
-  std::cout << res.summary(p) << "\n";
-  const std::size_t show = all ? res.solutions.size()
-                               : std::min<std::size_t>(1, res.solutions.size());
-  for (std::size_t i = 0; i < show; ++i) {
-    std::cout << "--- solution " << i + 1 << " ---\n"
-              << describe(res.solutions[i].protocol) << "\n";
-  }
-  return res.success ? 0 : 1;
-}
-
-int cmd_check(const Protocol& p, std::size_t k, std::size_t jobs) {
-  const RingInstance ring(p, k);
-  const auto res = GlobalChecker(ring, jobs).check_all();
-  std::cout << p.name() << " at K=" << k << " (" << res.num_states
-            << " states):\n"
-            << "  closure of I:            " << (res.closure_ok ? "ok" : "VIOLATED")
-            << "\n  deadlocks outside I:     " << res.num_deadlocks_outside_i;
-  if (!res.deadlock_samples.empty())
-    std::cout << "  (e.g. " << ring.brief(res.deadlock_samples[0]) << ")";
-  std::cout << "\n  livelock:                "
-            << (res.has_livelock ? "YES" : "none");
-  if (res.has_livelock) {
-    std::cout << "  cycle:";
-    for (std::size_t i = 0; i < std::min<std::size_t>(6, res.livelock_cycle.size());
-         ++i)
-      std::cout << " " << ring.brief(res.livelock_cycle[i]);
-    if (res.livelock_cycle.size() > 6) std::cout << " …";
-  }
-  std::cout << "\n  weak convergence:        "
-            << (res.weakly_converges ? "yes" : "no")
-            << "\n  strong self-stabilization: "
-            << (res.strongly_converges() ? "YES" : "no") << "\n";
-  if (res.strongly_converges())
-    std::cout << "  worst-case recovery:     " << res.max_recovery_steps
-              << " steps\n";
-  return res.strongly_converges() ? 0 : 1;
 }
 
 int cmd_dot(const Protocol& p, int argc, char** argv) {
@@ -329,12 +258,91 @@ int cmd_simulate(const Protocol& p, std::size_t k, std::size_t trials,
   return stats.failed == 0 ? 0 : 1;
 }
 
+/// Command dispatch, separated from main() so the observability session can
+/// fold sink health into the final exit code after the command returns.
+int run(const std::string& command, int argc, char** argv) {
+  if (command == "lint") {
+    // Dispatched before parse_protocol_file so unparsable files still
+    // produce a located RS000 diagnostic instead of a raw exception.
+    const LintResult lint = lint_ring_file(argv[2]);
+    return serve::render_lint(lint, argv[2], has_flag(argc, argv, "--json"),
+                              std::cout);
+  }
+
+  const Protocol p = parse_protocol_file(argv[2]);
+  const std::size_t jobs = parse_jobs(argc, argv);
+  if (command == "analyze")
+    return has_flag(argc, argv, "--array") ? cmd_analyze_array(p)
+                                           : cmd_analyze(p);
+  if (command == "synthesize" || command == "synth") {
+    if (has_flag(argc, argv, "--array")) {
+      ArraySynthesisOptions options;
+      options.num_threads = jobs;
+      const auto res = synthesize_array_convergence(p, options);
+      std::cout << res.summary(p) << "\n";
+      if (res.success) std::cout << describe(res.solutions[0].protocol);
+      return res.success ? 0 : 1;
+    }
+    return serve::render_synthesize(p, has_flag(argc, argv, "--all"), jobs,
+                                    std::cout);
+  }
+  if (command == "check") {
+    const auto k =
+        static_cast<std::size_t>(arg_value(argc, argv, "-k", 5, 2, 63));
+    return serve::render_check(p, k, jobs, has_flag(argc, argv, "--symmetry"),
+                               std::cout);
+  }
+  if (command == "sweep") {
+    const auto rep = verify_up_to_cutoff(
+        p, static_cast<std::size_t>(arg_value(argc, argv, "--min", 2, 2, 63)),
+        static_cast<std::size_t>(arg_value(argc, argv, "--max", 9, 2, 63)));
+    std::cout << rep.to_string(p);
+    return rep.all_stabilize ? 0 : 1;
+  }
+  if (command == "emit") {
+    std::cout << to_ring_source(p);
+    return 0;
+  }
+  if (command == "report") {
+    ReportOptions opts;
+    opts.array_topology = has_flag(argc, argv, "--array");
+    opts.max_ring =
+        static_cast<std::size_t>(arg_value(argc, argv, "--max", 7, 2, 63));
+    opts.num_threads = jobs;
+    std::cout << markdown_report(p, opts);
+    return 0;
+  }
+  if (command == "dot") return cmd_dot(p, argc, argv);
+  if (command == "trace") {
+    return cmd_trace(
+        p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8, 2, 63)),
+        static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1, 0,
+                                             std::numeric_limits<long long>::max())),
+        arg_string(argc, argv, "--from"),
+        static_cast<std::size_t>(
+            arg_value(argc, argv, "--max", 200, 1, 1'000'000'000)));
+  }
+  if (command == "simulate")
+    return cmd_simulate(
+        p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8, 2, 63)),
+        static_cast<std::size_t>(
+            arg_value(argc, argv, "--trials", 100, 1, 1'000'000'000)),
+        static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1, 0,
+                                             std::numeric_limits<long long>::max())),
+        jobs);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
   try {
+    // Installed before the session (and before any engine spawns workers)
+    // so SIGINT/SIGTERM flush partial metrics instead of dropping them.
+    const serve::ShutdownWatcher watcher(serve::flush_and_exit_on_signal);
+
     obs::SessionOptions obs_opts;
     obs_opts.stats = has_flag(argc, argv, "--stats");
     obs_opts.progress = has_flag(argc, argv, "--progress");
@@ -343,89 +351,13 @@ int main(int argc, char** argv) {
     if (const char* f = arg_string(argc, argv, "--metrics")) obs_opts.metrics_path = f;
     obs_opts.command = command;
     for (int i = 2; i < argc; ++i) obs_opts.command += cat(" ", argv[i]);
-    const obs::Session obs_session(obs_opts);
+    obs::Session obs_session(obs_opts);
 
-    if (command == "lint") {
-      // Dispatched before parse_protocol_file so unparsable files still
-      // produce a located RS000 diagnostic instead of a raw exception.
-      const LintResult lint = lint_ring_file(argv[2]);
-      if (has_flag(argc, argv, "--json")) {
-        std::cout << render_json(lint.diagnostics);
-      } else {
-        std::cout << render_text(lint.diagnostics);
-        std::cout << argv[2] << ": " << lint.count(Severity::kError)
-                  << " error(s), " << lint.count(Severity::kWarning)
-                  << " warning(s), " << lint.count(Severity::kNote)
-                  << " note(s)";
-        if (lint.suppressed > 0)
-          std::cout << ", " << lint.suppressed << " suppressed";
-        std::cout << "\n";
-      }
-      return lint.has_error() ? 1 : 0;
-    }
-
-    const Protocol p = parse_protocol_file(argv[2]);
-    const std::size_t jobs = parse_jobs(argc, argv);
-    if (command == "analyze")
-      return has_flag(argc, argv, "--array") ? cmd_analyze_array(p)
-                                             : cmd_analyze(p);
-    if (command == "synthesize" || command == "synth") {
-      if (has_flag(argc, argv, "--array")) {
-        ArraySynthesisOptions options;
-        options.num_threads = jobs;
-        const auto res = synthesize_array_convergence(p, options);
-        std::cout << res.summary(p) << "\n";
-        if (res.success) std::cout << describe(res.solutions[0].protocol);
-        return res.success ? 0 : 1;
-      }
-      return cmd_synthesize(p, has_flag(argc, argv, "--all"), jobs);
-    }
-    if (command == "check") {
-      const auto k =
-          static_cast<std::size_t>(arg_value(argc, argv, "-k", 5, 2, 63));
-      return has_flag(argc, argv, "--symmetry")
-                 ? cmd_check_symmetric(p, k, jobs)
-                 : cmd_check(p, k, jobs);
-    }
-    if (command == "sweep") {
-      const auto rep = verify_up_to_cutoff(
-          p, static_cast<std::size_t>(arg_value(argc, argv, "--min", 2, 2, 63)),
-          static_cast<std::size_t>(arg_value(argc, argv, "--max", 9, 2, 63)));
-      std::cout << rep.to_string(p);
-      return rep.all_stabilize ? 0 : 1;
-    }
-    if (command == "emit") {
-      std::cout << to_ring_source(p);
-      return 0;
-    }
-    if (command == "report") {
-      ReportOptions opts;
-      opts.array_topology = has_flag(argc, argv, "--array");
-      opts.max_ring =
-          static_cast<std::size_t>(arg_value(argc, argv, "--max", 7, 2, 63));
-      opts.num_threads = jobs;
-      std::cout << markdown_report(p, opts);
-      return 0;
-    }
-    if (command == "dot") return cmd_dot(p, argc, argv);
-    if (command == "trace") {
-      return cmd_trace(
-          p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8, 2, 63)),
-          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1, 0,
-                                               std::numeric_limits<long long>::max())),
-          arg_string(argc, argv, "--from"),
-          static_cast<std::size_t>(
-              arg_value(argc, argv, "--max", 200, 1, 1'000'000'000)));
-    }
-    if (command == "simulate")
-      return cmd_simulate(
-          p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8, 2, 63)),
-          static_cast<std::size_t>(
-              arg_value(argc, argv, "--trials", 100, 1, 1'000'000'000)),
-          static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 1, 0,
-                                               std::numeric_limits<long long>::max())),
-          jobs);
-    return usage();
+    int rc = run(command, argc, argv);
+    // A run whose requested artifact (--metrics/--trace/--jsonl) failed to
+    // write completely must not exit 0.
+    if (!obs_session.finish() && rc == 0) rc = 1;
+    return rc;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

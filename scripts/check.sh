@@ -2,8 +2,8 @@
 # Tier-1 gate + sanitized builds.
 #
 #   scripts/check.sh            full: build, ctest, TSan test_parallel+test_obs
-#                               +test_parallel_scc+test_synthesis_parallel,
-#                               ASan test_symmetry + CLI
+#                               +test_parallel_scc+test_synthesis_parallel
+#                               +test_serve, ASan test_symmetry + CLI
 #                               parsing/synthesis/lint tests, UBSan
 #                               core/local/analysis test binaries
 #   scripts/check.sh --fast     tier-1 only (skip the sanitizer builds)
@@ -29,11 +29,12 @@ if [[ "$fast" == 1 ]]; then
   exit 0
 fi
 
-echo "== TSan: build test_parallel + test_parallel_scc + test_obs + test_synthesis_parallel =="
+echo "== TSan: build test_parallel + test_parallel_scc + test_obs + test_synthesis_parallel + test_serve =="
 cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DRINGSTAB_SANITIZE=thread
 cmake --build "$repo/build-tsan" -j "$jobs" \
-      --target test_parallel test_parallel_scc test_obs test_synthesis_parallel
+      --target test_parallel test_parallel_scc test_obs test_synthesis_parallel \
+               test_serve
 
 echo "== TSan: run =="
 "$repo/build-tsan/tests/test_parallel"
@@ -48,6 +49,11 @@ echo "== TSan: run =="
 # what TSan is here to watch.
 "$repo/build-tsan/tests/test_synthesis_parallel" \
     --gtest_filter='-PortfolioSynthesis.LocalBitIdenticalAcrossThreadCounts:PortfolioSynthesis.MemoizationDoesNotChangeResults:PortfolioSynthesis.SharedSignaturesHitTheMemo'
+# The serve daemon's concurrency: accept thread vs connection threads vs
+# shutdown, the sharded verdict cache, and the sigwait watcher. The zoo
+# bit-identity sweep re-runs every engine at every K and takes minutes
+# under TSan; the remaining tests drive all the serve-side threading.
+"$repo/build-tsan/tests/test_serve" --gtest_filter='-ServeZooHeavy.*'
 
 echo "== ASan: build test_symmetry + CLI tools =="
 cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -509,7 +509,25 @@ LintResult lint_source(const ProtocolSource& src, const LintOptions& opts) {
 LintResult lint_ring_file(const std::string& path, const LintOptions& opts) {
   obs::Span span("lint.file");
   try {
-    const std::string text = read_source_file(path);
+    return lint_ring_text(read_source_file(path), path, opts);
+  } catch (const ParseError& e) {
+    // read_source_file failed; report the unreadable file as RS000 with no
+    // source span (lint_ring_text handles in-text parse errors itself).
+    LintResult res;
+    Collector c(res, opts, path);
+    c.begin_pass();
+    Diagnostic d;
+    d.code = "RS000";
+    d.severity = Severity::kError;
+    d.message = e.what();
+    c.emit(std::move(d));
+    return res;
+  }
+}
+
+LintResult lint_ring_text(const std::string& text, const std::string& path,
+                          const LintOptions& opts) {
+  try {
     return lint_source(parse_protocol_source(text, path), opts);
   } catch (const ParseError& e) {
     LintResult res;

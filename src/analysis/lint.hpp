@@ -74,6 +74,12 @@ LintResult lint_source(const ProtocolSource& src, const LintOptions& opts = {});
 /// diagnostics instead of exceptions.
 LintResult lint_ring_file(const std::string& path, const LintOptions& opts = {});
 
+/// Parse + lint .ring text already in memory (the serve daemon's lint
+/// command); `path` labels diagnostics exactly as lint_ring_file would.
+/// In-text parse failures come back as RS000 diagnostics.
+LintResult lint_ring_text(const std::string& text, const std::string& path,
+                          const LintOptions& opts = {});
+
 /// Error-severity-only fast subset used by the synthesizers' pre-filter:
 /// a candidate revision with a t-arc cycle (RS002: the trail pipeline is
 /// undefined and would throw mid-portfolio) or an empty LC_r (RS020) can

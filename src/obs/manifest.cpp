@@ -56,6 +56,11 @@ json::Value MetricsSink::build() const {
   doc.add("schema", Value::string(kManifestSchema));
   doc.add("command", Value::string(command_));
   doc.add("git_describe", Value::string(git_describe()));
+  // A signal-interrupted run still flushes a manifest (the ShutdownWatcher
+  // path), but marks it so downstream tooling can tell partial totals from
+  // a completed run. validate_manifest ignores unknown fields, so the
+  // stamped document stays schema-clean.
+  if (interrupted()) doc.add("interrupted", Value::boolean_v(true));
 
   Value hw = Value::object();
   hw.add("threads_available",

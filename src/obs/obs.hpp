@@ -54,6 +54,19 @@ inline bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 /// `git describe` of the build (compile-time stamp, "unknown" outside git).
 const char* git_describe();
 
+/// Set (never cleared) when a signal cut the run short; the manifest sink
+/// stamps `"interrupted": true` so downstream tooling can tell a partial
+/// artifact from a completed one. Safe to call from any thread — but NOT
+/// from an async signal handler (the flag is consumed by ordinary code;
+/// the serve::ShutdownWatcher sigwait thread is the intended caller).
+inline std::atomic<bool> g_interrupted{false};
+inline void mark_interrupted() {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+inline bool interrupted() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
 namespace detail {
 /// Small dense per-thread ordinal: distinct threads land on distinct
 /// shards (mod the shard count) until more threads than shards exist.
@@ -130,6 +143,13 @@ class Sink {
   virtual void on_histograms(const std::vector<HistogramSnapshot>&) {}
   virtual void on_gauges(const std::vector<GaugeSnapshot>&) {}
   virtual void flush() {}
+  /// False once the sink's backing artifact can no longer be completed
+  /// (e.g. a write to its file failed). Checked by Session::finish() so a
+  /// run that asked for --metrics/--trace/--jsonl exits nonzero instead of
+  /// silently leaving a truncated artifact behind.
+  virtual bool healthy() const { return true; }
+  /// Short human label for health warnings ("metrics file x.json", …).
+  virtual std::string describe() const { return "sink"; }
 };
 
 /// A named monotonically increasing counter with sharded lock-free storage.

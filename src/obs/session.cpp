@@ -29,6 +29,7 @@ Session::Session(const SessionOptions& options) {
     if (!sink->ok())
       throw std::runtime_error("cannot open trace file: " +
                                options.trace_path);
+    file_sinks_.push_back(sink);
     reg.add_sink(std::move(sink));
   }
   if (!options.jsonl_path.empty()) {
@@ -36,6 +37,7 @@ Session::Session(const SessionOptions& options) {
     if (!sink->ok())
       throw std::runtime_error("cannot open jsonl file: " +
                                options.jsonl_path);
+    file_sinks_.push_back(sink);
     reg.add_sink(std::move(sink));
   }
   if (!options.metrics_path.empty()) {
@@ -44,6 +46,7 @@ Session::Session(const SessionOptions& options) {
     if (!sink->ok())
       throw std::runtime_error("cannot open metrics file: " +
                                options.metrics_path);
+    file_sinks_.push_back(sink);
     reg.add_sink(std::move(sink));
   }
   g_enabled.store(true, std::memory_order_relaxed);
@@ -52,12 +55,25 @@ Session::Session(const SessionOptions& options) {
   active_ = true;
 }
 
-Session::~Session() {
-  if (!active_) return;
+bool Session::finish() {
+  if (!active_) return true;
+  if (finished_) return ok_;
+  finished_ = true;
   Registry& reg = Registry::global();
   reg.finish();
   g_enabled.store(false, std::memory_order_relaxed);
+  for (const auto& sink : file_sinks_) {
+    if (!sink->healthy()) {
+      ok_ = false;
+      std::cerr << "ringstab: error: " << sink->describe()
+                << " is incomplete (a write failed mid-run)\n";
+    }
+  }
   reg.clear_sinks();
+  file_sinks_.clear();
+  return ok_;
 }
+
+Session::~Session() { finish(); }
 
 }  // namespace ringstab::obs

@@ -3,9 +3,13 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace ringstab::obs {
+
+class Sink;
 
 struct SessionOptions {
   bool stats = false;          // print a phase/counter summary at exit
@@ -31,8 +35,21 @@ class Session {
 
   bool active() const { return active_; }
 
+  /// Explicit teardown: delivers totals, flushes sinks, and reports
+  /// whether every file-backed artifact was written intact. Front-ends
+  /// call this before exiting and fold `false` into a nonzero exit code
+  /// so `--metrics x.json` can never silently leave a truncated x.json.
+  /// Idempotent; the destructor calls it (discarding the result) if the
+  /// front-end didn't.
+  bool finish();
+
  private:
   bool active_ = false;
+  bool finished_ = false;
+  bool ok_ = true;
+  /// The file-backed sinks this session registered, kept so finish() can
+  /// interrogate their health after the final flush.
+  std::vector<std::shared_ptr<Sink>> file_sinks_;
 };
 
 }  // namespace ringstab::obs

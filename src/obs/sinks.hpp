@@ -2,6 +2,9 @@
 // event stream, and Chrome trace-event export (chrome://tracing, Perfetto).
 #pragma once
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -87,6 +90,11 @@ class ChromeTraceSink : public Sink {
 /// Owns an output file stream and forwards to an inner sink writing to it.
 /// Lets the CLI hand `--trace t.json` / `--jsonl ev.jsonl` to the registry
 /// without leaking stream lifetimes.
+///
+/// Failure discipline: the stream state is re-checked after every flush —
+/// not just at open — so a disk that fills mid-run (or an fd that goes
+/// bad) is reported once on stderr with the errno cause, healthy() goes
+/// false, and Session::finish() turns that into a nonzero exit.
 template <typename InnerSink>
 class FileSink : public Sink {
  public:
@@ -94,7 +102,8 @@ class FileSink : public Sink {
   /// (e.g. the command string for MetricsSink).
   template <typename... Args>
   explicit FileSink(const std::string& path, Args&&... args)
-      : file_(std::make_unique<std::ofstream>(path)),
+      : path_(path),
+        file_(std::make_unique<std::ofstream>(path)),
         inner_(*file_, std::forward<Args>(args)...) {}
   bool ok() const { return file_->good(); }
   void on_span(const SpanRecord& r) override { inner_.on_span(r); }
@@ -109,13 +118,29 @@ class FileSink : public Sink {
     inner_.on_gauges(g);
   }
   void flush() override {
+    errno = 0;
     inner_.flush();
     file_->flush();
+    if (!file_->good()) note_write_failure(errno);
   }
+  bool healthy() const override { return !failed_ && file_->good(); }
+  std::string describe() const override { return "output file " + path_; }
 
  private:
+  void note_write_failure(int err) {
+    failed_ = true;
+    if (warned_) return;
+    warned_ = true;
+    std::fprintf(stderr, "ringstab: warning: write to %s failed (%s)\n",
+                 path_.c_str(),
+                 err != 0 ? std::strerror(err) : "stream in failed state");
+  }
+
+  std::string path_;
   std::unique_ptr<std::ofstream> file_;
   InnerSink inner_;
+  bool failed_ = false;  // sticky: clear()ing the stream can't unfail us
+  bool warned_ = false;
 };
 
 /// JSON string escaping shared by the sinks (and reusable by benches).

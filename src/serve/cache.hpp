@@ -1,0 +1,129 @@
+// The warm verdict cache behind ringstab-serve (DESIGN.md §12).
+//
+// Maps the exact request identity — a byte-string key built by
+// serve::cache_key from (command, source text, K, result-affecting
+// options) — to the finished response bytes. Every cached computation is a
+// pure function of its key (the same property VerdictMemo leans on), so a
+// hit can never change a result, only skip recomputing it.
+//
+// Concurrency follows the VerdictMemo mold: the key's content hash picks
+// one of kShards mutex-guarded shards; within a shard an intrusive LRU
+// list bounds residency at capacity/kShards entries. Hit/miss counts are
+// kept in relaxed atomics (always on, for the `stats` command and the
+// bench) and mirrored into the `serve.cache_hits` / `serve.cache_misses`
+// obs counters when a session is live.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "serve/hash.hpp"
+
+namespace ringstab::serve {
+
+/// A finished request: the exit code and the exact stdout bytes the local
+/// CLI would have produced for the same (command, source, K, options).
+struct ExecResult {
+  int exit_code = 0;
+  std::string output;
+};
+
+class VerdictCache {
+ public:
+  /// `capacity` bounds the total entry count (rounded up to one entry per
+  /// shard); 0 disables caching entirely (every lookup misses).
+  explicit VerdictCache(std::size_t capacity)
+      : capacity_(capacity),
+        per_shard_(capacity == 0 ? 0 : (capacity + kShards - 1) / kShards),
+        hits_obs_(obs::counter("serve.cache_hits", /*approx=*/true)),
+        misses_obs_(obs::counter("serve.cache_misses", /*approx=*/true)) {}
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
+  /// Full-key lookup; a hit refreshes the entry's LRU position.
+  std::optional<ExecResult> get(const std::string& key) {
+    Shard& s = shard(key);
+    std::lock_guard lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_obs_.add(1);
+      return std::nullopt;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_obs_.add(1);
+    return it->second->second;
+  }
+
+  /// Insert (first write wins; a racing duplicate carries the identical
+  /// value because verdicts are pure functions of the key). Evicts the
+  /// shard's least-recently-used entry when the shard is full.
+  void put(const std::string& key, ExecResult value) {
+    if (per_shard_ == 0) return;
+    Shard& s = shard(key);
+    std::lock_guard lock(s.mu);
+    if (s.map.find(key) != s.map.end()) return;
+    while (s.lru.size() >= per_shard_) {
+      s.map.erase(s.lru.back().first);
+      s.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.lru.emplace_front(key, std::move(value));
+    s.map.emplace(key, s.lru.begin());
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    /// Most-recently-used first; map values point into this list.
+    std::list<std::pair<std::string, ExecResult>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, ExecResult>>::iterator>
+        map;
+  };
+
+  Shard& shard(const std::string& key) {
+    return shards_[hash_bytes(key) % kShards];
+  }
+  const Shard& shard(const std::string& key) const {
+    return shards_[hash_bytes(key) % kShards];
+  }
+
+  std::size_t capacity_;
+  std::size_t per_shard_;
+  obs::Counter& hits_obs_;    // registry references live for the process
+  obs::Counter& misses_obs_;  // lifetime (same pattern as VerdictMemo)
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  mutable Shard shards_[kShards];
+};
+
+}  // namespace ringstab::serve

@@ -1,0 +1,97 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/types.hpp"
+
+namespace ringstab::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ModelError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path)
+    throw ModelError("serve client: bad socket path: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("serve client: socket()");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("serve client: connect(" + socket_path + ")");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), rx_(std::move(other.rx_)) {
+  other.fd_ = -1;
+}
+
+Response Client::round_trip(const std::string& line) {
+  const std::string framed = line + "\n";
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve client: write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  for (;;) {
+    const std::size_t nl = rx_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string resp_line = rx_.substr(0, nl);
+      rx_.erase(0, nl + 1);
+      return decode_response(resp_line);
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve client: read");
+    }
+    if (n == 0)
+      throw ModelError(
+          "serve client: daemon closed the connection mid-response");
+    rx_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Response Client::request(const Request& req) {
+  return round_trip(encode_request(req));
+}
+
+ServerStats Client::stats() {
+  Request req;
+  req.cmd = "stats";
+  const Response resp = round_trip(encode_request(req));
+  if (!resp.ok || !resp.has_stats)
+    throw ModelError("serve client: stats request failed: " +
+                     (resp.error.empty() ? "no stats in response"
+                                         : resp.error));
+  return resp.stats;
+}
+
+}  // namespace ringstab::serve

@@ -1,0 +1,40 @@
+// Thin blocking client for the ringstab-serve daemon: connect to the
+// Unix-domain socket, write one JSONL request per call, read back one
+// JSONL response. Used by `ringstab-batch --serve`, `bench_serve`, and
+// the serve tests.
+#pragma once
+
+#include <string>
+
+#include "serve/wire.hpp"
+
+namespace ringstab::serve {
+
+class Client {
+ public:
+  /// Connects immediately; throws ModelError (with errno text) when the
+  /// daemon isn't listening at `socket_path`.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  /// One round trip. Throws ModelError if the connection drops or the
+  /// response line doesn't decode; daemon-reported failures come back as
+  /// Response{ok=false, error=...} without throwing.
+  Response request(const Request& req);
+
+  /// The daemon's counters (`stats` command).
+  ServerStats stats();
+
+ private:
+  Response round_trip(const std::string& line);
+
+  int fd_ = -1;
+  std::string rx_;  // partial-line carry-over between reads
+};
+
+}  // namespace ringstab::serve

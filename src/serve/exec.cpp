@@ -1,0 +1,311 @@
+#include "serve/exec.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/lint.hpp"
+#include "core/parser.hpp"
+#include "core/printer.hpp"
+#include "global/checker.hpp"
+#include "global/symmetry.hpp"
+#include "local/array.hpp"
+#include "local/convergence.hpp"
+#include "obs/metrics_json.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace ringstab::serve {
+
+int render_check(const Protocol& p, std::size_t k, std::size_t jobs,
+                 bool symmetry, std::ostream& out) {
+  const RingInstance ring(p, k);
+  // The two engines produce identical verdicts; only the header differs.
+  bool closure_ok, has_livelock, weakly, strongly;
+  std::uint64_t deadlocks_outside_i;
+  std::size_t max_recovery;
+  std::vector<GlobalStateId> livelock_cycle;
+  std::string deadlock_sample;
+  if (symmetry) {
+    const auto res = check_symmetric(ring, 8, jobs);
+    out << p.name() << " at K=" << k << " (rotation quotient: "
+        << res.num_necklaces << " necklaces for " << res.num_states
+        << " states):\n";
+    closure_ok = res.closure_ok;
+    deadlocks_outside_i = res.num_deadlocks_outside_i;
+    if (!res.deadlock_orbit_reps.empty())
+      deadlock_sample = ring.brief(res.deadlock_orbit_reps[0]);
+    has_livelock = res.has_livelock;
+    livelock_cycle = res.livelock_cycle;
+    weakly = res.weakly_converges;
+    strongly = res.strongly_converges();
+    max_recovery = res.max_recovery_steps;
+  } else {
+    const auto res = GlobalChecker(ring, jobs).check_all();
+    out << p.name() << " at K=" << k << " (" << res.num_states
+        << " states):\n";
+    closure_ok = res.closure_ok;
+    deadlocks_outside_i = res.num_deadlocks_outside_i;
+    if (!res.deadlock_samples.empty())
+      deadlock_sample = ring.brief(res.deadlock_samples[0]);
+    has_livelock = res.has_livelock;
+    livelock_cycle = res.livelock_cycle;
+    weakly = res.weakly_converges;
+    strongly = res.strongly_converges();
+    max_recovery = res.max_recovery_steps;
+  }
+  out << "  closure of I:            " << (closure_ok ? "ok" : "VIOLATED")
+      << "\n  deadlocks outside I:     " << deadlocks_outside_i;
+  if (!deadlock_sample.empty()) out << "  (e.g. " << deadlock_sample << ")";
+  out << "\n  livelock:                " << (has_livelock ? "YES" : "none");
+  if (has_livelock) {
+    out << "  cycle:";
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(6, livelock_cycle.size()); ++i)
+      out << " " << ring.brief(livelock_cycle[i]);
+    if (livelock_cycle.size() > 6) out << " …";
+  }
+  out << "\n  weak convergence:        " << (weakly ? "yes" : "no")
+      << "\n  strong self-stabilization: " << (strongly ? "YES" : "no")
+      << "\n";
+  if (strongly)
+    out << "  worst-case recovery:     " << max_recovery << " steps\n";
+  return strongly ? 0 : 1;
+}
+
+int render_synthesize(const Protocol& p, bool all, std::size_t jobs,
+                      std::ostream& out) {
+  SynthesisOptions options;
+  options.num_threads = jobs;
+  const auto res = synthesize_convergence(p, options);
+  out << res.summary(p) << "\n";
+  const std::size_t show = all ? res.solutions.size()
+                               : std::min<std::size_t>(1, res.solutions.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    out << "--- solution " << i + 1 << " ---\n"
+        << describe(res.solutions[i].protocol) << "\n";
+  }
+  return res.success ? 0 : 1;
+}
+
+int render_lint(const LintResult& lint, const std::string& display_name,
+                bool json, std::ostream& out) {
+  if (json) {
+    out << render_json(lint.diagnostics);
+  } else {
+    out << render_text(lint.diagnostics);
+    out << display_name << ": " << lint.count(Severity::kError)
+        << " error(s), " << lint.count(Severity::kWarning) << " warning(s), "
+        << lint.count(Severity::kNote) << " note(s)";
+    if (lint.suppressed > 0) out << ", " << lint.suppressed << " suppressed";
+    out << "\n";
+  }
+  return lint.has_error() ? 1 : 0;
+}
+
+namespace {
+
+bool has_marker(const std::string& text, const std::string& marker) {
+  return text.find(marker) != std::string::npos;
+}
+
+}  // namespace
+
+BatchOutcome batch_outcome(const std::string& text,
+                           const std::string& filename,
+                           const RequestOptions& options,
+                           const std::shared_ptr<VerdictMemo>& memo) {
+  BatchOutcome out;
+  const bool array = has_marker(text, "topology: array");
+  if (has_marker(text, "expect: converges")) out.expectation = "converges";
+  if (has_marker(text, "expect: fails")) out.expectation = "fails";
+
+  std::string lint_note;
+  try {
+    const ProtocolSource src = parse_protocol_source(text, filename);
+    if (options.lint) {
+      const LintResult lr = lint_source(src);
+      lint_note = lr.diagnostics.empty()
+                      ? " [lint: clean]"
+                      : " [lint: " + std::to_string(lr.count(Severity::kError)) +
+                            " err, " +
+                            std::to_string(lr.count(Severity::kWarning)) +
+                            " warn]";
+      if (lr.has_error()) out.ok = false;
+    }
+    const Protocol p = build_protocol(src);
+    out.name = p.name();
+    bool certified = false;
+    if (array) {
+      const auto res = analyze_array_deadlocks(p);
+      certified = res.deadlock_free_all_n && array_terminates_always(p);
+      out.verdict = certified ? "converges (array, every length)"
+                              : "deadlocks (array)";
+    } else {
+      const auto res = check_convergence(p);
+      certified = res.verdict == ConvergenceAnalysis::Verdict::kConverges;
+      switch (res.verdict) {
+        case ConvergenceAnalysis::Verdict::kConverges:
+          out.verdict = "converges (every ring size)";
+          break;
+        case ConvergenceAnalysis::Verdict::kDeadlock:
+          out.verdict = "deadlocks";
+          break;
+        case ConvergenceAnalysis::Verdict::kTrailFound:
+          out.verdict = "trail found (uncertifiable)";
+          break;
+        case ConvergenceAnalysis::Verdict::kInconclusive:
+          out.verdict = "inconclusive";
+          break;
+      }
+      if (options.check_k >= 2) {
+        const RingInstance ring(p, options.check_k);
+        const bool global_ok =
+            options.symmetry
+                ? check_symmetric(ring, 8, options.jobs).strongly_converges()
+                : strongly_stabilizing(ring, options.jobs);
+        out.verdict += global_ok ? " [global@K ok]" : " [global@K FAILS]";
+        // A local certificate must never contradict the exhaustive check.
+        if (certified && !global_ok) out.ok = false;
+      }
+      if (options.synth && !certified) {
+        // Diagnostic only (never affects ok): can Problem 3.1 repair this
+        // input? The shared memo makes repeated signatures cheap.
+        SynthesisOptions opts;
+        opts.num_threads = options.jobs;
+        opts.memo = memo;
+        opts.keep_rejected_reports = false;
+        opts.require_closed_invariant = false;
+        const auto synth = synthesize_convergence(p, opts);
+        out.verdict += synth.success
+                           ? " [synth: " +
+                                 std::to_string(synth.solutions.size()) +
+                                 " solutions]"
+                           : " [synth: none]";
+      }
+    }
+    if (out.expectation == "converges") out.ok = out.ok && certified;
+    if (out.expectation == "fails") out.ok = out.ok && !certified;
+  } catch (const Error& e) {
+    out.verdict = std::string("ERROR: ") + e.what();
+    out.ok = out.expectation.empty() && lint_note.empty();
+  }
+  out.verdict += lint_note;
+  return out;
+}
+
+std::string batch_outcome_json(const BatchOutcome& outcome) {
+  using obs::json::Value;
+  Value doc = Value::object();
+  doc.add("name", Value::string(outcome.name));
+  doc.add("verdict", Value::string(outcome.verdict));
+  doc.add("expectation", Value::string(outcome.expectation));
+  doc.add("ok", Value::boolean_v(outcome.ok));
+  return obs::json::dump(doc);
+}
+
+BatchOutcome parse_batch_outcome(const std::string& json_text) {
+  const obs::json::Value doc = obs::json::parse(json_text);
+  BatchOutcome out;
+  const auto str = [&](const char* key) {
+    const obs::json::Value* v = doc.find(key);
+    if (v == nullptr || !v->is_string())
+      throw ModelError(std::string("batch outcome missing string field '") +
+                       key + "'");
+    return v->str;
+  };
+  out.name = str("name");
+  out.verdict = str("verdict");
+  out.expectation = str("expectation");
+  const obs::json::Value* ok = doc.find("ok");
+  if (ok == nullptr || ok->kind != obs::json::Value::Kind::Bool)
+    throw ModelError("batch outcome missing bool field 'ok'");
+  out.ok = ok->boolean;
+  return out;
+}
+
+namespace {
+
+/// One-byte command tag for the cache key; unknown commands throw so a
+/// typo'd cmd can never silently alias a real one.
+char cmd_tag(const std::string& cmd) {
+  if (cmd == "check") return 'C';
+  if (cmd == "lint") return 'L';
+  if (cmd == "synthesize") return 'S';
+  if (cmd == "analyze") return 'A';
+  throw ModelError("unknown serve command '" + cmd +
+                   "' (expected check | lint | synthesize | analyze)");
+}
+
+}  // namespace
+
+std::string cache_key(const Request& req) {
+  std::string key;
+  key.push_back(cmd_tag(req.cmd));
+  memo_append_u64(key, req.k);
+  // Result-affecting options only: `jobs` never changes a verdict (every
+  // engine is bit-identical at any thread count), so it stays out.
+  key.push_back(req.options.symmetry ? 1 : 0);
+  key.push_back(req.options.all ? 1 : 0);
+  key.push_back(req.options.json ? 1 : 0);
+  key.push_back(req.options.lint ? 1 : 0);
+  key.push_back(req.options.synth ? 1 : 0);
+  memo_append_u64(key, req.options.check_k);
+  // `name` is rendered into the output (lint summary lines, parse-error
+  // prefixes, batch rows), so it is part of the verdict's identity.
+  memo_append_u64(key, req.name.size());
+  key += req.name;
+  memo_append_u64(key, req.source.size());
+  key += req.source;
+  return key;
+}
+
+ExecResult execute(const Request& req,
+                   const std::shared_ptr<VerdictMemo>& memo) {
+  const char tag = cmd_tag(req.cmd);  // reject unknown cmds up front
+  ExecResult res;
+  std::ostringstream out;
+  try {
+    switch (tag) {
+      case 'C': {
+        if (req.k < 2 || req.k > 63)
+          throw ModelError("invalid k value '" + std::to_string(req.k) +
+                           "': expected an integer in [2, 63]");
+        const Protocol p =
+            build_protocol(parse_protocol_source(req.source, req.name));
+        res.exit_code = render_check(p, req.k, req.options.jobs,
+                                     req.options.symmetry, out);
+        break;
+      }
+      case 'S': {
+        const Protocol p =
+            build_protocol(parse_protocol_source(req.source, req.name));
+        res.exit_code =
+            render_synthesize(p, req.options.all, req.options.jobs, out);
+        break;
+      }
+      case 'L': {
+        const LintResult lint = lint_ring_text(req.source, req.name);
+        res.exit_code = render_lint(lint, req.name, req.options.json, out);
+        break;
+      }
+      case 'A': {
+        const BatchOutcome outcome =
+            batch_outcome(req.source, req.name, req.options, memo);
+        out << batch_outcome_json(outcome);
+        res.exit_code = outcome.ok ? 0 : 1;
+        break;
+      }
+    }
+  } catch (const Error& e) {
+    // Mirror the CLI's failure contract: a one-line `error:` message and
+    // exit 1. Cached like any other verdict — the error is a pure function
+    // of the request.
+    out.str("");
+    out << "error: " << e.what() << "\n";
+    res.exit_code = 1;
+  }
+  res.output = out.str();
+  return res;
+}
+
+}  // namespace ringstab::serve

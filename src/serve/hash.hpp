@@ -1,0 +1,30 @@
+// Content hashing for the serve verdict cache (DESIGN.md §12).
+//
+// The cache never trusts a hash for identity — entries are stored and
+// compared by their full byte-string key, so a collision can at worst land
+// two keys in the same shard. The hash only has to spread keys across
+// shards and map buckets, which a 64-bit FNV-1a does fine without pulling
+// in a third-party dependency.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ringstab::serve {
+
+/// 64-bit FNV-1a over arbitrary bytes.
+inline std::uint64_t hash_bytes(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Order-dependent mix of two hashes (golden-ratio spread).
+inline std::uint64_t combine_hash(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+}
+
+}  // namespace ringstab::serve

@@ -1,0 +1,62 @@
+#include "serve/shutdown.hpp"
+
+#include <pthread.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace ringstab::serve {
+
+ShutdownWatcher::ShutdownWatcher(std::function<void(int)> on_signal)
+    : on_signal_(std::move(on_signal)) {
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  // Block on the constructing thread; every thread spawned from here on
+  // (workers, connection handlers) inherits the mask, so sigwait() below
+  // is the only place the process ever receives these signals.
+  pthread_sigmask(SIG_BLOCK, &mask, &old_mask_);
+
+  thread_ = std::thread([this, mask]() {
+    for (;;) {
+      int sig = 0;
+      if (sigwait(&mask, &sig) != 0) continue;
+      if (stop_.load(std::memory_order_acquire)) return;
+      const bool first = !signalled_.exchange(true, std::memory_order_acq_rel);
+      if (first && on_signal_) on_signal_(sig);
+      // Swallow repeats; keep sigwaiting so the destructor's wake-up
+      // signal can release the thread.
+    }
+  });
+}
+
+ShutdownWatcher::~ShutdownWatcher() {
+  stop_.store(true, std::memory_order_release);
+  // The signal stays pending (it is blocked everywhere) until the watcher
+  // loops back into sigwait — even if it is mid-callback right now.
+  pthread_kill(thread_.native_handle(), SIGTERM);
+  thread_.join();
+  pthread_sigmask(SIG_SETMASK, &old_mask_, nullptr);
+}
+
+bool ShutdownWatcher::signalled() const noexcept {
+  return signalled_.load(std::memory_order_acquire);
+}
+
+void flush_and_exit_on_signal(int sig) {
+  obs::mark_interrupted();
+  std::fprintf(stderr, "\nringstab: interrupted by %s, flushing metrics\n",
+               sig == SIGINT ? "SIGINT" : "SIGTERM");
+  // Deliver whatever was recorded so far to every registered sink and
+  // flush them; the manifest sink stamps "interrupted":true via the flag.
+  obs::Registry::global().finish();
+  // _Exit: the process is mid-computation on other threads; running static
+  // destructors under them would be a use-after-free lottery.
+  std::_Exit(128 + sig);
+}
+
+}  // namespace ringstab::serve

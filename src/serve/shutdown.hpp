@@ -1,0 +1,54 @@
+// Signal-driven shutdown shared by the CLI front-ends and the daemon
+// (docs/serve.md "Shutdown contract").
+//
+// The classic async-signal-handler route is useless here: flushing obs
+// sinks and writing a manifest call malloc, iostreams, and mutexes — none
+// async-signal-safe. Instead SIGINT/SIGTERM are *blocked* on the
+// constructing thread (and, by inheritance, on every thread spawned
+// after), and a dedicated watcher thread collects them with sigwait().
+// The watcher runs ordinary code, so the callback may flush sinks, drain
+// a server, or write files without restriction.
+//
+// Construct a ShutdownWatcher on the main thread BEFORE spawning workers
+// or installing a Session, so the signal mask is inherited everywhere.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <functional>
+#include <thread>
+
+namespace ringstab::serve {
+
+class ShutdownWatcher {
+ public:
+  /// Blocks SIGINT + SIGTERM for the calling thread and starts the
+  /// watcher. `on_signal(sig)` runs on the watcher thread, at most once,
+  /// when the first of the two signals arrives.
+  explicit ShutdownWatcher(std::function<void(int)> on_signal);
+
+  /// Disarms the watcher (an un-fired callback will never run), joins it,
+  /// and restores the constructing thread's original signal mask.
+  ~ShutdownWatcher();
+
+  ShutdownWatcher(const ShutdownWatcher&) = delete;
+  ShutdownWatcher& operator=(const ShutdownWatcher&) = delete;
+
+  /// True once a signal has been received (callback ran or is running).
+  bool signalled() const noexcept;
+
+ private:
+  std::function<void(int)> on_signal_;
+  sigset_t old_mask_;
+  std::thread thread_;
+  // Written by the watcher thread / destructor, read anywhere.
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> signalled_{false};
+};
+
+/// The CLI callback: mark the run interrupted, note the signal on stderr,
+/// flush every registered sink (partial manifest included), and exit with
+/// the conventional 128+sig status. Never returns.
+[[noreturn]] void flush_and_exit_on_signal(int sig);
+
+}  // namespace ringstab::serve

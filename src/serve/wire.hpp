@@ -1,0 +1,48 @@
+// JSONL wire framing for ringstab-serve (docs/serve.md).
+//
+// One request per line, one response per line, both single JSON objects
+// with every control character escaped — a frame can never contain a raw
+// newline, so framing is exactly "split on '\n'". Built on the obs JSON
+// document model (metrics_json.hpp): insertion-ordered members, verbatim
+// numbers, diagnosable parse errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/exec.hpp"
+
+namespace ringstab::serve {
+
+/// Daemon-side counters returned by the `stats` command.
+struct ServerStats {
+  std::uint64_t requests = 0;       // completed (including errors)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;  // resident now
+  std::uint64_t cache_capacity = 0;
+};
+
+/// One response line. `ok=false` means the request itself failed
+/// (malformed JSON, unknown cmd) and only `error` is meaningful; protocol-
+/// level failures (parse errors in the source, a failing verdict) are
+/// successful responses with a nonzero `exit`.
+struct Response {
+  bool ok = false;
+  bool cached = false;
+  int exit_code = 0;
+  std::string output;
+  std::string error;
+  bool has_stats = false;  // `stats` responses carry the struct below
+  ServerStats stats;
+};
+
+std::string encode_request(const Request& req);
+/// Throws ModelError with a located message on malformed input.
+Request decode_request(const std::string& line);
+
+std::string encode_response(const Response& resp);
+Response decode_response(const std::string& line);
+
+}  // namespace ringstab::serve

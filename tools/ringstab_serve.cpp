@@ -1,0 +1,150 @@
+// ringstab-serve — the warm verdict-cache daemon (docs/serve.md).
+//
+//   ringstab-serve --socket /path/to.sock [--jobs N] [--cache N]
+//                  [--stats] [--metrics FILE] [--trace FILE] [--jsonl FILE]
+//
+// Listens on a Unix-domain socket for JSONL requests
+// (`{"cmd":"check"|"lint"|"synthesize"|"analyze", "source":..., ...}`),
+// answers repeated requests out of an exact-key verdict cache, and on
+// SIGINT/SIGTERM drains in-flight requests, flushes every observability
+// sink (writing the run manifest), removes the socket, and exits 0.
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "core/types.hpp"
+#include "obs/session.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/server.hpp"
+#include "serve/shutdown.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+int usage() {
+  std::cerr <<
+      "usage: ringstab-serve --socket <path> [options]\n"
+      "  --socket <path>  Unix-domain socket to listen on (required;\n"
+      "                   created at start, removed at shutdown)\n"
+      "  --jobs N         worker threads for requests that don't set their\n"
+      "                   own (default 1; 0 = all cores; never changes a\n"
+      "                   result, so it is not part of the cache key)\n"
+      "  --cache N        verdict-cache capacity in entries (default 1024;\n"
+      "                   0 disables caching)\n"
+      "observability:\n"
+      "  --stats          phase/counter summary on stderr at shutdown\n"
+      "  --metrics <file> versioned run manifest (ringstab.metrics.v2),\n"
+      "                   written when the daemon shuts down; includes the\n"
+      "                   serve.request_ns histogram and serve.cache_*\n"
+      "                   counters\n"
+      "  --trace <file>   Chrome trace-event JSON\n"
+      "  --jsonl <file>   JSON-lines event stream\n"
+      "  --progress       periodic requests/sec heartbeat on stderr\n"
+      "shutdown: SIGINT/SIGTERM drain in-flight requests, flush sinks,\n"
+      "unlink the socket, exit 0.\n";
+  return 2;
+}
+
+const char* take_value(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc)
+    throw ModelError(std::string("flag ") + flag + " requires a value");
+  if (std::strncmp(argv[i + 1], "--", 2) == 0)
+    throw ModelError(std::string("flag ") + flag +
+                     " is missing its value (found '" + argv[i + 1] + "')");
+  return argv[++i];
+}
+
+std::size_t parse_count(const char* flag, const char* raw) {
+  char* end = nullptr;
+  const long long n = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || n < 0)
+    throw ModelError(std::string("invalid ") + flag + " value '" + raw +
+                     "': expected a non-negative integer");
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions server_opts;
+  server_opts.default_jobs = 1;
+  obs::SessionOptions obs_opts;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--socket") == 0) {
+        server_opts.socket_path = take_value(argc, argv, i, "--socket");
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        server_opts.default_jobs = resolve_threads(
+            parse_count("--jobs", take_value(argc, argv, i, "--jobs")));
+      } else if (std::strcmp(argv[i], "--cache") == 0) {
+        server_opts.cache_capacity =
+            parse_count("--cache", take_value(argc, argv, i, "--cache"));
+      } else if (std::strcmp(argv[i], "--stats") == 0) {
+        obs_opts.stats = true;
+      } else if (std::strcmp(argv[i], "--progress") == 0) {
+        obs_opts.progress = true;
+      } else if (std::strcmp(argv[i], "--trace") == 0) {
+        obs_opts.trace_path = take_value(argc, argv, i, "--trace");
+      } else if (std::strcmp(argv[i], "--jsonl") == 0) {
+        obs_opts.jsonl_path = take_value(argc, argv, i, "--jsonl");
+      } else if (std::strcmp(argv[i], "--metrics") == 0) {
+        obs_opts.metrics_path = take_value(argc, argv, i, "--metrics");
+      } else {
+        std::cerr << "unknown option: " << argv[i] << "\n";
+        return usage();
+      }
+    }
+    if (server_opts.socket_path.empty()) return usage();
+
+    obs_opts.command = "serve";
+    for (int i = 1; i < argc; ++i)
+      obs_opts.command += std::string(" ") + argv[i];
+
+    // Order matters: the watcher first (so every later thread inherits the
+    // blocked signal mask), then the session (so the drain can flush it).
+    std::mutex mu;
+    std::condition_variable cv;
+    bool shutdown_requested = false;
+    int shutdown_sig = 0;
+    const serve::ShutdownWatcher watcher([&](int sig) {
+      std::lock_guard lock(mu);
+      shutdown_requested = true;
+      shutdown_sig = sig;
+      cv.notify_all();
+    });
+
+    obs::Session obs_session(obs_opts);
+
+    serve::Server server(server_opts);
+    server.start();
+    std::cerr << "ringstab-serve: listening on " << server_opts.socket_path
+              << " (jobs " << server_opts.default_jobs << ", cache "
+              << server_opts.cache_capacity << " entries)\n";
+
+    {
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return shutdown_requested; });
+    }
+    std::cerr << "ringstab-serve: "
+              << (shutdown_sig == SIGINT ? "SIGINT" : "SIGTERM")
+              << " received, draining\n";
+
+    // Graceful drain: finish in-flight requests, then report and flush.
+    server.stop();
+    const serve::ServerStats stats = server.stats();
+    std::cerr << "ringstab-serve: served " << stats.requests << " requests ("
+              << stats.cache_hits << " cache hits, " << stats.cache_misses
+              << " misses)\n";
+    // A drained shutdown is the daemon's *normal* exit: the manifest is
+    // complete, not "interrupted". Sink health still gates the exit code.
+    return obs_session.finish() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
