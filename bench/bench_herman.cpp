@@ -1,0 +1,172 @@
+// EXP-H1 — Herman's randomized token ring at Monte Carlo scale: expected
+// convergence time vs the (4/27)·K² Herman-protocol-conjecture bound, the
+// thread-count invariance of the estimator, and raw trajectory throughput.
+//
+// Artifact: BENCH_herman.json (committed at the repo root, schema-checked
+// by the perf_validate_bench ctest entry). RINGSTAB_BENCH_SMOKE=1 shrinks
+// the sweep for CI. The report *asserts* the two load-bearing contracts —
+// estimates bit-identical at 1 vs 4 worker lanes, measured means
+// statistically consistent with the bound — and throws on violation, so a
+// plain exit-0 check is the whole gate.
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <iomanip>
+
+#include "bench_util.hpp"
+#include "core/fmt.hpp"
+#include "protocols/herman.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+double ms_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+EstimateOptions herman_options(std::uint64_t seed, std::size_t trajectories) {
+  EstimateOptions eo;
+  eo.scheduler = Scheduler::kSynchronousCoin;
+  eo.target = ConvergenceTarget::kOneIllegit;
+  eo.start = StartKind::kThreeTokens;  // the conjectured extremal start
+  eo.coin = 0.5;
+  eo.seed = seed;
+  eo.trajectories = trajectories;
+  eo.round_cap = 1'000'000;
+  return eo;
+}
+
+void report() {
+  const bool smoke = std::getenv("RINGSTAB_BENCH_SMOKE") != nullptr;
+  bench::header(
+      "EXP-H1", "Herman rings at Monte Carlo scale",
+      "expected one-token convergence time from the extremal three-token "
+      "start tracks the Herman-protocol-conjecture bound (4/27)K^2, and the "
+      "trajectory estimator is bit-identical at every thread count");
+
+  const Protocol herman = protocols::herman_ring();
+
+  // ── bound sweep ──
+  const std::vector<std::size_t> ks =
+      smoke ? std::vector<std::size_t>{7, 11}
+            : std::vector<std::size_t>{7, 11, 21, 31, 51};
+  const std::size_t sweep_traj = smoke ? 200 : 2000;
+  std::vector<bench::Json> runs;
+  std::cout << "  one-token convergence, three-token start, " << sweep_traj
+            << " trajectories per K:\n";
+  for (const std::size_t k : ks) {
+    EstimateOptions eo = herman_options(42, sweep_traj);
+    eo.num_threads = 0;  // all cores; never changes the estimate
+    const ConvergenceEstimate est = estimate_convergence_rounds(herman, k, eo);
+    const double bound = protocols::herman_conjecture_bound(k);
+    // 4σ of statistical headroom: the three-token start attains the bound
+    // asymptotically, so the sample mean may sit a hair above it.
+    const double slack = 4.0 / 1.96 * est.ci95_half_width;
+    if (est.censored != 0)
+      throw ModelError(cat("bench_herman: ", est.censored,
+                           " censored trajectories at K=", k));
+    if (est.mean_rounds > bound + slack)
+      throw ModelError(cat("bench_herman: mean ", est.mean_rounds,
+                           " exceeds the (4/27)K^2 bound ", bound,
+                           " beyond sampling noise at K=", k));
+    std::cout << "    K=" << std::setw(3) << k << ": mean "
+              << est.mean_rounds << " ±" << est.ci95_half_width
+              << " rounds, bound " << bound << " (ratio "
+              << est.mean_rounds / bound << ")\n";
+    runs.push_back(bench::Json()
+                       .put("ring_size", k)
+                       .put("trajectories", est.trajectories)
+                       .put("converged", est.converged)
+                       .put("mean_rounds", est.mean_rounds)
+                       .put("ci95_half_width", est.ci95_half_width)
+                       .put("p95_rounds", est.p95_rounds)
+                       .put("conjecture_bound", bound)
+                       .put("mean_over_bound", est.mean_rounds / bound));
+  }
+
+  // ── thread-count invariance ──
+  const std::size_t inv_traj = smoke ? 100 : 500;
+  EstimateOptions eo1 = herman_options(7, inv_traj);
+  EstimateOptions eo4 = eo1;
+  eo1.num_threads = 1;
+  eo4.num_threads = 4;
+  const auto est1 = estimate_convergence_rounds(herman, 21, eo1);
+  const auto est4 = estimate_convergence_rounds(herman, 21, eo4);
+  if (!(est1 == est4))
+    throw ModelError(
+        "bench_herman: estimates differ between 1 and 4 worker lanes");
+  std::cout << "  thread-count invariance: 1-lane and 4-lane estimates are "
+               "bit-identical (mean "
+            << est1.mean_rounds << ")\n";
+
+  // ── single-core trajectory throughput ──
+  const std::size_t tp_k = smoke ? 31 : 101;
+  const std::size_t tp_traj = smoke ? 200 : 2000;
+  EstimateOptions tp = herman_options(3, tp_traj);
+  tp.start = StartKind::kRandom;
+  tp.num_threads = 1;
+  ConvergenceEstimate tp_est;
+  const double tp_ms =
+      ms_of([&] { tp_est = estimate_convergence_rounds(herman, tp_k, tp); });
+  const double steps_per_sec =
+      static_cast<double>(tp_est.total_process_steps) / (tp_ms / 1000.0);
+  constexpr double kTargetStepsPerSec = 10e6;
+  std::cout << "  throughput (K=" << tp_k << ", 1 core): "
+            << tp_est.total_process_steps << " process steps in " << tp_ms
+            << " ms = " << steps_per_sec / 1e6 << " M steps/sec/core ("
+            << (steps_per_sec >= kTargetStepsPerSec ? "meets" : "BELOW")
+            << " the 10M target)\n";
+
+  bench::write_bench_json(
+      "BENCH_herman.json",
+      bench::Json()
+          .put("experiment", "herman")
+          .put("seed", 42)
+          .put("runs", runs)
+          .put("jobs_invariance", std::vector<bench::Json>{
+              bench::Json()
+                  .put("ring_size", 21)
+                  .put("trajectories", inv_traj)
+                  .put("bit_identical", true)
+                  .put("mean_rounds", est1.mean_rounds)})
+          .put("throughput", std::vector<bench::Json>{
+              bench::Json()
+                  .put("ring_size", tp_k)
+                  .put("trajectories", tp_traj)
+                  .put("process_steps", tp_est.total_process_steps)
+                  .put("elapsed_ms", tp_ms)
+                  .put("steps_per_sec_per_core", steps_per_sec)
+                  .put("target_steps_per_sec", kTargetStepsPerSec)}));
+  bench::note(
+      "mean/bound ratios under 1 are expected: the three-token start "
+      "attains (4/27)K^2 only asymptotically in K");
+  bench::footer();
+}
+
+void BM_HermanRound(benchmark::State& state) {
+  // Steady-state cost of one synchronous round, expressed per process slot.
+  const Protocol herman = protocols::herman_ring();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  EstimateOptions eo = herman_options(11, 1);
+  eo.start = StartKind::kRandom;
+  eo.num_threads = 1;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    eo.seed = ++seed;
+    const auto est = estimate_convergence_rounds(herman, k, eo);
+    benchmark::DoNotOptimize(est.total_process_steps);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(
+                                est.total_process_steps));
+  }
+}
+BENCHMARK(BM_HermanRound)->RangeMultiplier(4)->Range(16, 256);
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

@@ -1,0 +1,17 @@
+# lint: allow(RS002, RS030)
+# Herman's randomized token ring (Herman 1990). Process r holds a token iff
+# x[r-1] = x[r]. Under the synchronous-coin scheduler with coin 1/2
+# (`ringstab simulate herman.ring -k 7 --random --target one-token`), a
+# token holder re-randomizes its bit and a non-holder copies its left
+# neighbor — exactly Herman's protocol. On odd rings the token count keeps
+# its parity, so the ring converges to a single token in expected
+# O(K^2) rounds ((4/27)K^2 — the Herman-protocol conjecture, docs/theory.md).
+# Deliberately NOT certifiable by the adversarial-scheduler analyses: an
+# interleaving daemon can shuttle tokens forever — hence the RS002 (toss/
+# pass two-cycle) and RS030 (token passing leaves LC_r locally) allowances.
+protocol herman;
+domain 2;
+reads -1 .. 0;
+legit: x[-1] != x[0];
+action toss: x[-1] == x[0] -> x[0] := 1 - x[0];
+action pass: x[-1] != x[0] -> x[0] := x[-1];

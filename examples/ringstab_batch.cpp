@@ -13,7 +13,9 @@
 // rotation-quotient engine — same verdicts, ~K× fewer states); `--synth`
 // runs the Problem 3.1 synthesizer on every uncertified ring protocol (one
 // verdict memo shared across the whole directory, so repeated candidate
-// signatures are verified once); `--lint` runs the RS0xx lint passes on
+// signatures are verified once); `--simulate K` adds a light Monte Carlo
+// convergence probe per ring protocol (docs/simulation.md); `--lint` runs
+// the RS0xx lint passes on
 // every file (honoring `# lint: allow(...)` directives) and, with
 // `--strict`, fails on error-level diagnostics.
 //
@@ -97,8 +99,8 @@ int run(const BatchConfig& cfg) {
   std::optional<serve::Client> client;
   if (!cfg.serve_socket.empty()) client.emplace(cfg.serve_socket);
 
-  const bool wide =
-      cfg.options.check_k >= 2 || cfg.options.synth || cfg.options.lint;
+  const bool wide = cfg.options.check_k >= 2 || cfg.options.synth ||
+                    cfg.options.lint || cfg.options.sim_k >= 2;
   const int verdict_w = wide ? 52 : 36;
   std::size_t failures = 0;
   std::cout << std::left << std::setw(28) << "file" << std::setw(22)
@@ -141,7 +143,7 @@ int run(const BatchConfig& cfg) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: ringstab-batch <directory> [--strict] [--check K] "
-                 "[--symmetry] [--synth] [--lint] [--jobs N] "
+                 "[--symmetry] [--synth] [--lint] [--simulate K] [--jobs N] "
                  "[--serve SOCKET] [--stats] [--trace FILE] [--jsonl FILE] "
                  "[--metrics FILE] [--progress]\n";
     return 2;
@@ -162,6 +164,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--check") == 0) {
       cfg.options.check_k =
           parse_count("--check", take_value(argc, argv, i, "--check"));
+    } else if (std::strcmp(argv[i], "--simulate") == 0) {
+      // A light Monte Carlo probe per ring protocol (docs/simulation.md):
+      // 200 synchronous-coin trajectories capped at 2000 rounds, reported
+      // in the verdict column. Diagnostic only — never fails a file.
+      cfg.options.sim_k = parse_count(
+          "--simulate", take_value(argc, argv, i, "--simulate"));
+      if (cfg.options.sim_k < 2)
+        throw ModelError("--simulate requires a ring size of at least 2");
+      cfg.options.trajectories = 200;
+      cfg.options.round_cap = 2000;
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       cfg.options.jobs = ringstab::resolve_threads(
           parse_count("--jobs", take_value(argc, argv, i, "--jobs")));

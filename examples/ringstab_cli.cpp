@@ -6,6 +6,7 @@
 //   ringstab sweep      <file.ring> [--min K] [--max K]   cutoff verification
 //   ringstab dot        <file.ring> [--rcg|--ltg|--deadlock-rcg]
 //   ringstab simulate   <file.ring> -k <K> [--trials N] [--seed S]
+//                       [--random [--trajectories N] [--coin P] ...]
 //   ringstab emit       <file.ring>             round-trip to .ring source
 //   ringstab lint       <file.ring> [--json]    structured diagnostics
 //
@@ -54,7 +55,13 @@ int usage() {
       "  sweep      cutoff verification: [--min K] [--max K]\n"
       "  dot        emit graphviz: --rcg (default), --ltg, --deadlock-rcg\n"
       "  simulate   random-scheduler runs: -k <K> [--trials N] [--seed S]\n"
-      "             [--jobs N]\n"
+      "             [--jobs N]; with --random, Monte Carlo convergence-time\n"
+      "             estimation under a probabilistic scheduler\n"
+      "             (docs/simulation.md): [--trajectories N] [--cap N]\n"
+      "             [--scheduler coin|weighted] [--coin P]\n"
+      "             [--target invariant|one-token]\n"
+      "             [--start random|zero|three]; bit-identical at every\n"
+      "             --jobs N for a fixed seed\n"
       "  emit       print the protocol back as .ring source\n"
       "  lint       structured RS0xx diagnostics over the DSL and the\n"
       "             representative process; --json for machine-readable\n"
@@ -246,6 +253,37 @@ int cmd_trace(const Protocol& p, std::size_t k, std::uint64_t seed,
   return 1;
 }
 
+/// `simulate --random`: the Monte Carlo estimator, rendered by
+/// serve::render_simulate so the daemon's `simulate` verdicts are
+/// byte-identical to the CLI's.
+int cmd_simulate_random(const Protocol& p, int argc, char** argv,
+                        std::size_t jobs) {
+  serve::RequestOptions opts;
+  opts.jobs = jobs;
+  opts.trajectories = static_cast<std::size_t>(
+      arg_value(argc, argv, "--trajectories", 1000, 1, 100'000'000));
+  opts.sim_seed = static_cast<std::uint64_t>(
+      arg_value(argc, argv, "--seed", 1, 0,
+                std::numeric_limits<long long>::max()));
+  opts.round_cap = static_cast<std::size_t>(
+      arg_value(argc, argv, "--cap", 100'000, 1, 1'000'000'000));
+  if (const char* s = arg_string(argc, argv, "--scheduler"))
+    opts.scheduler = s;
+  if (const char* s = arg_string(argc, argv, "--target")) opts.target = s;
+  if (const char* s = arg_string(argc, argv, "--start")) opts.start = s;
+  if (const char* raw = arg_string(argc, argv, "--coin")) {
+    char* end = nullptr;
+    const double coin = std::strtod(raw, &end);
+    if (end == raw || *end != '\0' || !(coin >= 0.0 && coin <= 1.0))
+      throw ModelError(cat("invalid --coin value '", raw,
+                           "': expected a probability in [0, 1]"));
+    opts.coin = coin;
+  }
+  const auto k =
+      static_cast<std::size_t>(arg_value(argc, argv, "-k", 8, 2, 4095));
+  return serve::render_simulate(p, k, opts, std::cout);
+}
+
 int cmd_simulate(const Protocol& p, std::size_t k, std::size_t trials,
                  std::uint64_t seed, std::size_t jobs) {
   const auto stats = measure_convergence(p, k, trials, seed, 1'000'000,
@@ -322,6 +360,8 @@ int run(const std::string& command, int argc, char** argv) {
         static_cast<std::size_t>(
             arg_value(argc, argv, "--max", 200, 1, 1'000'000'000)));
   }
+  if (command == "simulate" && has_flag(argc, argv, "--random"))
+    return cmd_simulate_random(p, argc, argv, jobs);
   if (command == "simulate")
     return cmd_simulate(
         p, static_cast<std::size_t>(arg_value(argc, argv, "-k", 8, 2, 63)),

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Checks every inline markdown link ([text](target)) in the given files:
+
+* relative file targets must exist (resolved from the linking file's
+  directory; a `#fragment` suffix is stripped, a bare `#fragment` is
+  accepted — same-file anchors are not resolvable without a renderer);
+* absolute-path targets (`/...`) are rejected — they break on GitHub
+  and in local checkouts alike;
+* http(s)/mailto targets are *not* fetched (CI must stay offline);
+  they are only required to be non-empty.
+
+Exit code 0 when every link resolves, 1 otherwise (each failure is
+printed as `file:line: message`). No dependencies beyond the standard
+library, by design.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only. Matches [text](target) while skipping images' extra
+# `!` (images are links too — check them the same way) and ``code spans``
+# via the scrub below.
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+
+def check_file(path: Path) -> list[str]:
+    failures = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(CODE_SPAN_RE.sub("", line)):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue  # same-file anchor
+            if target.startswith("/"):
+                failures.append(
+                    f"{path}:{lineno}: absolute link target '{target}' "
+                    "(use a relative path)")
+                continue
+            file_part = target.split("#", 1)[0]
+            if not (path.parent / file_part).exists():
+                failures.append(
+                    f"{path}:{lineno}: broken link target '{target}' "
+                    f"(no such file: {path.parent / file_part})")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: check_links.py <file.md | dir> ...", file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"check_links.py: no such file: {p}", file=sys.stderr)
+            return 2
+    failures = []
+    for f in files:
+        failures.extend(check_file(f))
+    for failure in failures:
+        print(failure)
+    print(f"check_links.py: {len(files)} files, {len(failures)} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

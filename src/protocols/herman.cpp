@@ -1,0 +1,31 @@
+#include "protocols/herman.hpp"
+
+#include "core/builder.hpp"
+
+namespace ringstab::protocols {
+
+Protocol herman_ring() {
+  ProtocolBuilder b("herman", Domain::range(2), Locality{1, 0});
+  b.legitimate([](const LocalView& v) { return v[-1] != v[0]; });
+  b.action("toss",
+           [](const LocalView& v) { return v[-1] == v[0]; },
+           [](const LocalView& v) { return static_cast<Value>(1 - v[0]); });
+  b.action("pass",
+           [](const LocalView& v) { return v[-1] != v[0]; },
+           [](const LocalView& v) { return v[-1]; });
+  return b.build();
+}
+
+std::size_t herman_token_count(const std::vector<Value>& state) {
+  std::size_t tokens = 0;
+  for (std::size_t i = 0; i < state.size(); ++i)
+    if (state[(i + state.size() - 1) % state.size()] == state[i]) ++tokens;
+  return tokens;
+}
+
+double herman_conjecture_bound(std::size_t ring_size) {
+  const double k = static_cast<double>(ring_size);
+  return 4.0 * k * k / 27.0;
+}
+
+}  // namespace ringstab::protocols

@@ -1,0 +1,39 @@
+// Herman's randomized token ring (Herman 1990; docs/theory.md §7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ringstab::protocols {
+
+/// Herman's self-stabilizing token ring over domain {0,1}, locality {1,0}.
+/// Process r holds a token iff x_{r-1} = x_r, so LC_r: x_{r-1} ≠ x_r.
+/// Two actions:
+///   toss: x_{r-1} = x_r → x_r := 1 − x_r   (token holder re-randomizes)
+///   pass: x_{r-1} ≠ x_r → x_r := x_{r-1}   (non-holder copies left)
+/// Under the synchronous-coin scheduler (Scheduler::kSynchronousCoin with
+/// coin = 1/2) this is exactly Herman's protocol: a holder's new value is a
+/// fair coin (flip with p=1/2, keep otherwise), a non-holder always copies.
+/// On odd rings the token count stays odd, so the one-token target
+/// (ConvergenceTarget::kOneIllegit) is eventually reached with probability 1
+/// and E[rounds] ≤ (4/27)·K² from every start (the Herman-protocol
+/// conjecture, proved 2015 — PAPERS.md).
+///
+/// Note this is a *randomized* protocol: under an adversarial interleaving
+/// daemon it does not stabilize (the adversary can shuttle tokens forever),
+/// so the local/global certifiers correctly refuse to certify it. It exists
+/// for the Monte Carlo estimator, not the checker.
+Protocol herman_ring();
+
+/// Number of token holders in a concrete ring state: |{r : x_{r-1} = x_r}|.
+/// On odd rings the parity of this count is invariant under Herman rounds.
+std::size_t herman_token_count(const std::vector<Value>& state);
+
+/// The Herman-protocol-conjecture bound on expected convergence rounds to
+/// one token from any start: (4/27)·K². Tight at K=3 (all-equal start is
+/// geometric with success probability 3/4, so E = 4/3 = (4/27)·9).
+double herman_conjecture_bound(std::size_t ring_size);
+
+}  // namespace ringstab::protocols

@@ -1,6 +1,7 @@
 #include "serve/exec.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <ostream>
 #include <sstream>
 
@@ -11,7 +12,9 @@
 #include "global/symmetry.hpp"
 #include "local/array.hpp"
 #include "local/convergence.hpp"
+#include "local/self_disabling.hpp"
 #include "obs/metrics_json.hpp"
+#include "sim/simulator.hpp"
 #include "synthesis/local_synthesizer.hpp"
 
 namespace ringstab::serve {
@@ -108,7 +111,81 @@ bool has_marker(const std::string& text, const std::string& marker) {
   return text.find(marker) != std::string::npos;
 }
 
+Scheduler parse_sim_scheduler(const std::string& s) {
+  if (s == "coin") return Scheduler::kSynchronousCoin;
+  if (s == "weighted") return Scheduler::kWeightedRandom;
+  throw ModelError("unknown simulate scheduler '" + s +
+                   "' (expected coin | weighted)");
+}
+
+ConvergenceTarget parse_sim_target(const std::string& s) {
+  if (s == "invariant") return ConvergenceTarget::kInvariant;
+  if (s == "one-token") return ConvergenceTarget::kOneIllegit;
+  throw ModelError("unknown simulate target '" + s +
+                   "' (expected invariant | one-token)");
+}
+
+StartKind parse_sim_start(const std::string& s) {
+  if (s == "random") return StartKind::kRandom;
+  if (s == "zero") return StartKind::kAllZero;
+  if (s == "three") return StartKind::kThreeTokens;
+  throw ModelError("unknown simulate start '" + s +
+                   "' (expected random | zero | three)");
+}
+
+EstimateOptions estimate_options(const RequestOptions& options) {
+  EstimateOptions eo;
+  eo.scheduler = parse_sim_scheduler(options.scheduler);
+  eo.target = parse_sim_target(options.target);
+  eo.start = parse_sim_start(options.start);
+  eo.coin = options.coin;
+  eo.seed = options.sim_seed;
+  eo.trajectories = options.trajectories;
+  eo.round_cap = options.round_cap;
+  eo.num_threads = options.jobs;
+  return eo;
+}
+
 }  // namespace
+
+int render_simulate(const Protocol& p, std::size_t k,
+                    const RequestOptions& options, std::ostream& out) {
+  const EstimateOptions eo = estimate_options(options);
+  const ConvergenceEstimate est = estimate_convergence_rounds(p, k, eo);
+  const char* unit =
+      eo.scheduler == Scheduler::kWeightedRandom ? "steps" : "rounds";
+  out << p.name() << " at K=" << k << ", " << est.trajectories
+      << " trajectories (seed " << options.sim_seed << ", scheduler "
+      << options.scheduler;
+  if (eo.scheduler == Scheduler::kSynchronousCoin)
+    out << " p=" << options.coin;
+  out << ", target " << options.target << ", start " << options.start
+      << "):\n";
+  out << "  converged:       " << est.converged << "/" << est.trajectories;
+  if (est.censored > 0)
+    out << "  (" << est.censored << " censored at cap " << options.round_cap
+        << ")";
+  out << "\n";
+  if (est.converged > 0) {
+    out << "  mean " << unit << ":     " << est.mean_rounds << "  (95% CI ±"
+        << est.ci95_half_width << ")\n"
+        << "  stddev:          " << est.stddev_rounds << "\n"
+        << "  min/p50/p95/max: " << est.min_rounds << " / " << est.p50_rounds
+        << " / " << est.p95_rounds << " / " << est.max_rounds << "\n";
+  }
+  out << "  work:            " << est.total_rounds << " " << unit << ", "
+      << est.total_process_steps << " process steps\n";
+  if (eo.target == ConvergenceTarget::kOneIllegit) {
+    // The Herman-protocol-conjecture reference (docs/theory.md §7).
+    const double bound =
+        4.0 * static_cast<double>(k) * static_cast<double>(k) / 27.0;
+    out << "  (4/27)K^2 bound: " << bound << "  (mean "
+        << (est.mean_rounds <= bound + est.ci95_half_width ? "consistent with"
+                                                           : "ABOVE")
+        << " bound)\n";
+  }
+  return est.censored == 0 ? 0 : 1;
+}
 
 BatchOutcome batch_outcome(const std::string& text,
                            const std::string& filename,
@@ -141,21 +218,29 @@ BatchOutcome batch_outcome(const std::string& text,
       out.verdict = certified ? "converges (array, every length)"
                               : "deadlocks (array)";
     } else {
-      const auto res = check_convergence(p);
-      certified = res.verdict == ConvergenceAnalysis::Verdict::kConverges;
-      switch (res.verdict) {
-        case ConvergenceAnalysis::Verdict::kConverges:
-          out.verdict = "converges (every ring size)";
-          break;
-        case ConvergenceAnalysis::Verdict::kDeadlock:
-          out.verdict = "deadlocks";
-          break;
-        case ConvergenceAnalysis::Verdict::kTrailFound:
-          out.verdict = "trail found (uncertifiable)";
-          break;
-        case ConvergenceAnalysis::Verdict::kInconclusive:
-          out.verdict = "inconclusive";
-          break;
+      // Randomized protocols (a local t-arc cycle, e.g. Herman) violate
+      // Assumption 1, so the local certifier is undefined on them; they are
+      // analyzable only by the exhaustive check and the Monte Carlo probe.
+      const bool assumption1 = is_self_terminating(p);
+      if (assumption1) {
+        const auto res = check_convergence(p);
+        certified = res.verdict == ConvergenceAnalysis::Verdict::kConverges;
+        switch (res.verdict) {
+          case ConvergenceAnalysis::Verdict::kConverges:
+            out.verdict = "converges (every ring size)";
+            break;
+          case ConvergenceAnalysis::Verdict::kDeadlock:
+            out.verdict = "deadlocks";
+            break;
+          case ConvergenceAnalysis::Verdict::kTrailFound:
+            out.verdict = "trail found (uncertifiable)";
+            break;
+          case ConvergenceAnalysis::Verdict::kInconclusive:
+            out.verdict = "inconclusive";
+            break;
+        }
+      } else {
+        out.verdict = "randomized (Assumption 1 fails; simulate)";
       }
       if (options.check_k >= 2) {
         const RingInstance ring(p, options.check_k);
@@ -167,7 +252,7 @@ BatchOutcome batch_outcome(const std::string& text,
         // A local certificate must never contradict the exhaustive check.
         if (certified && !global_ok) out.ok = false;
       }
-      if (options.synth && !certified) {
+      if (options.synth && !certified && assumption1) {
         // Diagnostic only (never affects ok): can Problem 3.1 repair this
         // input? The shared memo makes repeated signatures cheap.
         SynthesisOptions opts;
@@ -181,6 +266,20 @@ BatchOutcome batch_outcome(const std::string& text,
                                  std::to_string(synth.solutions.size()) +
                                  " solutions]"
                            : " [synth: none]";
+      }
+      if (options.sim_k >= 2) {
+        // Diagnostic only (never affects ok): a Monte Carlo probe under the
+        // synchronous-coin scheduler at ring size sim_k, using the request's
+        // trajectory/seed/cap settings (docs/simulation.md).
+        const auto est =
+            estimate_convergence_rounds(p, options.sim_k,
+                                        estimate_options(options));
+        std::ostringstream sim;
+        sim << " [sim@" << options.sim_k << ": " << est.converged << "/"
+            << est.trajectories;
+        if (est.converged > 0) sim << ", mean " << est.mean_rounds;
+        sim << "]";
+        out.verdict += sim.str();
       }
     }
     if (out.expectation == "converges") out.ok = out.ok && certified;
@@ -232,8 +331,17 @@ char cmd_tag(const std::string& cmd) {
   if (cmd == "lint") return 'L';
   if (cmd == "synthesize") return 'S';
   if (cmd == "analyze") return 'A';
-  throw ModelError("unknown serve command '" + cmd +
-                   "' (expected check | lint | synthesize | analyze)");
+  if (cmd == "simulate") return 'M';  // Monte Carlo
+  throw ModelError(
+      "unknown serve command '" + cmd +
+      "' (expected check | lint | synthesize | analyze | simulate)");
+}
+
+/// Length-prefixed string append for the cache key; the prefix keeps bytes
+/// from migrating across field boundaries and aliasing.
+void memo_append_str(std::string& key, const std::string& s) {
+  memo_append_u64(key, s.size());
+  key += s;
 }
 
 }  // namespace
@@ -250,12 +358,20 @@ std::string cache_key(const Request& req) {
   key.push_back(req.options.lint ? 1 : 0);
   key.push_back(req.options.synth ? 1 : 0);
   memo_append_u64(key, req.options.check_k);
+  // Monte Carlo options: every field changes the sampled estimate, so every
+  // field is identity. The coin keys on its exact IEEE-754 bits.
+  memo_append_u64(key, req.options.trajectories);
+  memo_append_u64(key, req.options.sim_seed);
+  memo_append_u64(key, req.options.round_cap);
+  memo_append_u64(key, std::bit_cast<std::uint64_t>(req.options.coin));
+  memo_append_u64(key, req.options.sim_k);
+  memo_append_str(key, req.options.scheduler);
+  memo_append_str(key, req.options.target);
+  memo_append_str(key, req.options.start);
   // `name` is rendered into the output (lint summary lines, parse-error
   // prefixes, batch rows), so it is part of the verdict's identity.
-  memo_append_u64(key, req.name.size());
-  key += req.name;
-  memo_append_u64(key, req.source.size());
-  key += req.source;
+  memo_append_str(key, req.name);
+  memo_append_str(key, req.source);
   return key;
 }
 
@@ -293,6 +409,15 @@ ExecResult execute(const Request& req,
             batch_outcome(req.source, req.name, req.options, memo);
         out << batch_outcome_json(outcome);
         res.exit_code = outcome.ok ? 0 : 1;
+        break;
+      }
+      case 'M': {
+        if (req.k < 2 || req.k > 4095)
+          throw ModelError("invalid k value '" + std::to_string(req.k) +
+                           "': expected an integer in [2, 4095]");
+        const Protocol p =
+            build_protocol(parse_protocol_source(req.source, req.name));
+        res.exit_code = render_simulate(p, req.k, req.options, out);
         break;
       }
     }

@@ -13,6 +13,7 @@
 // therefore excluded from `cache_key()`.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -33,6 +34,19 @@ struct RequestOptions {
   bool lint = false;        // analyze: run the RS0xx lint passes
   bool synth = false;       // analyze: try Problem 3.1 when uncertified
   std::size_t check_k = 0;  // analyze: global cross-check size (0 = off)
+
+  // Monte Carlo estimation (cmd "simulate", and the analyze `sim_k`
+  // column). All of these are part of the verdict's identity; `jobs` stays
+  // out because the estimator is bit-identical at every thread count
+  // (docs/simulation.md).
+  std::size_t trajectories = 1000;  // sampled trajectories
+  std::uint64_t sim_seed = 1;       // PRNG seed (field "seed" on the wire)
+  std::size_t round_cap = 100'000;  // per-trajectory cap ("cap" on the wire)
+  double coin = 0.5;                // synchronous-coin fire probability
+  std::string scheduler = "coin";   // "coin" | "weighted"
+  std::string target = "invariant";  // "invariant" | "one-token"
+  std::string start = "random";      // "random" | "zero" | "three"
+  std::size_t sim_k = 0;  // analyze: Monte Carlo probe ring size (0 = off)
 };
 
 /// One JSONL request: `{"cmd":..., "source":..., "k":..., "options":...}`.
@@ -58,6 +72,14 @@ int render_synthesize(const Protocol& p, bool all, std::size_t jobs,
 /// `display_name` is the path/name echoed in the text summary line.
 int render_lint(const LintResult& lint, const std::string& display_name,
                 bool json, std::ostream& out);
+
+/// `ringstab simulate <file> -k K --random [...]`: Monte Carlo estimate of
+/// the expected convergence time under a probabilistic scheduler
+/// (docs/simulation.md). Exit 0 iff no trajectory was censored. Throws
+/// ModelError on unknown scheduler/target/start strings or a coin outside
+/// [0, 1].
+int render_simulate(const Protocol& p, std::size_t k,
+                    const RequestOptions& options, std::ostream& out);
 
 // ── batch rows ──
 

@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <cstdio>
 #include <limits>
 
 #include "core/types.hpp"
@@ -38,6 +39,25 @@ std::string as_string(const Value& v, const char* key) {
   return v.str;
 }
 
+double as_probability(const Value& v, const char* key) {
+  if (!v.is_number())
+    throw ModelError(std::string("serve wire: field '") + key +
+                     "' must be a number");
+  const double d = v.as_double(-1.0);
+  if (!(d >= 0.0 && d <= 1.0))
+    throw ModelError(std::string("serve wire: field '") + key +
+                     "' must be a probability in [0, 1]");
+  return d;
+}
+
+/// Render a probability with enough digits to round-trip exactly through
+/// strtod, so the coin survives encode/decode bit-for-bit.
+Value number_double(double d) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  return Value::number_raw(buf);
+}
+
 }  // namespace
 
 std::string encode_request(const Request& req) {
@@ -56,6 +76,22 @@ std::string encode_request(const Request& req) {
   if (req.options.synth) options.add("synth", Value::boolean_v(true));
   if (req.options.check_k != 0)
     options.add("check_k", Value::number_u64(req.options.check_k));
+  if (req.options.trajectories != 1000)
+    options.add("trajectories", Value::number_u64(req.options.trajectories));
+  if (req.options.sim_seed != 1)
+    options.add("seed", Value::number_u64(req.options.sim_seed));
+  if (req.options.round_cap != 100'000)
+    options.add("cap", Value::number_u64(req.options.round_cap));
+  if (req.options.coin != 0.5)
+    options.add("coin", number_double(req.options.coin));
+  if (req.options.scheduler != "coin")
+    options.add("scheduler", Value::string(req.options.scheduler));
+  if (req.options.target != "invariant")
+    options.add("target", Value::string(req.options.target));
+  if (req.options.start != "random")
+    options.add("start", Value::string(req.options.start));
+  if (req.options.sim_k != 0)
+    options.add("sim_k", Value::number_u64(req.options.sim_k));
   if (!options.members.empty()) doc.add("options", std::move(options));
   return obs::json::dump(doc);
 }
@@ -101,6 +137,22 @@ Request decode_request(const std::string& line) {
           req.options.synth = as_bool(v, "options.synth");
         else if (opt == "check_k")
           req.options.check_k = as_size(v, "options.check_k");
+        else if (opt == "trajectories")
+          req.options.trajectories = as_size(v, "options.trajectories");
+        else if (opt == "seed")
+          req.options.sim_seed = as_size(v, "options.seed");
+        else if (opt == "cap")
+          req.options.round_cap = as_size(v, "options.cap");
+        else if (opt == "coin")
+          req.options.coin = as_probability(v, "options.coin");
+        else if (opt == "scheduler")
+          req.options.scheduler = as_string(v, "options.scheduler");
+        else if (opt == "target")
+          req.options.target = as_string(v, "options.target");
+        else if (opt == "start")
+          req.options.start = as_string(v, "options.start");
+        else if (opt == "sim_k")
+          req.options.sim_k = as_size(v, "options.sim_k");
         else
           throw ModelError("serve wire: unknown option '" + opt + "'");
       }

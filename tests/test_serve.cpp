@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <bit>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -232,6 +233,135 @@ TEST(ServeCacheKey, UnknownCommandThrows) {
   Request r;
   r.cmd = "exec";
   EXPECT_THROW(cache_key(r), ModelError);
+}
+
+// ── simulate requests: wire, cache identity, and byte-identity ──
+
+constexpr const char* kHermanSource =
+    "protocol herman;\n"
+    "domain 2;\n"
+    "reads -1 .. 0;\n"
+    "legit: x[-1] != x[0];\n"
+    "action toss: x[-1] == x[0] -> x[0] := 1 - x[0];\n"
+    "action pass: x[-1] != x[0] -> x[0] := x[-1];\n";
+
+Request simulate_request() {
+  Request r;
+  r.cmd = "simulate";
+  r.source = kHermanSource;
+  r.name = "herman.ring";
+  r.k = 7;
+  r.options.trajectories = 300;
+  r.options.target = "one-token";
+  r.options.start = "zero";
+  return r;
+}
+
+TEST(ServeWire, SimulateOptionsRoundTripIncludingCoinBits) {
+  Request req = simulate_request();
+  req.options.sim_seed = 99;
+  req.options.round_cap = 12345;
+  req.options.coin = 0.3;  // not exactly representable — %.17g must survive
+  req.options.scheduler = "weighted";
+  req.options.sim_k = 6;
+  const Request back = decode_request(encode_request(req));
+  EXPECT_EQ(back.cmd, "simulate");
+  EXPECT_EQ(back.options.trajectories, 300u);
+  EXPECT_EQ(back.options.sim_seed, 99u);
+  EXPECT_EQ(back.options.round_cap, 12345u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.options.coin),
+            std::bit_cast<std::uint64_t>(req.options.coin))
+      << "coin must round-trip bit-exactly, not just approximately";
+  EXPECT_EQ(back.options.scheduler, "weighted");
+  EXPECT_EQ(back.options.target, "one-token");
+  EXPECT_EQ(back.options.start, "zero");
+  EXPECT_EQ(back.options.sim_k, 6u);
+  // Defaults are elided from the frame and restored on decode.
+  Request bare;
+  bare.cmd = "simulate";
+  bare.source = kHermanSource;
+  const Request defaults = decode_request(encode_request(bare));
+  EXPECT_EQ(defaults.options.trajectories, 1000u);
+  EXPECT_EQ(defaults.options.coin, 0.5);
+  EXPECT_EQ(defaults.options.scheduler, "coin");
+}
+
+TEST(ServeCacheKey, SimulateCoordinatesAreIdentity) {
+  std::vector<Request> reqs;
+  reqs.push_back(simulate_request());
+  {
+    Request r = simulate_request();
+    r.options.sim_seed = 2;
+    reqs.push_back(r);
+  }
+  {
+    Request r = simulate_request();
+    r.options.trajectories = 301;
+    reqs.push_back(r);
+  }
+  {
+    Request r = simulate_request();
+    r.options.round_cap = 999;
+    reqs.push_back(r);
+  }
+  {
+    Request r = simulate_request();
+    r.options.coin = 0.25;
+    reqs.push_back(r);
+  }
+  {
+    Request r = simulate_request();
+    r.options.scheduler = "weighted";
+    reqs.push_back(r);
+  }
+  {
+    Request r = simulate_request();
+    r.options.target = "invariant";
+    reqs.push_back(r);
+  }
+  {
+    Request r = simulate_request();
+    r.options.start = "three";
+    reqs.push_back(r);
+  }
+  {
+    Request r = simulate_request();
+    r.k = 9;
+    reqs.push_back(r);
+  }
+  std::set<std::string> keys;
+  for (const Request& r : reqs) keys.insert(cache_key(r));
+  EXPECT_EQ(keys.size(), reqs.size())
+      << "two distinct simulate identities collided";
+
+  // And jobs stays out: legitimate only because the estimator is
+  // bit-identical at every thread count.
+  Request a = simulate_request();
+  Request b = a;
+  b.options.jobs = 8;
+  EXPECT_EQ(cache_key(a), cache_key(b));
+}
+
+TEST(ServeExec, SimulateMatchesRenderSimulateBytes) {
+  const Request req = simulate_request();
+  const ExecResult res = execute(req);
+  EXPECT_EQ(res.exit_code, 0);
+  const Protocol p = parse_protocol(req.source);
+  std::ostringstream direct;
+  render_simulate(p, req.k, req.options, direct);
+  EXPECT_EQ(res.output, direct.str());
+  // Different jobs, same bytes — the cache contract, end to end.
+  Request jobs4 = req;
+  jobs4.options.jobs = 4;
+  EXPECT_EQ(execute(jobs4).output, res.output);
+}
+
+TEST(ServeExec, SimulateBadKReportsLikeTheCli) {
+  Request req = simulate_request();
+  req.k = 1;
+  const ExecResult res = execute(req);
+  EXPECT_NE(res.exit_code, 0);
+  EXPECT_NE(res.output.find("invalid k value"), std::string::npos);
 }
 
 // ── the verdict cache ──
