@@ -1,0 +1,189 @@
+// EXP-A1: the abstract-interpretation static rejection lane
+// (analysis/absint.hpp) as a synthesis accelerator. For each skeleton the
+// report runs the local portfolio synthesizer with the lane on and off,
+// checks the verdicts are bit-identical (the lane's soundness contract),
+// and reports the static rejection rate and the candidates/sec delta.
+//
+// Artifact: BENCH_absint.json (committed at the repo root, schema-checked
+// by the perf_validate_bench ctest entry).
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "protocols/agreement.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/misc.hpp"
+#include "protocols/sum_not_two.hpp"
+#include "synthesis/local_synthesizer.hpp"
+
+namespace {
+
+using namespace ringstab;
+
+SynthesisOptions options(bool lane, std::size_t threads = 1) {
+  SynthesisOptions o;
+  o.static_reject_lane = lane;
+  o.num_threads = threads;
+  return o;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct LaneRun {
+  std::size_t candidates = 0;
+  std::size_t solutions = 0;
+  std::size_t static_ill = 0;
+  std::size_t static_trail = 0;
+  double on_ms = 0;
+  double off_ms = 0;
+};
+
+/// Run lane-on and lane-off, verify bit-identity, collect the tallies.
+/// Throws on any verdict divergence — a bench that would publish numbers
+/// for an unsound lane must die instead.
+LaneRun run_case(const std::string& name, const Protocol& p,
+                 std::size_t threads) {
+  // Best-of-3 per side: one synthesis run is short enough that scheduler
+  // noise can drown a 10% delta.
+  constexpr int kReps = 3;
+  LaneRun r;
+  SynthesisResult on, off;
+  r.on_ms = r.off_ms = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    on = synthesize_convergence(p, options(true, threads));
+    r.on_ms = std::min(r.on_ms, ms_since(t0));
+    const auto t1 = std::chrono::steady_clock::now();
+    off = synthesize_convergence(p, options(false, threads));
+    r.off_ms = std::min(r.off_ms, ms_since(t1));
+  }
+
+  if (on.candidates_examined != off.candidates_examined ||
+      on.solutions.size() != off.solutions.size() ||
+      on.reports.size() != off.reports.size())
+    throw std::runtime_error("lane changed result shape on " + name);
+  for (std::size_t i = 0; i < on.reports.size(); ++i)
+    if (on.reports[i].status != off.reports[i].status ||
+        on.reports[i].added != off.reports[i].added)
+      throw std::runtime_error("lane changed verdict " + std::to_string(i) +
+                               " on " + name);
+  for (std::size_t i = 0; i < on.solutions.size(); ++i)
+    if (on.solutions[i].added != off.solutions[i].added ||
+        on.solutions[i].protocol.name() != off.solutions[i].protocol.name())
+      throw std::runtime_error("lane changed solution " + std::to_string(i) +
+                               " on " + name);
+
+  r.candidates = on.candidates_examined;
+  r.solutions = on.solutions.size();
+  for (const auto& rep : on.reports) {
+    if (!rep.static_reject) continue;
+    if (rep.status == CandidateReport::Status::kRejectedTrail)
+      ++r.static_trail;
+    else
+      ++r.static_ill;
+  }
+  return r;
+}
+
+void report() {
+  bench::header("EXP-A1 (static rejection lane)", "BENCH_absint.json",
+                "candidates refuted from skeleton facts alone skip memo "
+                "traffic, trail searches and classification sweeps; "
+                "verdicts stay bit-identical");
+
+  const struct {
+    const char* name;
+    Protocol p;
+  } cases[] = {
+      {"agreement", protocols::agreement_empty()},
+      {"three_coloring", protocols::coloring_empty(3)},
+      {"sum_not_two", protocols::sum_not_two_empty()},
+      {"no_adjacent_ones", protocols::no_adjacent_ones_empty()},
+      {"matching", protocols::matching_skeleton()},
+  };
+
+  std::vector<bench::Json> runs;
+  for (const auto& c : cases) {
+    const LaneRun r = run_case(c.name, c.p, 1);
+    const std::size_t rejects = r.static_ill + r.static_trail;
+    const double rate =
+        r.candidates == 0 ? 0.0
+                          : static_cast<double>(rejects) /
+                                static_cast<double>(r.candidates);
+    const double cps_on = r.on_ms <= 0.0
+                              ? 0.0
+                              : 1000.0 * static_cast<double>(r.candidates) /
+                                    r.on_ms;
+    const double cps_off = r.off_ms <= 0.0
+                               ? 0.0
+                               : 1000.0 * static_cast<double>(r.candidates) /
+                                     r.off_ms;
+    bench::row(c.name,
+               "identical solution sets with the lane on or off",
+               std::to_string(r.candidates) + " candidates, " +
+                   std::to_string(rejects) + " static rejects (" +
+                   std::to_string(r.static_ill) + " ill-formed, " +
+                   std::to_string(r.static_trail) + " trail), " +
+                   std::to_string(r.on_ms) + " ms on / " +
+                   std::to_string(r.off_ms) + " ms off");
+    bench::Json run;
+    run.put("protocol", c.name);
+    run.put("candidates", r.candidates);
+    run.put("solutions", r.solutions);
+    run.put("static_rejects", rejects);
+    run.put("static_ill_formed", r.static_ill);
+    run.put("static_trail_certificates", r.static_trail);
+    run.put("static_reject_rate", rate);
+    run.put("lane_on_ms", r.on_ms);
+    run.put("lane_off_ms", r.off_ms);
+    run.put("candidates_per_sec_on", cps_on);
+    run.put("candidates_per_sec_off", cps_off);
+    run.put("bit_identical", true);  // run_case threw otherwise
+    runs.push_back(std::move(run));
+  }
+
+  // Thread invariance at 4 lanes on the heaviest skeleton.
+  const LaneRun mt = run_case("matching@4", protocols::matching_skeleton(), 4);
+  std::vector<bench::Json> invariance;
+  {
+    bench::Json j;
+    j.put("protocol", "matching");
+    j.put("threads", 4);
+    j.put("candidates", mt.candidates);
+    j.put("static_rejects", mt.static_ill + mt.static_trail);
+    j.put("bit_identical", true);
+    invariance.push_back(std::move(j));
+  }
+
+  bench::Json doc;
+  doc.put("experiment", "absint_static_lane");
+  doc.put("runs", runs);
+  doc.put("jobs_invariance", invariance);
+  bench::write_bench_json("BENCH_absint.json", doc);
+  bench::footer();
+}
+
+void BM_MatchingLaneOn(benchmark::State& state) {
+  const Protocol p = protocols::matching_skeleton();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(synthesize_convergence(p, options(true, 1)));
+}
+BENCHMARK(BM_MatchingLaneOn)->Unit(benchmark::kMillisecond);
+
+void BM_MatchingLaneOff(benchmark::State& state) {
+  const Protocol p = protocols::matching_skeleton();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(synthesize_convergence(p, options(false, 1)));
+}
+BENCHMARK(BM_MatchingLaneOff)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RINGSTAB_BENCH_MAIN(report)

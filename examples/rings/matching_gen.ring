@@ -1,4 +1,4 @@
-# lint: allow(RS003)
+# lint: allow(RS003, RS110)
 # Example 4.2: the generalizable maximal matching protocol on a
 # bidirectional ring (actions A1–A5, originally synthesized by STSyn for
 # K=6). Theorem 4.2 certifies deadlock-freedom for every K.

@@ -143,7 +143,8 @@ int run(const BatchConfig& cfg) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: ringstab-batch <directory> [--strict] [--check K] "
-                 "[--symmetry] [--synth] [--lint] [--simulate K] [--jobs N] "
+                 "[--symmetry] [--synth] [--lint] [--werror] [--simulate K] "
+                 "[--jobs N] "
                  "[--serve SOCKET] [--stats] [--trace FILE] [--jsonl FILE] "
                  "[--metrics FILE] [--progress]\n";
     return 2;
@@ -161,6 +162,8 @@ int main(int argc, char** argv) {
       cfg.options.synth = true;
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       cfg.options.lint = true;
+    } else if (std::strcmp(argv[i], "--werror") == 0) {
+      cfg.options.werror = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       cfg.options.check_k =
           parse_count("--check", take_value(argc, argv, i, "--check"));

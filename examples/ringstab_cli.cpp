@@ -63,9 +63,10 @@ int usage() {
       "             [--start random|zero|three]; bit-identical at every\n"
       "             --jobs N for a fixed seed\n"
       "  emit       print the protocol back as .ring source\n"
-      "  lint       structured RS0xx diagnostics over the DSL and the\n"
+      "  lint       structured RS0xx/RS1xx diagnostics over the DSL and the\n"
       "             representative process; --json for machine-readable\n"
-      "             output (docs/lint.md); exit 1 iff errors\n"
+      "             output (docs/lint.md); exit 1 iff errors, or with\n"
+      "             --werror iff errors or warnings\n"
       "  report     full markdown analysis report [--array] [--max K]\n"
       "  trace      step-by-step run: -k <K> [--from v,v,...] [--seed S]\n"
       "  --jobs N   worker threads for the global checker / simulator\n"
@@ -304,7 +305,7 @@ int run(const std::string& command, int argc, char** argv) {
     // produce a located RS000 diagnostic instead of a raw exception.
     const LintResult lint = lint_ring_file(argv[2]);
     return serve::render_lint(lint, argv[2], has_flag(argc, argv, "--json"),
-                              std::cout);
+                              has_flag(argc, argv, "--werror"), std::cout);
   }
 
   const Protocol p = parse_protocol_file(argv[2]);

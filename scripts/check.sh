@@ -7,6 +7,7 @@
 #                               parsing/synthesis/lint tests, UBSan
 #                               core/local/analysis test binaries
 #   scripts/check.sh --fast     tier-1 only (skip the sanitizer builds)
+#   scripts/check.sh --tsan     TSan stage only (the CI tsan job's recipe)
 #
 # Run from anywhere; builds land in <repo>/build, build-tsan, build-asan,
 # build-ubsan.
@@ -14,19 +15,20 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 2)"
-fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+mode="${1:-full}"
 
-echo "== tier-1: configure + build =="
-cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$repo/build" -j "$jobs"
+if [[ "$mode" != "--tsan" ]]; then
+  echo "== tier-1: configure + build =="
+  cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$repo/build" -j "$jobs"
 
-echo "== tier-1: ctest =="
-ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+  echo "== tier-1: ctest =="
+  ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-if [[ "$fast" == 1 ]]; then
-  echo "== OK (fast mode: sanitizer build skipped) =="
-  exit 0
+  if [[ "$mode" == "--fast" ]]; then
+    echo "== OK (fast mode: sanitizer build skipped) =="
+    exit 0
+  fi
 fi
 
 echo "== TSan: build test_parallel + test_parallel_scc + test_obs + test_synthesis_parallel + test_serve =="
@@ -54,6 +56,11 @@ echo "== TSan: run =="
 # bit-identity sweep re-runs every engine at every K and takes minutes
 # under TSan; the remaining tests drive all the serve-side threading.
 "$repo/build-tsan/tests/test_serve" --gtest_filter='-ServeZooHeavy.*'
+
+if [[ "$mode" == "--tsan" ]]; then
+  echo "== OK (tsan mode: TSan stage only) =="
+  exit 0
+fi
 
 echo "== ASan: build test_symmetry + CLI tools =="
 cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \

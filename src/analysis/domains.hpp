@@ -1,0 +1,205 @@
+// Abstract domains for the ring-DSL static analyses (src/analysis/absint):
+// value sets over the finite domain, window boxes, tri-state truth, and the
+// guard-implication lattice. Everything here is an over-approximation — an
+// abstract answer of kTrue/kFalse is a proof, kMaybe is "cannot tell".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/ast.hpp"
+#include "core/local_state.hpp"
+
+namespace ringstab::absint {
+
+/// A set of domain values as a bitmask. Ring domains are tiny (|D| ≤ 64 by
+/// the GlobalStateId encoding budget long before this cap bites).
+class ValueSet {
+ public:
+  ValueSet() = default;
+  static ValueSet none() { return ValueSet(); }
+  static ValueSet all(std::size_t domain_size) {
+    ValueSet s;
+    s.bits_ = domain_size >= 64 ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << domain_size) - 1;
+    return s;
+  }
+  static ValueSet of(Value v) {
+    ValueSet s;
+    s.add(v);
+    return s;
+  }
+
+  void add(Value v) { bits_ |= std::uint64_t{1} << v; }
+  void remove(Value v) { bits_ &= ~(std::uint64_t{1} << v); }
+  bool contains(Value v) const { return (bits_ >> v) & 1; }
+  bool empty() const { return bits_ == 0; }
+  std::size_t count() const {
+    return static_cast<std::size_t>(__builtin_popcountll(bits_));
+  }
+
+  ValueSet operator&(ValueSet o) const { return ValueSet(bits_ & o.bits_); }
+  ValueSet operator|(ValueSet o) const { return ValueSet(bits_ | o.bits_); }
+  bool operator==(const ValueSet&) const = default;
+
+  /// Members in ascending order.
+  std::vector<Value> values(std::size_t domain_size) const {
+    std::vector<Value> out;
+    for (std::size_t v = 0; v < domain_size && v < 64; ++v)
+      if (contains(static_cast<Value>(v))) out.push_back(static_cast<Value>(v));
+    return out;
+  }
+
+ private:
+  explicit ValueSet(std::uint64_t bits) : bits_(bits) {}
+  std::uint64_t bits_ = 0;
+};
+
+/// Tri-state truth of an abstract boolean. kTrue/kFalse are proofs over the
+/// whole concretization; kMaybe is the lattice top.
+enum class Truth { kFalse, kTrue, kMaybe };
+
+inline Truth truth_not(Truth t) {
+  if (t == Truth::kMaybe) return t;
+  return t == Truth::kTrue ? Truth::kFalse : Truth::kTrue;
+}
+
+/// The set of int64 results an expression may evaluate to, with a size cap:
+/// once more than kMaxValues distinct results accumulate the set spills to
+/// top ("any int"). Domain variables contribute at most |D| values, so only
+/// deep arithmetic spills.
+class IntSet {
+ public:
+  static constexpr std::size_t kMaxValues = 64;
+
+  static IntSet top() {
+    IntSet s;
+    s.top_ = true;
+    return s;
+  }
+  static IntSet of(long long v) {
+    IntSet s;
+    s.values_.push_back(v);
+    return s;
+  }
+  static IntSet from_values(std::vector<long long> vs) {
+    std::sort(vs.begin(), vs.end());
+    vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+    IntSet s;
+    if (vs.size() > kMaxValues) {
+      s.top_ = true;
+    } else {
+      s.values_ = std::move(vs);
+    }
+    return s;
+  }
+
+  bool is_top() const { return top_; }
+  bool empty() const { return !top_ && values_.empty(); }
+  const std::vector<long long>& values() const { return values_; }
+  bool contains(long long v) const {
+    return top_ || std::binary_search(values_.begin(), values_.end(), v);
+  }
+
+  /// Truth of the set read as a boolean (C semantics: nonzero is true).
+  Truth truth() const {
+    if (top_) return Truth::kMaybe;
+    const bool has_zero = contains(0);
+    const bool has_nonzero =
+        values_.size() > (has_zero ? std::size_t{1} : std::size_t{0});
+    if (has_zero && has_nonzero) return Truth::kMaybe;
+    if (has_zero) return Truth::kFalse;
+    if (has_nonzero) return Truth::kTrue;
+    return Truth::kFalse;  // empty: vacuous, caller checks empty() first
+  }
+
+ private:
+  bool top_ = false;
+  std::vector<long long> values_;  // sorted, deduplicated, ≤ kMaxValues
+};
+
+/// The box domain: one ValueSet per window offset, offsets [-left, right].
+/// A box concretizes to the local states whose every variable lies in its
+/// offset's set; any empty component means no state (bottom).
+class Box {
+ public:
+  static Box top(const LocalStateSpace& space) {
+    Box b;
+    b.left_ = space.locality().left;
+    b.sets_.assign(
+        static_cast<std::size_t>(space.locality().window()),
+        ValueSet::all(space.domain().size()));
+    return b;
+  }
+
+  ValueSet& at(int offset) { return sets_[index(offset)]; }
+  const ValueSet& at(int offset) const { return sets_[index(offset)]; }
+  bool covers(int offset) const {
+    const long long i = static_cast<long long>(offset) + left_;
+    return i >= 0 && i < static_cast<long long>(sets_.size());
+  }
+  int min_offset() const { return -left_; }
+  int max_offset() const { return static_cast<int>(sets_.size()) - left_ - 1; }
+
+  bool is_bottom() const {
+    return std::any_of(sets_.begin(), sets_.end(),
+                       [](const ValueSet& s) { return s.empty(); });
+  }
+
+  /// Pointwise union (lattice join).
+  Box join(const Box& o) const {
+    Box out = *this;
+    for (std::size_t i = 0; i < sets_.size(); ++i)
+      out.sets_[i] = out.sets_[i] | o.sets_[i];
+    return out;
+  }
+
+  bool operator==(const Box&) const = default;
+
+ private:
+  std::size_t index(int offset) const {
+    return static_cast<std::size_t>(offset + left_);
+  }
+  int left_ = 0;
+  std::vector<ValueSet> sets_;
+};
+
+/// Over-approximate the values `e` may take over the concretization of
+/// `box`. Unknown names and division by zero degrade to top (never throw —
+/// these are RS000's findings, not ours).
+IntSet eval_abs(const Expr& e, const Box& box, const Domain& domain);
+
+/// Tri-state truth of a guard over the box. kFalse proves the guard
+/// unsatisfiable on every state the box covers.
+Truth eval_guard(const Expr& e, const Box& box, const Domain& domain);
+
+/// Refine `box` by assuming `guard` holds: the result's concretization
+/// contains every state of `box` satisfying the guard (it may contain more —
+/// refinement is sound, not exact). Conjunctions recurse, comparisons
+/// against evaluable right-hand sides narrow single offsets, and a final
+/// per-offset filtering pass drops values for which the guard is provably
+/// false.
+Box assume(Box box, const Expr& guard, const Domain& domain);
+
+/// Abstract transfer of an assignment `x[0] := effect`: offset 0 becomes
+/// the effect's image over `in` (clipped to the domain; out-of-domain
+/// writes are RS001's findings and contribute nothing), all other offsets
+/// are unchanged.
+Box transfer(const Box& in, const Expr& effect, const Domain& domain);
+
+/// The guard-implication lattice: how two guards relate over the full local
+/// state space, proved abstractly. kUnknown means the boxes could not
+/// decide; it never lies.
+enum class GuardRelation {
+  kDisjoint,           // a ∧ b unsatisfiable (proved)
+  kEquivalent,         // a ⇔ b (proved both ways)
+  kLeftImpliesRight,   // a ⇒ b (proved)
+  kRightImpliesLeft,   // b ⇒ a (proved)
+  kUnknown,            // none of the above provable with boxes
+};
+
+GuardRelation relate_guards(const Expr& a, const Expr& b,
+                            const LocalStateSpace& space);
+
+}  // namespace ringstab::absint

@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/absint.hpp"
 #include "core/fmt.hpp"
 #include "global/array_instance.hpp"
 #include "global/checker.hpp"
@@ -15,6 +16,7 @@
 #include "local/array.hpp"
 #include "local/closure.hpp"
 #include "local/deadlock.hpp"
+#include "local/livelock.hpp"
 #include "local/rcg.hpp"
 #include "local/self_disabling.hpp"
 #include "obs/obs.hpp"
@@ -97,10 +99,26 @@ std::string render_sizes(const std::vector<std::size_t>& sizes,
   return out;
 }
 
+/// Proof results of the source-level abstract interpretation, threaded into
+/// the protocol passes so a successful symbolic proof discharges the
+/// corresponding concrete check. All-null/kMaybe (the lint_protocol entry
+/// point) means "no proofs: run everything concretely".
+struct SourceFacts {
+  const AbsintResult* absint = nullptr;
+  absint::Truth closure = absint::Truth::kMaybe;
+};
+
 // RS002: Assumption 1 (self-termination) and Assumption 2 (self-disabling).
-void pass_rs002(const Protocol& p, Collector& c) {
+void pass_rs002(const Protocol& p, Collector& c, const SourceFacts& facts) {
   obs::Span span("lint.pass.rs002");
   c.begin_pass();
+  // RS101 discharge: a symbolic proof that every action's write falsifies
+  // its own guard implies Assumption 2 outright, and Assumption 1 with it
+  // (every t-arc then lands in a deadlock, so no t-arc cycle exists).
+  if (facts.absint && facts.absint->all_proved_self_disabling) {
+    obs::counter("lint.rs101_discharged").add(1);
+    return;
+  }
   if (const auto cyc = find_t_arc_cycle(p)) {
     const bool all_illegit =
         std::none_of(cyc->begin(), cyc->end(), [&](VertexId v) {
@@ -274,9 +292,26 @@ void pass_rs020(const Protocol& p, Collector& c) {
 }
 
 // RS030: closure interference (Problem 3.1 forbids behavior change in I).
-void pass_rs030(const Protocol& p, Collector& c, const LintOptions& opts) {
+void pass_rs030(const Protocol& p, Collector& c, const LintOptions& opts,
+                const SourceFacts& facts) {
   obs::Span span("lint.pass.rs030");
   c.begin_pass();
+  // RS120 discharge: the symbolic closure certificate makes both the local
+  // check and the K = window + 2 confirmation sweep redundant.
+  if (facts.closure == absint::Truth::kTrue) {
+    obs::counter("lint.rs120_discharged").add(1);
+    if (opts.absint_certificates) {
+      Diagnostic d;
+      d.code = "RS120";
+      d.severity = Severity::kNote;
+      d.message =
+          "invariant closure proved symbolically: every action's write "
+          "keeps its own LC and every reading neighbor's LC true, so the "
+          "RS030 expansion check and its confirmation sweep were skipped";
+      c.emit(std::move(d));
+    }
+    return;
+  }
   const ClosureCheck cc = check_invariant_closure(p);
   if (cc.verdict == ClosureCheck::Verdict::kClosed) return;
   // The local check is conservative; confirm on a small instance before
@@ -326,13 +361,50 @@ void pass_rs030(const Protocol& p, Collector& c, const LintOptions& opts) {
   }
 }
 
+// RS110: statically-unrealizable trails. When the Theorem 5.14 search does
+// find a qualifying trail, replay it deterministically at its implied ring
+// size; a replay failure proves the trail spurious *at that K* without any
+// global sweep — the sound half of the paper's "we fail to reconstruct"
+// discussion. Replay success means the trail is a concrete livelock, so no
+// sound trail is ever flagged.
+void pass_rs110(const Protocol& p, Collector& c, const LintOptions& opts) {
+  if (opts.array_topology || opts.trail_replay_budget == 0) return;
+  if (!is_self_disabling(p)) return;  // the trail indexes the s.d. image
+  obs::Span span("lint.pass.rs110");
+  c.begin_pass();
+  TrailQuery query;
+  query.node_budget = opts.trail_replay_budget;
+  const auto live = check_livelock_freedom(p, query);
+  if (live.verdict != LivelockAnalysis::Verdict::kTrailFound) return;
+  const auto replay = replay_trail(p, *live.trail());
+  if (replay.verdict == TrailReplay::Verdict::kRealizable) return;
+  Diagnostic d;
+  d.code = "RS110";
+  d.severity = Severity::kNote;
+  d.message = cat(
+      "the qualifying contiguous trail (|E|=", live.trail()->num_enabled,
+      ", P=", live.trail()->propagation, ", rounds=", live.trail()->rounds,
+      ") is statically unrealizable at its implied ring size K=",
+      live.trail()->implied_ring_size(), ": ",
+      replay.verdict == TrailReplay::Verdict::kNotInstantiable
+          ? "its windows are inconsistent around the ring"
+          : replay.reason,
+      " — the Theorem 5.14 rejection it witnesses is spurious at that size "
+      "(livelocks at other sizes remain possible)");
+  d.hint =
+      "confirm with `ringstab analyze --check-k` at the sizes of interest, "
+      "or acknowledge with '# lint: allow(RS110)'";
+  c.emit(std::move(d));
+}
+
 void run_protocol_passes(const Protocol& p, Collector& c,
-                         const LintOptions& opts) {
-  pass_rs002(p, c);
+                         const LintOptions& opts, const SourceFacts& facts) {
+  pass_rs002(p, c, facts);
   if (!opts.array_topology) pass_rs010_rcg(p, c);
   pass_rs011(p, c, opts);
   pass_rs020(p, c);
-  pass_rs030(p, c, opts);
+  pass_rs030(p, c, opts, facts);
+  pass_rs110(p, c, opts);
 }
 
 }  // namespace
@@ -341,7 +413,7 @@ LintResult lint_protocol(const Protocol& p, const LintOptions& opts) {
   obs::Span span("lint.protocol");
   LintResult res;
   Collector c(res, opts, {});
-  run_protocol_passes(p, c, opts);
+  run_protocol_passes(p, c, opts, SourceFacts{});
   return res;
 }
 
@@ -475,6 +547,143 @@ LintResult lint_source(const ProtocolSource& src, const LintOptions& opts) {
     }
   }
 
+  // Symbolic passes (RS1xx): abstract interpretation over the source —
+  // no state-space expansion, proofs only (kMaybe defers to the concrete
+  // passes below).
+  const AbsintResult ai = analyze_source(src);
+  SourceFacts facts;
+  facts.absint = &ai;
+  facts.closure = prove_invariant_closure(src);
+
+  // RS100: vacuous guards. A guard proved unsatisfiable outright is a
+  // symbolic dead action; one satisfiable only outside the persistent
+  // written-value envelope W* can fire at most finitely often from an
+  // arbitrary start (reported only when other actions do stay live in W* —
+  // a protocol whose *every* action dies in W* has simply converged).
+  {
+    obs::Span sp("lint.pass.rs100");
+    c.begin_pass();
+    std::vector<bool> env_unsat(src.actions.size(), false);
+    for (std::size_t i = 0; i < src.actions.size(); ++i) {
+      const auto& a = src.actions[i];
+      if (!a.guard || !exps[i].eval_errors.empty()) continue;
+      if (ai.actions[i].guard_truth == absint::Truth::kFalse) {
+        Diagnostic d;
+        d.code = "RS100";
+        d.severity = Severity::kWarning;
+        d.message = cat("guard of action '", a.label,
+                        "' is unsatisfiable (proved symbolically): the "
+                        "action can never fire");
+        d.hint = "delete the action or fix the contradictory guard";
+        d.span = a.span;
+        c.emit(std::move(d));
+        env_unsat[i] = true;
+        continue;
+      }
+      absint::Box env = absint::Box::top(space);
+      for (int off = env.min_offset(); off <= env.max_offset(); ++off)
+        env.at(off) = env.at(off) & ai.persistent_values;
+      const absint::Box refined = absint::assume(env, *a.guard, src.domain);
+      env_unsat[i] =
+          refined.is_bottom() ||
+          absint::eval_guard(*a.guard, refined, src.domain) ==
+              absint::Truth::kFalse;
+    }
+    const bool all_dead =
+        std::all_of(env_unsat.begin(), env_unsat.end(), [](bool b) { return b; });
+    if (!all_dead) {
+      for (std::size_t i = 0; i < src.actions.size(); ++i) {
+        if (!env_unsat[i] || !src.actions[i].guard ||
+            !exps[i].eval_errors.empty())
+          continue;
+        if (ai.actions[i].guard_truth == absint::Truth::kFalse) continue;
+        Diagnostic d;
+        d.code = "RS100";
+        d.severity = Severity::kNote;
+        d.message = cat(
+            "action '", src.actions[i].label,
+            "' is persistently vacuous: its guard is unsatisfiable once "
+            "every variable lies in the persistent written-value envelope "
+            "{",
+            join(ai.persistent_values.values(src.domain.size()), ", ",
+                 [&](Value v) { return std::string(src.domain.name(v)); }),
+            "}, so it fires at most finitely often while other actions "
+            "stay live");
+        d.hint = "the action only matters during stabilization; delete it "
+                 "if that was not intended";
+        d.span = src.actions[i].span;
+        c.emit(std::move(d));
+      }
+    }
+  }
+
+  // RS101 (certificate note; the discharge itself happens in pass_rs002).
+  if (merged.absint_certificates && ai.all_proved_self_disabling) {
+    obs::Span sp("lint.pass.rs101");
+    c.begin_pass();
+    Diagnostic d;
+    d.code = "RS101";
+    d.severity = Severity::kNote;
+    d.message = cat(
+        "all ", src.actions.size(),
+        " action(s) proved self-disabling symbolically (every write "
+        "falsifies its own guard): Assumption 2 holds, discharged without "
+        "expanding the local state space");
+    c.emit(std::move(d));
+  }
+
+  // RS102: guard-overlap determinism, refined by implication. RS003 reports
+  // concrete overlap states; this pass proves the *containment structure*
+  // between guards of actions with different write expressions, which
+  // syntactic comparison cannot see.
+  {
+    obs::Span sp("lint.pass.rs102");
+    c.begin_pass();
+    for (std::size_t i = 0; i < src.actions.size(); ++i) {
+      for (std::size_t j = i + 1; j < src.actions.size(); ++j) {
+        const auto& a = src.actions[i];
+        const auto& b = src.actions[j];
+        if (!a.guard || !b.guard) continue;
+        if (!exps[i].eval_errors.empty() || !exps[j].eval_errors.empty())
+          continue;
+        // Identical write sets cannot conflict on the written value.
+        if (ai.actions[i].writes == ai.actions[j].writes &&
+            ai.actions[i].writes.count() <= 1)
+          continue;
+        const auto rel = absint::relate_guards(*a.guard, *b.guard, space);
+        const char* how = nullptr;
+        switch (rel) {
+          case absint::GuardRelation::kEquivalent:
+            how = "is equivalent to";
+            break;
+          case absint::GuardRelation::kLeftImpliesRight:
+            how = "implies";
+            break;
+          case absint::GuardRelation::kRightImpliesLeft:
+            how = "is implied by";
+            break;
+          default:
+            break;
+        }
+        if (how == nullptr) continue;
+        Diagnostic d;
+        d.code = "RS102";
+        d.severity = Severity::kNote;
+        d.message = cat(
+            "guard of action '", a.label, "' ", how, " the guard of '",
+            b.label,
+            "' (proved symbolically): wherever the narrower guard holds "
+            "both actions compete and the scheduler picks "
+            "nondeterministically");
+        d.hint =
+            "make the guards mutually exclusive, or acknowledge with "
+            "'# lint: allow(RS102)'";
+        d.span = b.span;
+        c.emit(std::move(d));
+      }
+    }
+  }
+
   // Build the protocol best-effort (skipping bad writes, treating
   // unevaluable legitimacy as false) and run the protocol-level passes.
   std::vector<LocalTransition> delta;
@@ -502,7 +711,7 @@ LintResult lint_source(const ProtocolSource& src, const LintOptions& opts) {
   }
   const Protocol p(src.name.empty() ? "<unnamed>" : src.name, space,
                    std::move(delta), std::move(legit));
-  run_protocol_passes(p, c, merged);
+  run_protocol_passes(p, c, merged, facts);
   return res;
 }
 

@@ -20,6 +20,23 @@
 //   RS030  closure interference: a transition enabled inside I whose write
 //          leaves I (violates Problem 3.1's no-behavior-change constraint)
 //
+// Symbolic passes (RS1xx) — abstract interpretation over the source
+// (src/analysis/absint.hpp), proofs only, no state-space expansion:
+//   RS100  vacuous guards: proved unsatisfiable outright (warning), or
+//          unsatisfiable inside the persistent written-value envelope W*
+//          (note)
+//   RS101  Assumption 2 discharged symbolically: every write falsifies
+//          every guard (certificate note, gated by absint_certificates;
+//          the discharge itself always short-circuits RS002)
+//   RS102  guard containment between actions with different writes,
+//          proved by implication — refines RS003's concrete overlap
+//   RS110  statically-unrealizable trail: the Theorem 5.14 finding
+//          replayed symbolically fails, so the livelock rejection it
+//          witnesses is spurious at the implied ring size
+//   RS120  invariant closure proved symbolically (certificate note, gated
+//          by absint_certificates; the proof always discharges RS030's
+//          concrete sweep)
+//
 // File-wide suppression: a `# lint: allow(RS003, RS011)` comment in the
 // .ring source drops matching findings (counted in LintResult::suppressed).
 #pragma once
@@ -47,6 +64,14 @@ struct LintOptions {
   /// RS011 uses the array deadlock analysis and ring-only passes are
   /// skipped.
   bool array_topology = false;
+  /// Emit RS101/RS120 positive-certificate notes when the symbolic proofs
+  /// succeed. Off by default — a note on every healthy file is noise; the
+  /// discharge wiring (skipped concrete RS002/RS030 checks) is active
+  /// regardless.
+  bool absint_certificates = false;
+  /// RS110: node budget for the contiguous-trail search whose finding is
+  /// replayed statically. 0 disables the pass.
+  std::size_t trail_replay_budget = 4'000'000;
   /// Codes to suppress, merged with the source's `# lint: allow(...)`.
   std::vector<std::string> allow;
 };

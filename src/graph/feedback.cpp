@@ -62,6 +62,15 @@ class Enumerator {
  private:
   void branch(std::vector<bool>& removed, std::vector<VertexId>& chosen) {
     if (found_.size() >= kSearchCap) return;
+    // The subtree below depends only on the removal *set*, not the order
+    // the vertices were chosen in — prune revisits or the walk degenerates
+    // to one branch per permutation (factorial blowup, each node paying an
+    // SCC pass; matching's size-12 Resolve sets took ~25 s unpruned).
+    {
+      auto key = chosen;
+      std::sort(key.begin(), key.end());
+      if (!visited_.insert(std::move(key)).second) return;
+    }
     auto cycle = bad_cycle(g_, marked_, removed);
     if (!cycle) {
       auto s = chosen;
@@ -94,6 +103,7 @@ class Enumerator {
   const std::vector<bool>& candidates_;
   std::size_t max_sets_;
   std::set<std::vector<VertexId>> found_;
+  std::set<std::vector<VertexId>> visited_;
 };
 
 }  // namespace

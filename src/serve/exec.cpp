@@ -91,7 +91,7 @@ int render_synthesize(const Protocol& p, bool all, std::size_t jobs,
 }
 
 int render_lint(const LintResult& lint, const std::string& display_name,
-                bool json, std::ostream& out) {
+                bool json, bool werror, std::ostream& out) {
   if (json) {
     out << render_json(lint.diagnostics);
   } else {
@@ -102,7 +102,8 @@ int render_lint(const LintResult& lint, const std::string& display_name,
     if (lint.suppressed > 0) out << ", " << lint.suppressed << " suppressed";
     out << "\n";
   }
-  return lint.has_error() ? 1 : 0;
+  if (lint.has_error()) return 1;
+  return werror && lint.count(Severity::kWarning) > 0 ? 1 : 0;
 }
 
 namespace {
@@ -208,6 +209,7 @@ BatchOutcome batch_outcome(const std::string& text,
                             std::to_string(lr.count(Severity::kWarning)) +
                             " warn]";
       if (lr.has_error()) out.ok = false;
+      if (options.werror && lr.count(Severity::kWarning) > 0) out.ok = false;
     }
     const Protocol p = build_protocol(src);
     out.name = p.name();
@@ -356,6 +358,7 @@ std::string cache_key(const Request& req) {
   key.push_back(req.options.all ? 1 : 0);
   key.push_back(req.options.json ? 1 : 0);
   key.push_back(req.options.lint ? 1 : 0);
+  key.push_back(req.options.werror ? 1 : 0);
   key.push_back(req.options.synth ? 1 : 0);
   memo_append_u64(key, req.options.check_k);
   // Monte Carlo options: every field changes the sampled estimate, so every
@@ -401,7 +404,8 @@ ExecResult execute(const Request& req,
       }
       case 'L': {
         const LintResult lint = lint_ring_text(req.source, req.name);
-        res.exit_code = render_lint(lint, req.name, req.options.json, out);
+        res.exit_code = render_lint(lint, req.name, req.options.json,
+                                    req.options.werror, out);
         break;
       }
       case 'A': {

@@ -32,6 +32,7 @@ struct RequestOptions {
   bool all = false;         // synthesize: print every solution
   bool json = false;        // lint: machine-readable rendering
   bool lint = false;        // analyze: run the RS0xx lint passes
+  bool werror = false;      // lint: exit 1 on warnings too (errors always 1)
   bool synth = false;       // analyze: try Problem 3.1 when uncertified
   std::size_t check_k = 0;  // analyze: global cross-check size (0 = off)
 
@@ -68,10 +69,12 @@ int render_check(const Protocol& p, std::size_t k, std::size_t jobs,
 int render_synthesize(const Protocol& p, bool all, std::size_t jobs,
                       std::ostream& out);
 
-/// `ringstab lint <file> [--json]` over an already-computed LintResult;
-/// `display_name` is the path/name echoed in the text summary line.
+/// `ringstab lint <file> [--json] [--werror]` over an already-computed
+/// LintResult; `display_name` is the path/name echoed in the text summary
+/// line. Exit 1 iff an error survives suppression — or, with `werror`, a
+/// warning does.
 int render_lint(const LintResult& lint, const std::string& display_name,
-                bool json, std::ostream& out);
+                bool json, bool werror, std::ostream& out);
 
 /// `ringstab simulate <file> -k K --random [...]`: Monte Carlo estimate of
 /// the expected convergence time under a probabilistic scheduler

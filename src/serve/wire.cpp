@@ -73,6 +73,7 @@ std::string encode_request(const Request& req) {
   if (req.options.all) options.add("all", Value::boolean_v(true));
   if (req.options.json) options.add("json", Value::boolean_v(true));
   if (req.options.lint) options.add("lint", Value::boolean_v(true));
+  if (req.options.werror) options.add("werror", Value::boolean_v(true));
   if (req.options.synth) options.add("synth", Value::boolean_v(true));
   if (req.options.check_k != 0)
     options.add("check_k", Value::number_u64(req.options.check_k));
@@ -133,6 +134,8 @@ Request decode_request(const std::string& line) {
           req.options.json = as_bool(v, "options.json");
         else if (opt == "lint")
           req.options.lint = as_bool(v, "options.lint");
+        else if (opt == "werror")
+          req.options.werror = as_bool(v, "options.werror");
         else if (opt == "synth")
           req.options.synth = as_bool(v, "options.synth");
         else if (opt == "check_k")

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "analysis/absint.hpp"
 #include "analysis/lint.hpp"
 #include "core/fmt.hpp"
 #include "core/printer.hpp"
@@ -15,6 +16,7 @@ namespace {
 struct GlobalEval {
   bool prefiltered = false;  // discarded by the Theorem 4.2 prefilter
   bool ill_formed = false;   // discarded by the lint pre-filter
+  bool static_reject = false;  // refuted by the static lane (no revision)
   bool ok = false;           // strongly stabilizing for every configured K
   GlobalStateId states = 0;  // global states the K sweep cost
   std::optional<Protocol> pss;  // kept only when ok
@@ -22,8 +24,20 @@ struct GlobalEval {
 
 GlobalEval evaluate_candidate(const Protocol& p,
                               const GlobalSynthesisOptions& options,
+                              const StaticRejectionLane* lane,
                               const VerdictMemo* memo, std::size_t ordinal,
                               const std::vector<LocalTransition>& added) {
+  // Static ill-formedness screen: equivalent to the lint pre-filter below
+  // but computed from skeleton facts, before the revision is constructed.
+  if (lane != nullptr) {
+    if (auto rej = lane->refute_ill_formed_only(added)) {
+      GlobalEval eval;
+      eval.ill_formed = true;
+      eval.static_reject = true;
+      return eval;
+    }
+  }
+
   Protocol pss =
       p.with_added(cat(p.name(), "_gss", ordinal), added);
   GlobalEval eval;
@@ -88,8 +102,13 @@ GlobalSynthesisResult synthesize_convergence_global(
   obs::Counter& found = obs::counter("synth.solutions_found");
   obs::Counter& explored = obs::counter("synth.global_states_explored");
   obs::Counter& lint_rejected = obs::counter("lint.candidates_rejected");
+  obs::Counter& static_rejects = obs::counter("synth.static_rejects");
   GlobalSynthesisResult res;
   const auto resolve_sets = enumerate_resolve_sets(p, options.max_resolve_sets);
+
+  std::optional<StaticRejectionLane> lane;
+  if (options.static_reject_lane && options.reject_ill_formed)
+    lane.emplace(p);
 
   std::shared_ptr<VerdictMemo> local_memo;
   const VerdictMemo* memo = nullptr;
@@ -108,7 +127,8 @@ GlobalSynthesisResult synthesize_convergence_global(
     run_portfolio<GlobalEval>(
         batch.size(), options.num_threads, quota,
         [&](std::size_t i) {
-          return evaluate_candidate(p, options, memo, base + i + 1, batch[i]);
+          return evaluate_candidate(p, options, lane ? &*lane : nullptr, memo,
+                                    base + i + 1, batch[i]);
         },
         [](const GlobalEval& e) { return e.ok; },
         [&](std::size_t i, GlobalEval eval) {
@@ -122,6 +142,7 @@ GlobalSynthesisResult synthesize_convergence_global(
             ++res.ill_formed_out;
             pruned.add(1);
             lint_rejected.add(1);
+            if (eval.static_reject) static_rejects.add(1);
           } else if (eval.prefiltered) {
             ++res.prefiltered_out;
             pruned.add(1);

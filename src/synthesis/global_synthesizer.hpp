@@ -46,6 +46,14 @@ struct GlobalSynthesisOptions {
   /// memo, so cached verdicts are unaffected by the flag. Sound: such
   /// candidates fail every sweep anyway. Counter: lint.candidates_rejected.
   bool reject_ill_formed = true;
+
+  /// Static rejection lane (analysis/absint.hpp), ill-formedness screen
+  /// only: an added-arc cycle is refuted from skeleton facts without
+  /// constructing the revision Protocol. Trail certificates are NOT used
+  /// here — this synthesizer's rejections are fixed-K facts that a
+  /// parameterized trail does not imply. Active only together with
+  /// reject_ill_formed. Counter: synth.static_rejects.
+  bool static_reject_lane = true;
 };
 
 struct GlobalSynthesisSolution {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/absint.hpp"
 #include "analysis/lint.hpp"
 #include "core/fmt.hpp"
 #include "core/printer.hpp"
@@ -24,8 +25,30 @@ struct LocalEval {
 /// Methodology steps 4–5 for one candidate set: a pure function of
 /// (p, options, ordinal, added), safe to run on any pool lane.
 LocalEval evaluate_candidate(const Protocol& p, const SynthesisOptions& options,
+                             const StaticRejectionLane* lane,
                              const VerdictMemo* memo, std::size_t ordinal,
                              const std::vector<LocalTransition>& added) {
+  // Static rejection lane: refute from skeleton facts alone, before the
+  // revision Protocol is even constructed. The lane only rejects with a
+  // certificate the concrete pipeline below would also reject on, so
+  // statuses and solutions are bit-identical with it on or off.
+  if (lane != nullptr) {
+    if (auto rej = lane->refute(added)) {
+      LocalEval eval;
+      CandidateReport& report = eval.report;
+      report.added = added;
+      report.static_reject = true;
+      if (rej->kind == StaticRejectionLane::Rejection::Kind::kIllFormed) {
+        report.status = CandidateReport::Status::kRejectedIllFormed;
+        report.ill_formed = std::move(rej->diagnostics);
+      } else {
+        report.status = CandidateReport::Status::kRejectedTrail;
+        report.trail = std::move(rej->trail);
+      }
+      return eval;
+    }
+  }
+
   Protocol pss = p.with_added(cat(p.name(), "_ss", ordinal), added);
   LocalEval eval;
   CandidateReport& report = eval.report;
@@ -170,6 +193,7 @@ SynthesisResult synthesize_convergence(const Protocol& p,
   obs::Counter& pruned = obs::counter("synth.candidates_pruned");
   obs::Counter& found = obs::counter("synth.solutions_found");
   obs::Counter& ill_formed = obs::counter("lint.candidates_rejected");
+  obs::Counter& static_rejects = obs::counter("synth.static_rejects");
   SynthesisResult res;
   res.closure = check_invariant_closure(p);
   if (options.require_closed_invariant &&
@@ -186,6 +210,13 @@ SynthesisResult synthesize_convergence(const Protocol& p,
   }
 
   res.resolve_sets = enumerate_resolve_sets(p, options.max_resolve_sets);
+
+  // The lane mirrors the lint pre-filter's rejection semantics, so it is
+  // active only when that filter is (with the filter off, an empty-LC_r
+  // candidate legitimately flows through the NPL/PL pipeline).
+  std::optional<StaticRejectionLane> lane;
+  if (options.static_reject_lane && options.reject_ill_formed)
+    lane.emplace(p, options.trail_query);
 
   std::shared_ptr<VerdictMemo> local_memo;
   const VerdictMemo* memo = nullptr;
@@ -204,7 +235,8 @@ SynthesisResult synthesize_convergence(const Protocol& p,
     run_portfolio<LocalEval>(
         batch.size(), options.num_threads, quota,
         [&](std::size_t i) {
-          return evaluate_candidate(p, options, memo, base + i + 1, batch[i]);
+          return evaluate_candidate(p, options, lane ? &*lane : nullptr, memo,
+                                    base + i + 1, batch[i]);
         },
         [](const LocalEval& e) { return e.report.accepted(); },
         [&](std::size_t, LocalEval eval) {
@@ -227,6 +259,7 @@ SynthesisResult synthesize_convergence(const Protocol& p,
             if (eval.report.status ==
                 CandidateReport::Status::kRejectedIllFormed)
               ill_formed.add(1);
+            if (eval.report.static_reject) static_rejects.add(1);
           }
           if (options.keep_rejected_reports || accepted)
             res.reports.push_back(std::move(eval.report));

@@ -54,6 +54,18 @@ struct SynthesisOptions {
   /// solutions are bit-identical either way; the filter just skips the
   /// wasted work. Counter: lint.candidates_rejected.
   bool reject_ill_formed = true;
+
+  /// Static rejection lane (analysis/absint.hpp): facts computed once from
+  /// the skeleton refute candidates before Protocol construction, memo
+  /// traffic or trail searches — an added-arc cycle reproduces the lint
+  /// pre-filter's RS002 rejection, and a constructed |E| = 1 trail
+  /// certificate reproduces a kRejectedTrail verdict the concrete search
+  /// must reach. Verdict statuses and solutions are bit-identical with the
+  /// lane on or off (statically rejected candidates skip the trail
+  /// classification sweep, so only their `realization` field is omitted).
+  /// Active only together with reject_ill_formed, whose rejection semantics
+  /// the lane's screen mirrors. Counter: synth.static_rejects.
+  bool static_reject_lane = true;
 };
 
 /// One examined candidate set and its fate in methodology steps 4–5.
@@ -75,8 +87,13 @@ struct CandidateReport {
   std::vector<Diagnostic> ill_formed;
 
   /// Reconstruction outcome at the trail's implied K (set when
-  /// options.classify_rejected_trails and the instance fits the budget).
+  /// options.classify_rejected_trails and the instance fits the budget;
+  /// never set for static rejects — they skip the classification sweep).
   std::optional<TrailRealization> realization;
+
+  /// True iff the static rejection lane refuted the candidate without any
+  /// concrete work (see SynthesisOptions::static_reject_lane).
+  bool static_reject = false;
 
   bool accepted() const {
     return status == Status::kAcceptedNpl || status == Status::kAcceptedPl;

@@ -1,0 +1,8 @@
+# RS100 (warning): impossible's guard demands x[0] be 0 and 1 at once, so
+# the abstract evaluator proves it unsatisfiable — the action never fires.
+protocol vacuum;
+domain 2;
+reads -1 .. 0;
+legit: x[0] == 0;
+action impossible: x[0] == 0 && x[0] == 1 -> x[0] := 1;
+action settle: x[0] == 1 -> x[0] := 0;

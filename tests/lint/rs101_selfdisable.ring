@@ -1,0 +1,9 @@
+# RS101 (note, with --certificates / LintOptions::absint_certificates):
+# both writes pin x[0] to 2, which falsifies every guard, so Assumption 2
+# is discharged symbolically without expanding the local state space.
+protocol selfdis;
+domain 3;
+reads -1 .. 0;
+legit: x[0] == 2;
+action a0: x[0] == 0 -> x[0] := 2;
+action a1: x[0] == 1 -> x[0] := 2;

@@ -1,0 +1,10 @@
+# RS102 (note): narrow's guard implies wide's, so wherever narrow is
+# enabled both actions compete and write different values. RS003 reports
+# the concrete overlap states; RS102 proves the containment symbolically.
+# lint: allow(RS003)
+protocol overlap;
+domain 3;
+reads -1 .. 0;
+legit: x[0] == 1 || x[0] == 2;
+action narrow: x[-1] == 0 && x[0] == 0 -> x[0] := 1;
+action wide: x[0] == 0 -> x[0] := 2;

@@ -1,0 +1,8 @@
+# RS110 (note): the Section 6.2 rotation revision of Sum-Not-Two. The
+# Theorem 5.14 search finds a contiguous trail, but symbolic replay proves
+# the trail unrealizable — the paper's known spurious counterexample.
+protocol sum_not_two_rot;
+domain 3;
+reads -1 .. 0;
+legit: x[-1] + x[0] != 2;
+action rot_up: x[-1] + x[0] == 2 -> x[0] := (x[0] + 1) % 3;

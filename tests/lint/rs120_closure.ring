@@ -1,0 +1,9 @@
+# RS120 (note, with --certificates / LintOptions::absint_certificates):
+# rise's guard contradicts the mover's own legitimacy constraint, so no
+# action can fire inside I — closure of the invariant is proved
+# symbolically and RS030's concrete sweep is skipped.
+protocol closed;
+domain 2;
+reads -1 .. 0;
+legit: x[0] == 1;
+action rise: x[0] == 0 -> x[0] := 1;

@@ -44,6 +44,9 @@ const GoldenCase kGolden[] = {
     {"rs020_empty.ring", "RS020", Severity::kError},
     {"rs020_unused.ring", "RS020", Severity::kNote},
     {"rs030_closure.ring", "RS030", Severity::kError},
+    {"rs100_vacuous.ring", "RS100", Severity::kWarning},
+    {"rs102_implies.ring", "RS102", Severity::kNote},
+    {"rs110_spurious.ring", "RS110", Severity::kNote},
 };
 
 TEST(Lint, GoldenFixtures) {
@@ -148,6 +151,117 @@ TEST(Lint, EmptyDiagnosticsRenderAsEmptyArray) {
   EXPECT_EQ(parse_diagnostics_json(render_json({})),
             std::vector<Diagnostic>{});
   EXPECT_EQ(render_text({}), "");
+}
+
+TEST(Lint, CertificateNotesAreGatedByOption) {
+  // RS101/RS120 fixtures are clean by default: positive certificates only
+  // appear when asked for, even though the discharge wiring is always on.
+  EXPECT_TRUE(
+      lint_ring_file(fixture("rs101_selfdisable.ring")).diagnostics.empty());
+  EXPECT_TRUE(
+      lint_ring_file(fixture("rs120_closure.ring")).diagnostics.empty());
+
+  LintOptions certs;
+  certs.absint_certificates = true;
+  EXPECT_TRUE(has_code(lint_ring_file(fixture("rs101_selfdisable.ring"), certs),
+                       "RS101", Severity::kNote));
+  EXPECT_TRUE(has_code(lint_ring_file(fixture("rs120_closure.ring"), certs),
+                       "RS120", Severity::kNote));
+}
+
+TEST(Lint, TrailReplayBudgetZeroDisablesRs110) {
+  LintOptions off;
+  off.trail_replay_budget = 0;
+  EXPECT_FALSE(has_code(lint_ring_file(fixture("rs110_spurious.ring"), off),
+                        "RS110", Severity::kNote));
+}
+
+TEST(Lint, JsonRoundTripEveryCode) {
+  // Every registered code survives render -> parse with every severity it
+  // can be emitted at (docs/lint.md).
+  const std::vector<Diagnostic> diags = [] {
+    std::vector<Diagnostic> out;
+    const struct {
+      const char* code;
+      Severity severity;
+    } rows[] = {
+        {"RS000", Severity::kError},   {"RS001", Severity::kError},
+        {"RS001", Severity::kWarning}, {"RS002", Severity::kError},
+        {"RS002", Severity::kWarning}, {"RS003", Severity::kWarning},
+        {"RS010", Severity::kWarning}, {"RS011", Severity::kWarning},
+        {"RS020", Severity::kError},   {"RS020", Severity::kWarning},
+        {"RS020", Severity::kNote},    {"RS030", Severity::kError},
+        {"RS030", Severity::kNote},    {"RS100", Severity::kWarning},
+        {"RS100", Severity::kNote},    {"RS101", Severity::kNote},
+        {"RS102", Severity::kNote},    {"RS110", Severity::kNote},
+        {"RS120", Severity::kNote},
+    };
+    int line = 1;
+    for (const auto& r : rows) {
+      Diagnostic d;
+      d.code = r.code;
+      d.severity = r.severity;
+      d.message = std::string("synthetic finding for ") + r.code;
+      d.hint = "round-trip me";
+      d.file = "every_code.ring";
+      d.span = SourceSpan{line++, 1};
+      out.push_back(std::move(d));
+    }
+    return out;
+  }();
+  EXPECT_EQ(parse_diagnostics_json(render_json(diags)), diags);
+
+  // And the real fixture output for each golden case round-trips too.
+  for (const auto& g : kGolden) {
+    SCOPED_TRACE(g.file);
+    const LintResult res = lint_ring_file(fixture(g.file));
+    EXPECT_EQ(parse_diagnostics_json(render_json(res.diagnostics)),
+              res.diagnostics);
+  }
+}
+
+TEST(Lint, AllowDirectiveUnknownCodeIsInertDuplicatesCountOnce) {
+  const std::string base =
+      "protocol racer;\n"
+      "domain 3;\n"
+      "reads -1 .. 0;\n"
+      "legit: x[0] == 1 || x[0] == 2;\n"
+      "action go_one: x[0] == 0 -> x[0] := 1;\n"
+      "action go_two: x[-1] == 0 && x[0] == 0 -> x[0] := 2;\n";
+
+  // An unknown code suppresses nothing and is not an error.
+  const LintResult unknown = lint_source(
+      parse_protocol_source("# lint: allow(RS999)\n" + base, "unknown.ring"));
+  EXPECT_TRUE(has_code(unknown, "RS003", Severity::kWarning));
+  EXPECT_EQ(unknown.suppressed, 0u);
+
+  // Listing a code twice suppresses each matching finding exactly once.
+  const LintResult once = lint_source(
+      parse_protocol_source("# lint: allow(RS003, RS102)\n" + base, "a.ring"));
+  const LintResult twice = lint_source(parse_protocol_source(
+      "# lint: allow(RS003, RS003, RS102, RS102)\n" + base, "b.ring"));
+  EXPECT_FALSE(has_code(twice, "RS003", Severity::kWarning));
+  EXPECT_EQ(once.suppressed, twice.suppressed);
+  EXPECT_GE(once.suppressed, 1u);
+}
+
+TEST(Lint, AllowDirectiveSuppressesSymbolicCodes) {
+  // RS1xx findings obey the same suppression machinery as RS0xx.
+  const std::string rot =
+      read_source_file(fixture("rs110_spurious.ring"));
+  const LintResult loud =
+      lint_source(parse_protocol_source(rot, "rot.ring"));
+  EXPECT_TRUE(has_code(loud, "RS110", Severity::kNote));
+  const LintResult quiet = lint_source(
+      parse_protocol_source("# lint: allow(RS110)\n" + rot, "rot.ring"));
+  EXPECT_FALSE(has_code(quiet, "RS110", Severity::kNote));
+  EXPECT_GE(quiet.suppressed, 1u);
+
+  const std::string implies =
+      read_source_file(fixture("rs102_implies.ring"));
+  const LintResult q2 = lint_source(parse_protocol_source(
+      "# lint: allow(RS102)\n" + implies, "implies.ring"));
+  EXPECT_FALSE(has_code(q2, "RS102", Severity::kNote));
 }
 
 TEST(Lint, CandidateErrorsDetectTArcCycleAndEmptyLc) {
